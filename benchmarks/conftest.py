@@ -1,0 +1,29 @@
+"""Shared benchmark plumbing.
+
+Each benchmark regenerates one paper table/figure: it times the experiment
+with pytest-benchmark and writes the formatted rows (the same rows/series
+the paper reports) to ``benchmarks/results/<key>.txt``.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> Path:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR
+
+
+@pytest.fixture(scope="session")
+def save_result(results_dir):
+    def _save(key: str, text: str) -> None:
+        (results_dir / f"{key}.txt").write_text(text + "\n")
+        print(f"\n{text}")
+
+    return _save

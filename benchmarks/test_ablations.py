@@ -1,0 +1,66 @@
+"""Ablation benchmarks: isolate each Slate design choice.
+
+Not paper tables — these quantify the contribution of the mechanisms
+DESIGN.md calls out: workload-aware selection (Table I), the partition
+heuristic, in-order task execution, and dynamic resizing.
+"""
+
+from repro.experiments import ablations
+
+
+def test_ablation_policy(benchmark, save_result):
+    result = benchmark.pedantic(ablations.run_policy_ablation, rounds=1, iterations=1)
+    save_result("ablation_policy", ablations.format_policy_ablation(result))
+    # Workload-aware selection beats blind always-corun AND never-corun.
+    assert result.average("table1") < result.average("always")
+    assert result.average("table1") < result.average("never")
+    # Memory-heavy pairs are where blind corun loses.
+    assert result.rows["GS-GS"]["always"] > result.rows["GS-GS"]["table1"]
+    assert result.rows["TR-TR"]["always"] > result.rows["TR-TR"]["table1"]
+    # The corun cells are where never-corun loses.
+    assert result.rows["BS-RG"]["never"] > result.rows["BS-RG"]["table1"] * 1.2
+
+
+def test_ablation_partition(benchmark, save_result):
+    result = benchmark.pedantic(
+        ablations.run_partition_ablation, rounds=1, iterations=1
+    )
+    save_result("ablation_partition", ablations.format_partition_ablation(result))
+    # The saturation heuristic is the best overall strategy: the static
+    # predictive split cannot see the dynamic-resizing benefit of
+    # asymmetric partitions for linearly-scaling kernels (GS-RG, MM-RG).
+    assert result.average("heuristic") <= result.average("predictive") + 1e-9
+    assert result.average("heuristic") < result.average("even")
+    # But prediction does refine the saturating pair (BS-RG).
+    assert result.rows["BS-RG"]["predictive"] <= result.rows["BS-RG"]["heuristic"] + 0.02
+
+
+def test_ablation_locality(benchmark, save_result):
+    result = benchmark.pedantic(ablations.run_locality_ablation, rounds=1, iterations=1)
+    save_result("ablation_locality", ablations.format_locality_ablation(result))
+    # In-order execution alone carries the Table III gain (~1.3x).
+    assert 1.15 <= result.speedup_from_ordering <= 1.45
+    assert result.in_order_bw > result.scattered_bw
+
+
+def test_ablation_resizing(benchmark, save_result):
+    result = benchmark.pedantic(ablations.run_resizing_ablation, rounds=1, iterations=1)
+    save_result("ablation_resizing", ablations.format_resizing_ablation(result))
+    # Growing the survivor onto freed SMs is worth several percent on the
+    # corun pairings (and never hurts).
+    assert result.average("grow") < result.average("no_grow")
+    for label, row in result.rows.items():
+        assert row["grow"] <= row["no_grow"] + 0.01, label
+
+
+def test_ablation_task_size(benchmark, save_result):
+    result = benchmark.pedantic(
+        ablations.run_task_size_ablation, rounds=1, iterations=1
+    )
+    save_result("ablation_task_size", ablations.format_task_size_ablation(result))
+    # GS is the big winner (short blocks want bigger tasks than 10); no
+    # benchmark regresses under the tuner.
+    assert result.gain("GS") > 0.08
+    for bench in result.rows:
+        assert result.gain(bench) >= -0.005, bench
+    assert result.average_gain() > 0.02

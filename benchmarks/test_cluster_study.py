@@ -1,0 +1,14 @@
+"""Benchmark: 2-GPU class-aware placement study (extension)."""
+
+from repro.experiments import cluster_study
+
+
+def test_cluster_study(benchmark, save_result):
+    result = benchmark.pedantic(cluster_study.run, rounds=1, iterations=1)
+    save_result("cluster_study", cluster_study.format_result(result))
+    ca = result.outcome("class-aware")
+    rr = result.outcome("round-robin")
+    assert ca.hogs_separated
+    assert not rr.hogs_separated  # adversarial arrival order
+    assert ca.makespan < 0.95 * rr.makespan
+    assert ca.total_coruns > rr.total_coruns

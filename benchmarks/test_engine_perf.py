@@ -1,0 +1,84 @@
+"""Performance benchmarks for the DES engine itself.
+
+Not a paper experiment — engineering guardrails: the whole evaluation's
+wall-clock cost hangs off the engine's event throughput, so regressions
+here multiply into every other benchmark.
+"""
+
+from repro.sim import Environment, Resource, Store
+
+
+def _timeout_churn(n_events: int) -> float:
+    env = Environment()
+
+    def proc(env, reps):
+        for _ in range(reps):
+            yield env.timeout(1.0)
+
+    for _ in range(10):
+        env.process(proc(env, n_events // 10))
+    env.run()
+    return env.now
+
+
+def _resource_churn(n_ops: int) -> int:
+    env = Environment()
+    res = Resource(env, capacity=4)
+    done = {"count": 0}
+
+    def user(env, reps):
+        for _ in range(reps):
+            with res.request() as req:
+                yield req
+                yield env.timeout(0.1)
+            done["count"] += 1
+
+    for _ in range(20):
+        env.process(user(env, n_ops // 20))
+    env.run()
+    return done["count"]
+
+
+def _store_churn(n_items: int) -> int:
+    env = Environment()
+    store = Store(env)
+    received = {"count": 0}
+
+    def producer(env):
+        for i in range(n_items):
+            yield store.put(i)
+
+    def consumer(env):
+        for _ in range(n_items):
+            yield store.get()
+            received["count"] += 1
+
+    env.process(producer(env))
+    env.process(consumer(env))
+    env.run()
+    return received["count"]
+
+
+def test_engine_timeout_throughput(benchmark):
+    result = benchmark(_timeout_churn, 50_000)
+    assert result > 0
+
+
+def test_engine_resource_throughput(benchmark):
+    assert benchmark(_resource_churn, 20_000) == 20_000
+
+
+def test_engine_store_throughput(benchmark):
+    assert benchmark(_store_churn, 20_000) == 20_000
+
+
+def test_full_pairing_scenario_cost(benchmark):
+    """End-to-end cost of one Fig-7 cell (pair under Slate)."""
+    from repro.workloads.harness import app_for, run_pair
+
+    def scenario():
+        results, _ = run_pair("Slate", app_for("BS"), app_for("RG"))
+        return results
+
+    results = benchmark(scenario)
+    assert set(results) == {"BS", "RG"}

@@ -1,0 +1,11 @@
+"""Benchmark: Figure 1 — Stream bandwidth vs SM count."""
+
+from repro.experiments import fig1_stream
+
+
+def test_fig1_stream(benchmark, save_result):
+    result = benchmark.pedantic(fig1_stream.run, rounds=1, iterations=1)
+    save_result("fig1_stream", fig1_stream.format_result(result))
+    # Shape: knee at 9 SMs, flat plateau after.
+    assert fig1_stream.knee_point(result) == 9
+    assert result.bandwidth(30) > 0.9 * result.device.dram_bandwidth

@@ -1,0 +1,13 @@
+"""Benchmark: Figure 3 — the kernel transformation mapping."""
+
+from repro.experiments import fig3_transform
+
+
+def test_fig3_transform(benchmark, save_result):
+    result = benchmark.pedantic(fig3_transform.run, rounds=1, iterations=1)
+    save_result("fig3_transform", fig3_transform.format_result(result))
+    assert result.is_isomorphic
+    # Workers pulled whole tasks: every trace length is a multiple of the
+    # task size except possibly the clamped final task.
+    sizes = sorted(len(t.blocks) for t in result.traces)
+    assert sum(sizes) == result.grid.num_blocks

@@ -1,0 +1,16 @@
+"""Benchmark: Figure 4 — the selection algorithm's corun/solo branches."""
+
+from repro.experiments import fig4_decisions
+
+
+def test_fig4_decisions(benchmark, save_result):
+    result = benchmark.pedantic(fig4_decisions.run, rounds=1, iterations=1)
+    save_result("fig4_decisions", fig4_decisions.format_result(result))
+    # Branch (a) fires for complementary pairs, (b) for interfering ones.
+    assert result.count("corun") >= 5
+    assert result.count("solo") >= 2
+    partners = result.corun_partners()
+    # Every corun involves the L_C rider; memory x memory never coruns.
+    for classes in partners:
+        assert "L_C" in classes
+        assert not {"M_M", "H_M"} <= set(classes)

@@ -1,0 +1,12 @@
+"""Benchmark: Figure 5 — task size vs Slate kernel execution time."""
+
+from repro.experiments import fig5_tasksize
+
+
+def test_fig5_tasksize(benchmark, save_result):
+    result = benchmark.pedantic(fig5_tasksize.run, rounds=1, iterations=1)
+    save_result("fig5_tasksize", fig5_tasksize.format_result(result))
+    gs = result.normalized("GS")
+    bs = result.normalized("BS")
+    assert gs[10] < 0.6  # GS roughly halves at the default task size
+    assert bs[10] > bs[1]  # BS prefers task size 1

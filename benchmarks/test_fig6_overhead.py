@@ -1,0 +1,17 @@
+"""Benchmark: Figure 6 (and Table V) — solo app time and Slate overheads."""
+
+from repro.experiments import fig6_overhead
+
+
+def test_fig6_overhead(benchmark, save_result):
+    result = benchmark.pedantic(fig6_overhead.run, rounds=1, iterations=1)
+    save_result("fig6_overhead", fig6_overhead.format_result(result))
+    # GS is the best case (paper: 28% faster than CUDA/MPS).
+    gs_gain = result.bar("GS", "CUDA").app_time / result.bar("GS", "Slate").app_time
+    assert 1.10 <= gs_gain <= 1.40
+    # MPS solo app time slightly exceeds CUDA's (its daemon relay).
+    for bench in ("BS", "GS", "MM", "RG", "TR"):
+        assert result.bar(bench, "MPS").app_time > result.bar(bench, "CUDA").app_time
+    # Table V overheads: comm ~4%, injection+compilation ~1.5% of app time.
+    assert 0.01 <= result.average_comm_fraction() <= 0.08
+    assert 0.003 <= result.average_compile_fraction() <= 0.03

@@ -1,0 +1,17 @@
+"""Benchmark: Figure 7 — all 15 pairings under CUDA, MPS and Slate."""
+
+from repro.experiments import fig7_pairings
+
+
+def test_fig7_pairings(benchmark, save_result):
+    result = benchmark.pedantic(fig7_pairings.run, rounds=1, iterations=1)
+    save_result("fig7_pairings", fig7_pairings.format_result(result))
+    # Headline shape (paper: +11% over MPS, +18% over CUDA, 15/15 vs CUDA,
+    # 14/15 vs MPS with MM-BS the exception, best pair ~35%).
+    assert result.wins("CUDA") == 15
+    assert result.wins("MPS") >= 9
+    assert 0.06 <= result.average_gain("MPS") <= 0.15
+    assert 0.09 <= result.average_gain("CUDA") <= 0.22
+    assert -0.05 <= result.row("MM", "BS").gain("MPS") <= 0.01
+    best = result.best_pair("MPS")
+    assert "RG" in best.pair and best.gain("MPS") >= 0.25

@@ -1,0 +1,21 @@
+"""Benchmark: compute-scaling study (fixed DRAM) — policy limits."""
+
+from repro.experiments import scaling
+
+
+def test_scaling(benchmark, save_result):
+    result = benchmark.pedantic(scaling.run, rounds=1, iterations=1)
+    save_result("scaling", scaling.format_result(result))
+    # Smaller device -> bigger corun benefit.
+    assert result.point(20).gain > result.point(30).gain > result.point(45).gain
+    assert result.point(20).gain > 0.30
+    # The documented policy limitation: at 60 SMs the rider reclassifies
+    # to M_M against the fixed DRAM and co-running stops.
+    assert result.point(45).corun
+    assert not result.point(60).corun
+    assert result.point(60).rider_class == "M_M"
+    # ... and the scale-invariant per-SM classification basis fixes it.
+    assert result.point(60).gain_per_sm > 0.15
+    assert result.point(60).gain < 0
+    # On the calibration device the two bases coincide.
+    assert result.point(30).gain_per_sm == result.point(30).gain

@@ -1,0 +1,10 @@
+"""Benchmark: Table I — heuristic policy validation across class pairs."""
+
+from repro.experiments import tab1_policy
+
+
+def test_tab1_policy(benchmark, save_result):
+    result = benchmark.pedantic(tab1_policy.run, rounds=1, iterations=1)
+    save_result("tab1_policy", tab1_policy.format_result(result))
+    assert result.agreement_on(tab1_policy.LOAD_BEARING_CELLS) == 1.0
+    assert result.agreement() >= 0.75

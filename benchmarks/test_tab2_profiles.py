@@ -1,0 +1,17 @@
+"""Benchmark: Table II — benchmark profiles under solo CUDA."""
+
+import pytest
+
+from repro.experiments import tab2_profiles
+
+
+def test_tab2_profiles(benchmark, save_result):
+    result = benchmark.pedantic(tab2_profiles.run, rounds=1, iterations=1)
+    save_result("tab2_profiles", tab2_profiles.format_result(result))
+    for name, (compute, memory, gflops, bw) in tab2_profiles.PAPER_TABLE_II.items():
+        row = result.row(name)
+        assert row.compute_level == compute
+        assert row.memory_level == memory
+        if gflops:
+            assert row.gflops == pytest.approx(gflops, rel=0.10)
+        assert row.mem_bw_gbps == pytest.approx(bw, rel=0.10)

@@ -1,0 +1,12 @@
+"""Benchmark: Table III — Gaussian elimination detail, CUDA vs Slate."""
+
+from repro.experiments import tab3_gaussian
+
+
+def test_tab3_gaussian(benchmark, save_result):
+    result = benchmark.pedantic(tab3_gaussian.run, rounds=1, iterations=1)
+    save_result("tab3_gaussian", tab3_gaussian.format_result(result))
+    assert 1.15 <= result.speedup <= 1.45  # paper: +28%
+    assert 1.2 <= result.bw_gain <= 1.5  # paper: +38%
+    assert result.cuda.mem_throttle_fraction > 0.08  # paper: 26.1%
+    assert result.slate.mem_throttle_fraction < 1e-9  # paper: 0%

@@ -1,0 +1,12 @@
+"""Benchmark: Table IV — the BS-RG pairing, MPS vs Slate."""
+
+from repro.experiments import tab4_bsrg
+
+
+def test_tab4_bsrg(benchmark, save_result):
+    result = benchmark.pedantic(tab4_bsrg.run, rounds=1, iterations=1)
+    save_result("tab4_bsrg", tab4_bsrg.format_result(result))
+    assert 0.20 <= result.throughput_gain <= 0.40  # paper: 30.55%
+    assert result.slate.l2_throughput() > result.mps.l2_throughput()
+    assert result.slate.ldst < result.mps.ldst  # paper: -9%
+    assert result.slate.ipc(result.device) > 1.2 * result.mps.ipc(result.device)

@@ -1,0 +1,14 @@
+"""Benchmark: Table V — Slate-introduced operations, measured."""
+
+from repro.experiments import tab5_operations
+
+
+def test_tab5_operations(benchmark, save_result):
+    result = benchmark.pedantic(tab5_operations.run, rounds=1, iterations=1)
+    save_result("tab5_operations", tab5_operations.format_result(result))
+    # The quantified rows match the paper's §V-D figures.
+    assert 0.025 <= result.injected_instruction_frac <= 0.035  # ~3% (BS)
+    assert 0.01 <= result.comm_frac <= 0.08  # ~4%
+    assert 0.005 <= result.compile_frac <= 0.03  # ~1.5%
+    assert 0.0 < result.atomic_time_frac < 0.3
+    assert len(result.rows) == 5  # the five Table V rows

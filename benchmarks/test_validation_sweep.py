@@ -1,0 +1,32 @@
+"""Benchmarks: model-error validation and partition-sensitivity sweep."""
+
+from repro.experiments import sweep, validation
+
+
+def test_model_validation(benchmark, save_result):
+    result = benchmark.pedantic(validation.run, rounds=1, iterations=1)
+    save_result("model_validation", validation.format_result(result))
+    # The fluid executor must track the per-block reference closely.
+    assert result.solo_mean_error < 0.05
+    assert result.solo_max_error < 0.12
+    assert result.corun_mean_error < 0.08
+    assert result.corun_max_error < 0.25
+
+
+def test_partition_sweep(benchmark, save_result):
+    result = benchmark.pedantic(sweep.run, rounds=1, iterations=1)
+    save_result("partition_sweep", sweep.format_result(result))
+    best = result.best_split()
+    # The valley sits in BS's saturation region; the heuristic's pick (the
+    # saturation share, ~12-14 SMs) stays within 25% of the optimum.
+    assert 5 <= best.primary_sms <= 14
+    # The heuristic's 14-SM pick optimizes the *dynamic* app-level case
+    # (BS finishes fast, then RG grows onto the freed SMs), so it sits on
+    # the valley's right shoulder of this static curve.
+    heuristic_pick = result.point(14)
+    assert heuristic_pick.concurrent_turnaround <= 1.5 * best.concurrent_turnaround
+    # Both walls are steep: starving either side is far worse than the valley.
+    assert result.point(3).concurrent_turnaround > 1.5 * best.concurrent_turnaround
+    assert result.point(27).concurrent_turnaround > 2 * best.concurrent_turnaround
+    # The valley beats consecutive execution (the corun criterion).
+    assert best.concurrent_turnaround < result.consecutive_turnaround

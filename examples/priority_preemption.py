@@ -1,0 +1,81 @@
+#!/usr/bin/env python
+"""QoS extension: a latency-critical tenant preempts a batch job.
+
+A long Transpose batch job owns the GPU. A high-priority BlackScholes
+request arrives; the two are both memory-intensive (Table I: no corun),
+so without QoS the VIP waits for the whole batch kernel. With preemption
+enabled, Slate's retreat mechanism drains the batch workers (progress held
+in slateIdx), runs the VIP at near-solo latency, then resumes the batch —
+no work lost.
+
+Run:  python examples/priority_preemption.py
+"""
+
+from repro.kernels import blackscholes, transpose
+from repro.metrics import format_table
+from repro.sim import Environment
+from repro.slate import SlateRuntime
+
+
+def run(enable_preemption: bool):
+    env = Environment()
+    rt = SlateRuntime(env, enable_preemption=enable_preemption)
+    batch_spec = transpose(num_blocks=3_360_000)  # ~10x normal length
+    vip_spec = blackscholes()
+    rt.preload_profiles([batch_spec, vip_spec])
+    results = {}
+
+    def batch(env):
+        session = rt.create_session("batch")
+        ticket = yield from session.launch(batch_spec)
+        yield from session.synchronize()
+        results["batch"] = ticket
+        session.close()
+
+    def vip(env):
+        session = rt.create_session("vip")
+        yield env.timeout(2e-3)  # arrives mid-batch
+        t_request = env.now
+        ticket = yield from session.launch(vip_spec, priority=10)
+        yield from session.synchronize()
+        results["vip_latency"] = env.now - t_request
+        results["vip"] = ticket
+        session.close()
+
+    pb, pv = env.process(batch(env)), env.process(vip(env))
+    env.run(until=pb & pv)
+    return results, rt
+
+
+def main() -> None:
+    rows = []
+    for mode, preempt in (("FIFO (no QoS)", False), ("priority preemption", True)):
+        results, rt = run(preempt)
+        rows.append(
+            (
+                mode,
+                results["vip_latency"] * 1e3,
+                results["batch"].counters.end_time * 1e3,
+                rt.scheduler.preemptions,
+                f"{results['batch'].counters.blocks_executed:,.0f}",
+            )
+        )
+    print(
+        format_table(
+            [
+                "scheduler",
+                "VIP latency (ms)",
+                "batch done (ms)",
+                "preemptions",
+                "batch blocks run",
+            ],
+            rows,
+            title="Latency-critical tenant vs batch job",
+        )
+    )
+    print("\nWith preemption the VIP's turnaround collapses to near-solo time;")
+    print("the batch job pays only the retreat/resume cost and loses no work.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,54 @@
+#!/usr/bin/env python
+"""Quickstart: share a GPU between two applications with Slate.
+
+Two host processes — a memory-saturating BlackScholes pricer and a
+low-intensity quasirandom generator — run through the Slate daemon, which
+recognizes them as complementary and co-schedules them on disjoint SM
+partitions.  Compare the total time with MPS-style consecutive execution.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro.kernels import blackscholes, quasirandom
+from repro.sim import Environment
+from repro.slate import SlateRuntime
+from repro.workloads import app_for, run_pair, run_solo
+
+
+def drive_pair(runtime_name: str) -> dict[str, float]:
+    """Run the BS and RG applications together under ``runtime_name``."""
+    results, runtime = run_pair(runtime_name, app_for("BS"), app_for("RG"))
+    if runtime_name == "Slate":
+        sched = runtime.scheduler
+        print(
+            f"  Slate decisions: {sched.corun_launches} corun launches, "
+            f"{sched.solo_launches} solo, {sched.resizes} dynamic resizes"
+        )
+    return {name: res.app_time for name, res in results.items()}
+
+
+def main() -> None:
+    print("Solo baselines (vanilla CUDA):")
+    solo = {}
+    for bench in ("BS", "RG"):
+        result, _ = run_solo("CUDA", app_for(bench))
+        solo[bench] = result.app_time
+        print(f"  {bench}: {result.app_time * 1e3:7.1f} ms")
+
+    print("\nRunning BS + RG concurrently:")
+    for runtime in ("CUDA", "MPS", "Slate"):
+        times = drive_pair(runtime)
+        slowdowns = [times[b] / solo[b] for b in times]
+        antt = sum(slowdowns) / len(slowdowns)
+        print(
+            f"  {runtime:5}: BS {times['BS'] * 1e3:7.1f} ms, "
+            f"RG {times['RG'] * 1e3:7.1f} ms   ANTT {antt:.3f} (lower = better)"
+        )
+
+    print("\nWhy it works: BlackScholes saturates DRAM bandwidth with ~12 of")
+    print("the 30 SMs (Figure 1's insight), so Slate gives the remaining SMs")
+    print("to the quasirandom generator, which barely uses memory at all.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,267 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+experiments  Reproduce paper tables/figures (all or selected keys).
+ablations    Run the design-choice ablation battery.
+profile      Offline-profile a benchmark and print its nvprof-style report.
+occupancy    Occupancy calculator for a thread-block shape.
+transform    Scan + inject a CUDA source file the way the daemon does.
+pair         Run one application pairing under all three runtimes.
+report       Write a consolidated REPORT.md across all experiments.
+trace        Replay an arrival trace and render the SM timeline.
+tune         Predicted task-size sweep for a benchmark kernel.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+
+def _cmd_experiments(args: argparse.Namespace) -> int:
+    from repro.experiments.runner import main as runner_main
+
+    return runner_main(args.keys or None)
+
+
+def _cmd_ablations(_args: argparse.Namespace) -> int:
+    from repro.experiments import ablations as ab
+
+    print(ab.format_policy_ablation(ab.run_policy_ablation()))
+    print()
+    print(ab.format_partition_ablation(ab.run_partition_ablation()))
+    print()
+    print(ab.format_locality_ablation(ab.run_locality_ablation()))
+    print()
+    print(ab.format_resizing_ablation(ab.run_resizing_ablation()))
+    return 0
+
+
+def _cmd_profile(args: argparse.Namespace) -> int:
+    from repro.config import CostModel, TITAN_XP
+    from repro.gpu.device import ExecutionMode, SimulatedGPU
+    from repro.kernels.registry import by_name
+    from repro.metrics.counters import collect
+    from repro.sim import Environment
+    from repro.slate.profiler import profile_from_counters
+
+    spec = by_name(args.benchmark)
+    mode = ExecutionMode.SLATE if args.slate else ExecutionMode.HARDWARE
+    env = Environment()
+    gpu = SimulatedGPU(env, TITAN_XP, CostModel())
+    kwargs = {"task_size": args.task_size, "inject_frac": 0.03} if args.slate else {}
+    counters = [
+        env.run(until=gpu.launch(spec.work(), mode=mode, **kwargs).done)
+        for _ in range(args.launches)
+    ]
+    print(collect(counters).format())
+    profile = profile_from_counters(counters[0])
+    print(
+        f"\nintensity class: {profile.intensity.value}, "
+        f"bandwidth saturation at ~{profile.saturation_sms()} SMs"
+    )
+    return 0
+
+
+def _cmd_transform(args: argparse.Namespace) -> int:
+    from repro.slate.source import inject, scan_kernels
+
+    source = sys.stdin.read() if args.file == "-" else open(args.file).read()
+    kernels = scan_kernels(source)
+    if not kernels:
+        print("no __global__ kernels found", file=sys.stderr)
+        return 1
+    for kernel in kernels:
+        print(f"// ===== transformed: {kernel.name} =====")
+        print(inject(kernel))
+    return 0
+
+
+def _cmd_occupancy(args: argparse.Namespace) -> int:
+    from repro.config import TESLA_V100, TITAN_XP
+    from repro.gpu.occupancy import BlockResources, analyze, occupancy_curve
+
+    device = TESLA_V100 if args.device == "v100" else TITAN_XP
+    block = BlockResources(args.threads, args.regs, args.smem)
+    report = analyze(device, block)
+    print(f"{device.name}: {args.threads} threads/block, {args.regs} regs, {args.smem} B smem")
+    print(f"  resident blocks/SM : {report.result.blocks_per_sm} (limited by {report.result.limiter})")
+    print(f"  warp occupancy     : {report.occupancy_fraction:.0%}")
+    for resource, limit in sorted(report.limits.items()):
+        print(f"    {resource:12} would allow {limit}")
+    print(f"  hint: {report.headroom_hint}")
+    print("\n  block-size sweep (threads -> occupancy):")
+    curve = occupancy_curve(device, max(args.threads, 512), args.regs, args.smem)
+    for threads, frac in curve.items():
+        bar = "#" * int(frac * 40)
+        print(f"    {threads:5}  {frac:5.0%}  {bar}")
+    return 0
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.metrics.timeline import render_timeline, to_chrome_trace
+    from repro.metrics.utilization import summarize_utilization
+    from repro.workloads.trace import (
+        generate_bursty_trace,
+        generate_heavy_tailed_trace,
+        generate_trace,
+        replay_trace,
+    )
+
+    generators = {
+        "poisson": lambda: generate_trace(args.apps, seed=args.seed),
+        "bursty": lambda: generate_bursty_trace(
+            max(1, args.apps // 4), 4, seed=args.seed
+        ),
+        "heavy-tailed": lambda: generate_heavy_tailed_trace(args.apps, seed=args.seed),
+    }
+    trace = generators[args.pattern]()
+    print(f"{args.pattern} trace, {len(trace)} tenants, seed {args.seed}:")
+    for entry in trace:
+        print(f"  t={entry.arrival * 1e3:8.2f} ms  {entry.app.name} x{entry.app.reps}")
+    results, runtime = replay_trace(args.runtime, trace)
+    makespan = max(r.end for r in results.values())
+    print(f"\n{args.runtime}: makespan {makespan * 1e3:.1f} ms")
+    if hasattr(runtime, "scheduler"):
+        log = runtime.scheduler.allocation_log
+        print(render_timeline(log, coalesce_window=0.3e-3, max_rows=30))
+        summary = summarize_utilization(log, end_time=log[-1][0])
+        print(
+            f"utilization: mean SM coverage {summary.mean_sm_occupancy:.0%}, "
+            f"shared {summary.shared_fraction:.0%}, idle {summary.idle_fraction:.0%}"
+        )
+        if args.chrome:
+            with open(args.chrome, "w") as fh:
+                json.dump(to_chrome_trace(log), fh)
+            print(f"chrome trace written to {args.chrome}")
+    return 0
+
+
+def _cmd_tune(args: argparse.Namespace) -> int:
+    from repro.kernels.registry import by_name
+    from repro.slate.tuning import auto_task_size
+
+    spec = by_name(args.benchmark)
+    choice = auto_task_size(spec)
+    print(f"{spec.name}: predicted kernel time by SLATE_ITERS")
+    for size, t in sorted(choice.sweep.items()):
+        marker = "  <-- best" if size == choice.task_size else ""
+        print(f"  {size:4}  {t * 1e3:8.3f} ms{marker}")
+    print(
+        f"tuned size {choice.task_size} is {choice.improvement_over(10):+.1%} "
+        "vs the paper's fixed 10"
+    )
+    return 0
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    from repro.experiments.runner import EXPERIMENTS
+
+    lines = [
+        "# Slate reproduction — full experiment report",
+        "",
+        "Generated by `python -m repro report`.",
+        "",
+    ]
+    for experiment in EXPERIMENTS:
+        if args.keys and experiment.key not in args.keys:
+            continue
+        print(f"running {experiment.key}: {experiment.title} ...")
+        result = experiment.run()
+        lines += [f"## {experiment.title}", "", "```", experiment.format(result), "```", ""]
+    text = "\n".join(lines)
+    with open(args.output, "w") as fh:
+        fh.write(text)
+    print(f"wrote {args.output}")
+    return 0
+
+
+def _cmd_pair(args: argparse.Namespace) -> int:
+    from repro.metrics.antt import antt
+    from repro.workloads.harness import app_for, run_pair, run_solo
+
+    a, b = args.bench_a.upper(), args.bench_b.upper()
+    na, nb = (a, b) if a != b else (a, f"{b}#2")
+    solo = {
+        na: run_solo("CUDA", app_for(a, name=na))[0].app_time,
+        nb: run_solo("CUDA", app_for(b, name=nb))[0].app_time,
+    }
+    for runtime in ("CUDA", "MPS", "Slate"):
+        results, rt = run_pair(runtime, app_for(a, name=na), app_for(b, name=nb))
+        shared = {k: v.app_time for k, v in results.items()}
+        line = f"{runtime:5}  ANTT {antt(shared, solo):.3f}"
+        for name, t in shared.items():
+            line += f"  {name} {t * 1e3:8.1f} ms"
+        if runtime == "Slate":
+            line += (
+                f"  [{rt.scheduler.corun_launches} corun, "
+                f"{rt.scheduler.resizes} resizes]"
+            )
+        print(line)
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(prog="repro", description=__doc__)
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("experiments", help="reproduce paper tables/figures")
+    p.add_argument("keys", nargs="*", help="e.g. fig1 tab3 fig7 (default: all)")
+    p.set_defaults(func=_cmd_experiments)
+
+    p = sub.add_parser("ablations", help="run the ablation battery")
+    p.set_defaults(func=_cmd_ablations)
+
+    p = sub.add_parser("profile", help="profile a benchmark kernel")
+    p.add_argument("benchmark", help="BS | GS | MM | RG | TR | STREAM")
+    p.add_argument("--slate", action="store_true", help="Slate scheduling")
+    p.add_argument("--task-size", type=int, default=10)
+    p.add_argument("--launches", type=int, default=3)
+    p.set_defaults(func=_cmd_profile)
+
+    p = sub.add_parser("transform", help="inject Slate scheduling into CUDA source")
+    p.add_argument("file", help="path to a .cu file, or - for stdin")
+    p.set_defaults(func=_cmd_transform)
+
+    p = sub.add_parser("occupancy", help="occupancy calculator for a block shape")
+    p.add_argument("threads", type=int)
+    p.add_argument("--regs", type=int, default=32)
+    p.add_argument("--smem", type=int, default=0)
+    p.add_argument("--device", choices=["titanxp", "v100"], default="titanxp")
+    p.set_defaults(func=_cmd_occupancy)
+
+    p = sub.add_parser("trace", help="replay an arrival trace with a timeline")
+    p.add_argument("--runtime", choices=["CUDA", "MPS", "Slate"], default="Slate")
+    p.add_argument("--pattern", choices=["poisson", "bursty", "heavy-tailed"], default="poisson")
+    p.add_argument("--apps", type=int, default=6)
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--chrome", help="write a chrome://tracing JSON here")
+    p.set_defaults(func=_cmd_trace)
+
+    p = sub.add_parser("tune", help="task-size sweep for a benchmark")
+    p.add_argument("benchmark")
+    p.set_defaults(func=_cmd_tune)
+
+    p = sub.add_parser("report", help="write a consolidated experiment report")
+    p.add_argument("--output", default="REPORT.md")
+    p.add_argument("keys", nargs="*", help="experiment keys (default: all)")
+    p.set_defaults(func=_cmd_report)
+
+    p = sub.add_parser("pair", help="run a pairing under all runtimes")
+    p.add_argument("bench_a")
+    p.add_argument("bench_b")
+    p.set_defaults(func=_cmd_pair)
+
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,21 @@
+"""Error types mirroring the CUDA error surface our substrate needs."""
+
+from __future__ import annotations
+
+__all__ = ["CudaError", "CudaOutOfMemory", "CudaInvalidValue", "CudaContextDestroyed"]
+
+
+class CudaError(Exception):
+    """Base class for simulated CUDA runtime errors."""
+
+
+class CudaOutOfMemory(CudaError):
+    """Device memory allocation failed (cudaErrorMemoryAllocation)."""
+
+
+class CudaInvalidValue(CudaError):
+    """Invalid argument to a runtime call (cudaErrorInvalidValue)."""
+
+
+class CudaContextDestroyed(CudaError):
+    """Operation on a destroyed context."""

@@ -1,0 +1,67 @@
+"""CUDA events: stream markers for timing and cross-stream ordering.
+
+``cudaEventRecord`` snapshots a stream's current work chain; the event
+fires (with its timestamp) once everything enqueued on the stream before
+the record has completed.  ``elapsed_time`` reproduces
+``cudaEventElapsedTime`` (milliseconds).
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import TYPE_CHECKING, Optional
+
+from repro.cuda.errors import CudaInvalidValue
+from repro.sim import Environment, Event
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.cuda.context import CudaStream
+
+__all__ = ["CudaEvent", "elapsed_time"]
+
+
+class CudaEvent:
+    """A recorded (or not yet recorded) CUDA event."""
+
+    _ids = itertools.count(1)
+
+    def __init__(self, env: Environment) -> None:
+        self.id = next(self._ids)
+        self.env = env
+        self._fired: Optional[Event] = None
+        self.timestamp: Optional[float] = None
+
+    @property
+    def recorded(self) -> bool:
+        return self._fired is not None
+
+    @property
+    def complete(self) -> bool:
+        return self.timestamp is not None
+
+    def record(self, stream: "CudaStream", after: Optional[Event]) -> None:
+        """Snapshot ``stream``'s chain; fire when ``after`` completes."""
+        fired = self.env.event()
+        self._fired = fired
+
+        def _complete(_evt: Event) -> None:
+            self.timestamp = self.env.now
+            fired.succeed(self.env.now)
+
+        if after is None or after.processed:
+            _complete(after)
+        elif after.callbacks is not None:
+            after.callbacks.append(_complete)
+
+    def wait(self) -> Event:
+        """Event to yield on (cudaEventSynchronize)."""
+        if self._fired is None:
+            raise CudaInvalidValue(f"event {self.id} has not been recorded")
+        return self._fired
+
+
+def elapsed_time(start: CudaEvent, end: CudaEvent) -> float:
+    """Milliseconds between two completed events (cudaEventElapsedTime)."""
+    if not start.complete or not end.complete:
+        raise CudaInvalidValue("both events must have completed")
+    return (end.timestamp - start.timestamp) * 1e3

@@ -1,0 +1,108 @@
+"""Device memory allocator.
+
+A first-fit free-list allocator over the device's DRAM capacity.  The Slate
+daemon funnels every client's allocations through one context, so a shared
+allocator with correct accounting matters: two co-resident applications must
+both fit (the paper's pairs total well under the Titan Xp's 12 GB).
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+
+from repro.cuda.errors import CudaInvalidValue, CudaOutOfMemory
+
+__all__ = ["DevicePointer", "DeviceMemoryManager"]
+
+#: Allocation granularity (bytes); cudaMalloc aligns to 512B textures etc.
+_ALIGN = 512
+
+
+@dataclass(frozen=True)
+class DevicePointer:
+    """An opaque device address returned by :meth:`DeviceMemoryManager.alloc`."""
+
+    address: int
+    size: int
+    tag: int
+
+    def __post_init__(self) -> None:
+        if self.size <= 0:
+            raise CudaInvalidValue(f"pointer size must be positive, got {self.size}")
+
+
+def _align(n: int) -> int:
+    return ((n + _ALIGN - 1) // _ALIGN) * _ALIGN
+
+
+class DeviceMemoryManager:
+    """First-fit allocator with explicit free-list coalescing."""
+
+    def __init__(self, capacity: int) -> None:
+        if capacity <= 0:
+            raise CudaInvalidValue(f"capacity must be positive, got {capacity}")
+        self.capacity = capacity
+        # Sorted list of (start, size) free extents.
+        self._free: list[tuple[int, int]] = [(0, capacity)]
+        self._live: dict[int, DevicePointer] = {}
+        self._tags = itertools.count(1)
+
+    # -- accounting -------------------------------------------------------
+
+    @property
+    def used(self) -> int:
+        return self.capacity - sum(size for _, size in self._free)
+
+    @property
+    def free_bytes(self) -> int:
+        return self.capacity - self.used
+
+    @property
+    def largest_free_extent(self) -> int:
+        return max((size for _, size in self._free), default=0)
+
+    @property
+    def allocation_count(self) -> int:
+        return len(self._live)
+
+    # -- operations ---------------------------------------------------------
+
+    def alloc(self, nbytes: int) -> DevicePointer:
+        """Allocate ``nbytes`` (rounded to the 512 B granule); first fit."""
+        if nbytes <= 0:
+            raise CudaInvalidValue(f"allocation size must be positive, got {nbytes}")
+        size = _align(int(nbytes))
+        for i, (start, extent) in enumerate(self._free):
+            if extent >= size:
+                if extent == size:
+                    self._free.pop(i)
+                else:
+                    self._free[i] = (start + size, extent - size)
+                ptr = DevicePointer(address=start, size=size, tag=next(self._tags))
+                self._live[ptr.tag] = ptr
+                return ptr
+        raise CudaOutOfMemory(
+            f"cannot allocate {size} bytes: {self.free_bytes} free "
+            f"(largest extent {self.largest_free_extent})"
+        )
+
+    def free(self, ptr: DevicePointer) -> None:
+        """Release an allocation; coalesces adjacent free extents."""
+        if self._live.pop(ptr.tag, None) is None:
+            raise CudaInvalidValue(f"double free or foreign pointer {ptr!r}")
+        self._free.append((ptr.address, ptr.size))
+        self._free.sort()
+        merged: list[tuple[int, int]] = []
+        for start, size in self._free:
+            if merged and merged[-1][0] + merged[-1][1] == start:
+                prev_start, prev_size = merged[-1]
+                merged[-1] = (prev_start, prev_size + size)
+            else:
+                merged.append((start, size))
+        self._free = merged
+
+    def free_all(self) -> None:
+        """Release every live allocation (context teardown)."""
+        for ptr in list(self._live.values()):
+            self.free(ptr)

@@ -1,0 +1,49 @@
+"""Experiment reproductions: one module per paper table/figure.
+
+Each module exposes ``run(...)`` returning a structured result object and
+``format_result(...)`` rendering the same rows/series the paper reports.
+The benchmark harness (``benchmarks/``) wraps these, and ``runner.py``
+executes the full battery for EXPERIMENTS.md.
+"""
+
+from repro.experiments import (
+    ablations,
+    cluster_study,
+    generalization,
+    scaling,
+    sweep,
+    validation,
+    fig1_stream,
+    fig3_transform,
+    fig4_decisions,
+    fig5_tasksize,
+    fig6_overhead,
+    fig7_pairings,
+    tab1_policy,
+    tab2_profiles,
+    tab3_gaussian,
+    tab4_bsrg,
+    tab5_operations,
+)
+from repro.experiments.runner import run_all
+
+__all__ = [
+    "ablations",
+    "cluster_study",
+    "fig1_stream",
+    "fig3_transform",
+    "fig4_decisions",
+    "fig5_tasksize",
+    "fig6_overhead",
+    "fig7_pairings",
+    "generalization",
+    "scaling",
+    "sweep",
+    "validation",
+    "run_all",
+    "tab1_policy",
+    "tab2_profiles",
+    "tab3_gaussian",
+    "tab4_bsrg",
+    "tab5_operations",
+]

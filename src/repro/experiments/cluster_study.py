@@ -1,0 +1,120 @@
+"""Multi-GPU placement study (extension): class-aware vs naive placement.
+
+Four tenants — two memory-saturating (BS, GS), two light (RG) — arrive at
+a 2-GPU node in the adversarial order BS, RG, GS, RG.  Round-robin and
+least-loaded both co-locate the two memory hogs; class-aware placement
+(the Table I machinery applied *across* devices) separates them and pairs
+each with a light rider, so both devices co-run complementary kernels.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.config import DeviceConfig, TITAN_XP
+from repro.kernels.blackscholes import blackscholes
+from repro.kernels.gaussian import gaussian
+from repro.kernels.quasirandom import quasirandom
+from repro.metrics.report import format_table
+from repro.sim import Environment
+from repro.slate.cluster import PLACEMENT_POLICIES, SlateCluster
+from repro.workloads.app import AppSpec, run_application
+
+__all__ = ["ClusterStudyResult", "run", "format_result"]
+
+
+def _apps() -> list[AppSpec]:
+    return [
+        AppSpec(name="pricing(BS)", kernel=blackscholes(), reps=6),
+        AppSpec(name="mc-1(RG)", kernel=quasirandom(), reps=6),
+        AppSpec(name="solver(GS)", kernel=gaussian(), reps=6),
+        AppSpec(name="mc-2(RG)", kernel=quasirandom(num_blocks=48_000), reps=6),
+    ]
+
+
+@dataclass(frozen=True)
+class PlacementOutcome:
+    placement: str
+    makespan: float
+    total_coruns: int
+    #: device index -> sorted tenant names.
+    groups: dict[int, tuple[str, ...]]
+
+    @property
+    def hogs_separated(self) -> bool:
+        for tenants in self.groups.values():
+            hogs = sum(t.startswith(("pricing", "solver")) for t in tenants)
+            if hogs > 1:
+                return False
+        return True
+
+
+@dataclass(frozen=True)
+class ClusterStudyResult:
+    outcomes: tuple[PlacementOutcome, ...]
+
+    def outcome(self, placement: str) -> PlacementOutcome:
+        for o in self.outcomes:
+            if o.placement == placement:
+                return o
+        raise KeyError(placement)
+
+
+def run(device: DeviceConfig = TITAN_XP) -> ClusterStudyResult:
+    outcomes = []
+    for placement in PLACEMENT_POLICIES:
+        env = Environment()
+        cluster = SlateCluster(
+            env, num_devices=2, device=device, placement=placement
+        )
+        apps = _apps()
+        cluster.preload_profiles([a.kernel for a in apps])
+        procs = []
+        for app in apps:
+            session = cluster.create_session(app.name, spec_hint=app.kernel)
+            procs.append(
+                env.process(
+                    run_application(env, session, app, cluster.runtime(0).costs)
+                )
+            )
+        env.run(until=env.all_of(procs))
+        groups: dict[int, list[str]] = {0: [], 1: []}
+        for name, dev in cluster.placements.items():
+            groups[dev].append(name)
+        outcomes.append(
+            PlacementOutcome(
+                placement=placement,
+                makespan=max(p.value.end for p in procs),
+                total_coruns=sum(
+                    cluster.runtime(i).scheduler.corun_launches for i in range(2)
+                ),
+                groups={k: tuple(sorted(v)) for k, v in groups.items()},
+            )
+        )
+    return ClusterStudyResult(outcomes=tuple(outcomes))
+
+
+def format_result(result: ClusterStudyResult) -> str:
+    rows = [
+        (
+            o.placement,
+            o.makespan * 1e3,
+            o.total_coruns,
+            "yes" if o.hogs_separated else "NO",
+            " + ".join(o.groups[0]),
+            " + ".join(o.groups[1]),
+        )
+        for o in result.outcomes
+    ]
+    table = format_table(
+        ["placement", "makespan (ms)", "coruns", "hogs split", "GPU 0", "GPU 1"],
+        rows,
+        title="2-GPU placement study (arrival order BS, RG, GS, RG)",
+    )
+    ca = result.outcome("class-aware")
+    rr = result.outcome("round-robin")
+    return (
+        f"{table}\n"
+        f"class-aware placement finishes {1 - ca.makespan / rr.makespan:.1%} "
+        "sooner than round-robin by keeping the memory hogs apart"
+    )

@@ -1,0 +1,120 @@
+"""Figure 6 (and Table V): solo application time and Slate overheads.
+
+Paper: application bars (full) vs kernel bars (bottom) for CUDA, MPS and
+Slate; Slate additionally splits out client-daemon communication (~4% of
+application time on average) and code injection + dynamic compilation
+(~1.5%).  MPS application time is slightly larger than CUDA's because of
+its daemon relay; Slate's best case (GS) is 28% faster overall.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.config import DeviceConfig, TITAN_XP
+from repro.kernels.registry import SHORT_NAMES
+from repro.metrics.report import format_table
+from repro.workloads.harness import app_for, run_solo
+
+__all__ = ["SoloBar", "Fig6Result", "run", "format_result"]
+
+
+@dataclass(frozen=True)
+class SoloBar:
+    """One (benchmark, runtime) bar of Figure 6."""
+
+    bench: str
+    runtime: str
+    app_time: float
+    kernel_time: float
+    comm_time: float
+    compile_time: float
+
+    @property
+    def host_time(self) -> float:
+        return self.app_time - self.kernel_time
+
+    @property
+    def comm_fraction(self) -> float:
+        return self.comm_time / self.app_time if self.app_time else 0.0
+
+    @property
+    def compile_fraction(self) -> float:
+        return self.compile_time / self.app_time if self.app_time else 0.0
+
+
+@dataclass(frozen=True)
+class Fig6Result:
+    bars: tuple[SoloBar, ...]
+
+    def bar(self, bench: str, runtime: str) -> SoloBar:
+        for b in self.bars:
+            if b.bench == bench and b.runtime == runtime:
+                return b
+        raise KeyError((bench, runtime))
+
+    def average_comm_fraction(self) -> float:
+        slate = [b.comm_fraction for b in self.bars if b.runtime == "Slate"]
+        return sum(slate) / len(slate)
+
+    def average_compile_fraction(self) -> float:
+        slate = [b.compile_fraction for b in self.bars if b.runtime == "Slate"]
+        return sum(slate) / len(slate)
+
+
+def run(device: DeviceConfig = TITAN_XP) -> Fig6Result:
+    """Solo application runs: every benchmark under every scheduler."""
+    bars = []
+    for bench in SHORT_NAMES:
+        for runtime in ("CUDA", "MPS", "Slate"):
+            result, _ = run_solo(runtime, app_for(bench), device=device)
+            bars.append(
+                SoloBar(
+                    bench=bench,
+                    runtime=runtime,
+                    app_time=result.app_time,
+                    kernel_time=result.kernel_wall_time,
+                    comm_time=result.comm_time,
+                    compile_time=result.compile_time,
+                )
+            )
+    return Fig6Result(bars=tuple(bars))
+
+
+def format_result(result: Fig6Result) -> str:
+    rows = []
+    for bench in SHORT_NAMES:
+        cuda = result.bar(bench, "CUDA")
+        for runtime in ("CUDA", "MPS", "Slate"):
+            b = result.bar(bench, runtime)
+            rows.append(
+                (
+                    bench,
+                    runtime,
+                    b.app_time * 1e3,
+                    b.kernel_time * 1e3,
+                    b.host_time * 1e3,
+                    f"{b.comm_fraction:.1%}" if runtime == "Slate" else "-",
+                    f"{b.compile_fraction:.1%}" if runtime == "Slate" else "-",
+                    f"{cuda.app_time / b.app_time:.3f}",
+                )
+            )
+    table = format_table(
+        [
+            "bench",
+            "runtime",
+            "app (ms)",
+            "kernel (ms)",
+            "host (ms)",
+            "comm %",
+            "inject+compile %",
+            "speedup vs CUDA",
+        ],
+        rows,
+        title="Figure 6: solo application execution time",
+    )
+    return (
+        f"{table}\n"
+        f"Slate avg comm {result.average_comm_fraction():.1%} (paper ~4%), "
+        f"avg inject+compile {result.average_compile_fraction():.1%} (paper ~1.5%)"
+    )

@@ -1,0 +1,149 @@
+"""Run the complete experiment battery and emit the consolidated report.
+
+``python -m repro.experiments.runner`` reproduces every table and figure
+and prints paper-vs-measured summaries (the source for EXPERIMENTS.md).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable
+
+from repro.experiments import (
+    ablations,
+    cluster_study,
+    scaling,
+    fig3_transform,
+    fig4_decisions,
+    sweep,
+    validation,
+    fig1_stream,
+    fig5_tasksize,
+    fig6_overhead,
+    fig7_pairings,
+    generalization,
+    tab1_policy,
+    tab2_profiles,
+    tab3_gaussian,
+    tab4_bsrg,
+    tab5_operations,
+)
+
+__all__ = ["EXPERIMENTS", "run_all", "main"]
+
+
+@dataclass(frozen=True)
+class Experiment:
+    key: str
+    title: str
+    run: Callable[[], Any]
+    format: Callable[[Any], str]
+
+
+EXPERIMENTS: tuple[Experiment, ...] = (
+    Experiment("fig1", "Figure 1 — Stream bandwidth vs SMs", fig1_stream.run, fig1_stream.format_result),
+    Experiment("tab1", "Table I — corun/solo policy validation", tab1_policy.run, tab1_policy.format_result),
+    Experiment("fig3", "Figure 3 — kernel transformation demo", fig3_transform.run, fig3_transform.format_result),
+    Experiment("fig4", "Figure 4 — scheduling decisions", fig4_decisions.run, fig4_decisions.format_result),
+    Experiment("tab2", "Table II — benchmark profiles", tab2_profiles.run, tab2_profiles.format_result),
+    Experiment("tab3", "Table III — Gaussian detail", tab3_gaussian.run, tab3_gaussian.format_result),
+    Experiment("tab4", "Table IV — BS-RG pair", tab4_bsrg.run, tab4_bsrg.format_result),
+    Experiment("tab5", "Table V — Slate operations & costs", tab5_operations.run, tab5_operations.format_result),
+    Experiment("fig5", "Figure 5 — task size sweep", fig5_tasksize.run, fig5_tasksize.format_result),
+    Experiment("fig6", "Figure 6 — solo app time & overheads", fig6_overhead.run, fig6_overhead.format_result),
+    Experiment("fig7", "Figure 7 — 15 pairings", fig7_pairings.run, fig7_pairings.format_result),
+    # Extensions beyond the paper's tables:
+    Experiment(
+        "abl-policy",
+        "Ablation — selection policy",
+        ablations.run_policy_ablation,
+        ablations.format_policy_ablation,
+    ),
+    Experiment(
+        "abl-partition",
+        "Ablation — partition strategy",
+        ablations.run_partition_ablation,
+        ablations.format_partition_ablation,
+    ),
+    Experiment(
+        "abl-locality",
+        "Ablation — in-order execution",
+        ablations.run_locality_ablation,
+        ablations.format_locality_ablation,
+    ),
+    Experiment(
+        "abl-tasksize",
+        "Ablation — task-size auto-tuning",
+        ablations.run_task_size_ablation,
+        ablations.format_task_size_ablation,
+    ),
+    Experiment(
+        "abl-resizing",
+        "Ablation — dynamic resizing",
+        ablations.run_resizing_ablation,
+        ablations.format_resizing_ablation,
+    ),
+    Experiment(
+        "validate",
+        "Validation — fluid vs per-block executor",
+        validation.run,
+        validation.format_result,
+    ),
+    Experiment(
+        "sweep",
+        "Sweep — partition sensitivity (BS-RG)",
+        sweep.run,
+        sweep.format_result,
+    ),
+    Experiment(
+        "scaling",
+        "Scaling — compute growth at fixed DRAM",
+        scaling.run,
+        scaling.format_result,
+    ),
+    Experiment(
+        "cluster",
+        "Cluster — 2-GPU class-aware placement",
+        cluster_study.run,
+        cluster_study.format_result,
+    ),
+    Experiment(
+        "gen",
+        "Generalization — Titan Xp vs Tesla V100",
+        generalization.run,
+        generalization.format_result,
+    ),
+)
+
+
+def run_all(keys: list[str] | None = None) -> dict[str, Any]:
+    """Execute experiments (all by default); returns results by key."""
+    results = {}
+    for experiment in EXPERIMENTS:
+        if keys is not None and experiment.key not in keys:
+            continue
+        results[experiment.key] = experiment.run()
+    return results
+
+
+def main(argv: list[str] | None = None) -> int:
+    import argparse
+
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "keys",
+        nargs="*",
+        help=f"experiments to run (default: all of {[e.key for e in EXPERIMENTS]})",
+    )
+    args = parser.parse_args(argv)
+    keys = args.keys or None
+    for experiment in EXPERIMENTS:
+        if keys is not None and experiment.key not in keys:
+            continue
+        print(f"\n{'#' * 72}\n# {experiment.title}\n{'#' * 72}")
+        print(experiment.format(experiment.run()))
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,254 @@
+"""Per-block discrete-event executor (validation reference).
+
+The epoch-fluid executor in :mod:`repro.gpu.device` is fast but analytic.
+This module executes a kernel *block by block* on the DES engine, with an
+explicit gigathread dispatcher (hardware mode) or persistent workers pulling
+from an atomically-managed task queue (Slate mode).  It exists to validate
+the fluid model: tests cross-check both executors on small grids and require
+agreement within a few percent.
+
+``run_detailed`` covers solo kernels; ``run_detailed_corun`` executes two
+Slate kernels on disjoint SM partitions with phase-dependent service times,
+validating the fluid co-run contention model as well.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.config import CostModel, DeviceConfig, TITAN_XP
+from repro.gpu.cache import ORDER_FACTORS, dram_fraction
+from repro.gpu.device import ExecutionMode, KernelWork
+from repro.gpu.occupancy import occupancy
+from repro.sim import Environment, Resource
+
+__all__ = ["DetailedResult", "run_detailed", "run_detailed_corun"]
+
+
+@dataclass
+class DetailedResult:
+    """Outcome of a detailed per-block run."""
+
+    elapsed: float
+    blocks_executed: int
+    #: Number of atomic task-queue pulls performed (Slate mode).
+    queue_pulls: int
+
+
+def _block_times(
+    work: KernelWork,
+    device: DeviceConfig,
+    mode: ExecutionMode,
+    rng: np.random.Generator,
+    sm_count: int,
+    active_blocks: int | None = None,
+) -> np.ndarray:
+    """Sample per-block service times (compute/issue roofline + variance).
+
+    A solo kernel on its SM set is DRAM-unconstrained here when its issue
+    demand is below peak; when above, the issue cap itself scales down to
+    the per-block DRAM share — mirroring the fluid model's waterfill with a
+    single flow.
+    """
+    occ = occupancy(device, work.block).blocks_per_sm
+    compute = work.flops_per_block / (device.sm_flops / occ)
+    order = ORDER_FACTORS["slate" if mode is ExecutionMode.SLATE else "hardware"]
+    dram_pb = work.bytes_per_block * dram_fraction(work.locality, order)
+
+    issue_rate = device.sm_bw_limit / occ
+    # Blocks concurrently in flight: capped by the grid (or worker count)
+    # when it cannot fill the SM set's slots.
+    resident = occ * sm_count
+    if active_blocks is not None:
+        resident = min(resident, active_blocks)
+    mem = 0.0
+    if work.bytes_per_block > 0:
+        # Single-flow waterfill: the kernel's whole DRAM demand shares peak.
+        issue_time = work.bytes_per_block / issue_rate
+        dram_time = (dram_pb / work.dram_efficiency) * resident / device.dram_bandwidth
+        mem = max(issue_time, dram_time)
+    base = max(compute, mem, work.min_block_time)
+    if work.time_cv > 0:
+        sigma = math.sqrt(math.log(1.0 + work.time_cv**2))
+        mu = -0.5 * sigma * sigma
+        factors = rng.lognormal(mean=mu, sigma=sigma, size=work.num_blocks)
+    else:
+        factors = np.ones(work.num_blocks)
+    return base * factors
+
+
+def run_detailed(
+    work: KernelWork,
+    device: DeviceConfig = TITAN_XP,
+    costs: CostModel = CostModel(),
+    mode: ExecutionMode = ExecutionMode.HARDWARE,
+    task_size: int = 1,
+    sm_count: int | None = None,
+    seed: int = 0,
+) -> DetailedResult:
+    """Execute ``work`` block-by-block and return wall-clock statistics."""
+    if sm_count is None:
+        sm_count = device.num_sms
+    if not 1 <= sm_count <= device.num_sms:
+        raise ValueError(f"sm_count must be in [1, {device.num_sms}]")
+    if task_size < 1:
+        raise ValueError("task_size must be >= 1")
+
+    env = Environment()
+    rng = np.random.default_rng(seed)
+    occ = occupancy(device, work.block).blocks_per_sm
+    slots = occ * sm_count
+    if mode is ExecutionMode.HARDWARE:
+        active = min(slots, work.num_blocks)
+    else:
+        active = min(slots, math.ceil(work.num_blocks / task_size))
+    times = _block_times(work, device, mode, rng, sm_count, active_blocks=active)
+
+    if mode is ExecutionMode.HARDWARE:
+        # Gigathread engine: `slots` service positions; blocks dispatched in
+        # id order as slots free up, each paying the dispatch overhead.
+        slot_pool = Resource(env, capacity=slots)
+
+        def block_proc(env, duration):
+            with slot_pool.request() as req:
+                yield req
+                yield env.timeout(costs.block_launch_overhead + duration)
+
+        for b in range(work.num_blocks):
+            env.process(block_proc(env, float(times[b])))
+        env.run()
+        return DetailedResult(elapsed=env.now, blocks_executed=work.num_blocks, queue_pulls=0)
+
+    # Slate mode: persistent workers pulling grouped tasks from the queue.
+    queue = {"next": 0}
+    atomic_unit = Resource(env, capacity=1)
+    n_workers = min(slots, math.ceil(work.num_blocks / task_size))
+    state = {"pulls": 0}
+
+    def worker(env):
+        # Worker block launch happens once.
+        yield env.timeout(costs.block_launch_overhead)
+        while True:
+            # Atomic pull: serialized service + observed round-trip latency.
+            with atomic_unit.request() as req:
+                yield req
+                yield env.timeout(costs.atomic_service_time)
+                start = queue["next"]
+                if start >= work.num_blocks:
+                    return
+                queue["next"] = start + task_size
+                state["pulls"] += 1
+            yield env.timeout(max(0.0, costs.atomic_latency - costs.atomic_service_time))
+            end = min(start + task_size, work.num_blocks)
+            for b in range(start, end):
+                yield env.timeout(float(times[b]))
+
+    for _ in range(n_workers):
+        env.process(worker(env))
+    env.run()
+    return DetailedResult(
+        elapsed=env.now, blocks_executed=work.num_blocks, queue_pulls=state["pulls"]
+    )
+
+
+def run_detailed_corun(
+    work_a: KernelWork,
+    work_b: KernelWork,
+    sms_a: int,
+    sms_b: int,
+    device: DeviceConfig = TITAN_XP,
+    costs: CostModel = CostModel(),
+    task_size: int = 10,
+    seed: int = 0,
+) -> tuple[DetailedResult, DetailedResult]:
+    """Per-block co-run of two Slate kernels on disjoint SM partitions.
+
+    Cross-validation reference for the fluid executor's contention model:
+    block service times come from :func:`repro.gpu.rates.derive_rates` for
+    the *current* co-residency phase (both kernels, then the survivor solo)
+    and the workers execute block-by-block on the DES engine.  Quasi-static:
+    a block keeps the service time it started with across a phase change.
+    """
+    from repro.gpu.occupancy import occupancy as occ_fn
+    from repro.gpu.rates import RateInput, SchedulingMode, derive_rates
+
+    if sms_a < 1 or sms_b < 1 or sms_a + sms_b > device.num_sms:
+        raise ValueError(f"invalid partition {sms_a}+{sms_b} on {device.num_sms} SMs")
+
+    env = Environment()
+    rng = np.random.default_rng(seed)
+
+    def rate_input(key, work, n_sms):
+        blocks_per_sm = occ_fn(device, work.block).blocks_per_sm
+        resident = blocks_per_sm * n_sms
+        n_tasks = -(-work.num_blocks // task_size)
+        return RateInput(
+            key=key,
+            flops_per_block=work.flops_per_block,
+            bytes_per_block=work.bytes_per_block,
+            locality=work.locality,
+            dram_efficiency=work.dram_efficiency,
+            min_block_time=work.min_block_time,
+            mode=SchedulingMode.SLATE,
+            blocks_per_sm=blocks_per_sm,
+            n_sms=n_sms,
+            parallelism=max(1, min(resident, n_tasks)),
+            task_size=task_size,
+        )
+
+    inputs = {
+        "a": rate_input("a", work_a, sms_a),
+        "b": rate_input("b", work_b, sms_b),
+    }
+    works = {"a": work_a, "b": work_b}
+    sm_counts = {"a": sms_a, "b": sms_b}
+    active = {"a", "b"}
+
+    def phase_block_time(key):
+        phase_inputs = [inputs[k] for k in sorted(active)]
+        return derive_rates(phase_inputs, device, costs)[key].block_time
+
+    results: dict[str, DetailedResult] = {}
+
+    def kernel_proc(env, key):
+        work = works[key]
+        occ = occ_fn(device, work.block).blocks_per_sm
+        workers = min(occ * sm_counts[key], -(-work.num_blocks // task_size))
+        queue = {"next": 0, "pulls": 0}
+        sigma = (
+            math.sqrt(math.log(1.0 + work.time_cv**2)) if work.time_cv > 0 else 0.0
+        )
+        mu = -0.5 * sigma * sigma
+        factors = (
+            rng.lognormal(mean=mu, sigma=sigma, size=work.num_blocks)
+            if sigma
+            else np.ones(work.num_blocks)
+        )
+
+        def worker(env):
+            while True:
+                start = queue["next"]
+                if start >= work.num_blocks:
+                    return
+                queue["next"] = start + task_size
+                queue["pulls"] += 1
+                yield env.timeout(costs.atomic_latency)
+                end = min(start + task_size, work.num_blocks)
+                for b in range(start, end):
+                    base = phase_block_time(key) - costs.atomic_latency / task_size
+                    yield env.timeout(max(0.0, base * float(factors[b])))
+
+        procs = [env.process(worker(env)) for _ in range(workers)]
+        yield env.all_of(procs)
+        active.discard(key)
+        results[key] = DetailedResult(
+            elapsed=env.now, blocks_executed=work.num_blocks, queue_pulls=queue["pulls"]
+        )
+
+    pa = env.process(kernel_proc(env, "a"))
+    pb = env.process(kernel_proc(env, "b"))
+    env.run(until=pa & pb)
+    return results["a"], results["b"]

@@ -1,0 +1,511 @@
+"""The simulated GPU device: an epoch-fluid kernel executor.
+
+Execution model
+---------------
+Kernels execute blocks.  Between *epochs* — any change to the set of running
+kernels, their SM allocations, or bandwidth shares — each kernel progresses
+at a constant block-completion rate derived from a roofline service time:
+
+``block_time = max(compute, issue, latency_floor) + overhead`` then capped by
+the kernel's water-filled share of DRAM bandwidth, where
+
+* ``compute`` — per-block FLOPs over the block's share of its SM's ALUs,
+* ``issue`` — per-block L2-level bytes over the block's share of the SM's
+  memory issue limit (:attr:`DeviceConfig.sm_bw_limit`),
+* ``latency_floor`` — a per-kernel minimum modelling latency-bound kernels
+  that cannot cover DRAM latency (QuasirandomGenerator's profile),
+* ``overhead`` — per-block hardware dispatch cost under hardware scheduling,
+  or the amortized task-pull cost (``atomic_latency / task_size``) under
+  Slate's persistent-worker scheduling.
+
+DRAM traffic per block is the kernel's L2 traffic filtered by the
+order-sensitive locality model (:mod:`repro.gpu.cache`) and divided by the
+kernel's DRAM access efficiency (coalescing quality).  Demands are allocated
+max-min fairly by :class:`repro.gpu.memory.BandwidthArbiter`.
+
+Completion adds a *tail* term modelling the ragged final wave: partial last
+wave plus an extreme-value straggler estimate from the per-block time
+variance.  Under Slate, grouping ``task_size`` blocks per queue pull scales
+the straggler term by ``sqrt(task_size)`` — the load-imbalance effect that
+costs BlackScholes ~5% at the default task size (paper §V-B, Fig. 5).
+"""
+
+from __future__ import annotations
+
+import enum
+import itertools
+import math
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+from repro.config import CostModel, DeviceConfig, TITAN_XP
+from repro.gpu.cache import ORDER_FACTORS, LocalityModel
+from repro.gpu.occupancy import BlockResources, occupancy
+from repro.gpu.rates import RateInput, SchedulingMode, derive_rates
+from repro.sim import Environment, Event
+
+__all__ = [
+    "ExecutionMode",
+    "KernelWork",
+    "KernelCounters",
+    "KernelExecution",
+    "SimulatedGPU",
+]
+
+_EPS = 1e-12
+
+
+class ExecutionMode(str, enum.Enum):
+    """How blocks are scheduled onto SMs."""
+
+    #: Gigathread engine: blocks dispatched breadth-first across SMs, one
+    #: hardware setup per block, scattered execution order.
+    HARDWARE = "hardware"
+    #: Slate persistent workers: blocks pulled in order from a task queue,
+    #: ``task_size`` blocks per atomic pull, workers bound to an SM range.
+    SLATE = "slate"
+
+
+class ExecState(str, enum.Enum):
+    RUNNING = "running"
+    PAUSED = "paused"
+    RESIZING = "resizing"
+    TAIL = "tail"
+    DONE = "done"
+
+
+@dataclass(frozen=True)
+class KernelWork:
+    """Resource-demand description of one kernel launch.
+
+    This is the interface between workload models (:mod:`repro.kernels`) and
+    the device: everything the simulator needs to execute a kernel.
+    """
+
+    name: str
+    num_blocks: int
+    block: BlockResources
+    #: FP32 operations per block.
+    flops_per_block: float
+    #: L2-level memory traffic per block (bytes, loads + stores).
+    bytes_per_block: float
+    locality: LocalityModel = LocalityModel()
+    #: Achieved fraction of peak DRAM bandwidth for this kernel's access
+    #: pattern (coalescing quality); DRAM demand is inflated by 1/efficiency.
+    dram_efficiency: float = 1.0
+    #: Latency floor per block (s) for latency-bound kernels.
+    min_block_time: float = 0.0
+    #: Coefficient of variation of per-block service time.
+    time_cv: float = 0.05
+    #: Executed instructions per block (for IPC counters).
+    instr_per_block: float = 0.0
+    #: Load/store instructions per block.
+    ldst_per_block: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.num_blocks < 1:
+            raise ValueError(f"num_blocks must be >= 1, got {self.num_blocks}")
+        if self.flops_per_block < 0 or self.bytes_per_block < 0:
+            raise ValueError("per-block flops/bytes must be non-negative")
+        if not 0 < self.dram_efficiency <= 1.0:
+            raise ValueError(f"dram_efficiency must be in (0,1], got {self.dram_efficiency}")
+        if self.min_block_time < 0 or self.time_cv < 0:
+            raise ValueError("min_block_time and time_cv must be non-negative")
+
+
+@dataclass
+class KernelCounters:
+    """nvprof-like counters accumulated over one kernel execution."""
+
+    name: str = ""
+    start_time: float = 0.0
+    end_time: float = 0.0
+    blocks_executed: float = 0.0
+    flops: float = 0.0
+    #: L2-level traffic (what nvprof's gld/gst throughput measures).
+    bytes_l2: float = 0.0
+    #: Traffic that actually reached DRAM after cache filtering.
+    bytes_dram: float = 0.0
+    instructions: float = 0.0
+    ldst: float = 0.0
+    #: Integral of the memory-throttle fraction over time (seconds).
+    mem_throttle_time: float = 0.0
+    busy_time: float = 0.0
+    #: Number of resize (retreat + relaunch) operations applied.
+    resizes: int = 0
+
+    @property
+    def elapsed(self) -> float:
+        return self.end_time - self.start_time
+
+    @property
+    def l2_throughput(self) -> float:
+        """Average L2-level bandwidth over the execution (bytes/s)."""
+        return self.bytes_l2 / self.elapsed if self.elapsed > 0 else 0.0
+
+    @property
+    def dram_throughput(self) -> float:
+        return self.bytes_dram / self.elapsed if self.elapsed > 0 else 0.0
+
+    @property
+    def gflops(self) -> float:
+        return self.flops / self.elapsed / 1e9 if self.elapsed > 0 else 0.0
+
+    @property
+    def mem_throttle_fraction(self) -> float:
+        """Fraction of busy time spent memory-throttled (Table III metric)."""
+        return self.mem_throttle_time / self.busy_time if self.busy_time > 0 else 0.0
+
+
+@dataclass
+class _Rates:
+    """Per-epoch derived execution rates for one kernel."""
+
+    block_time: float = 0.0
+    rate: float = 0.0  # blocks per second
+    throttle: float = 0.0  # fraction of demand unmet
+    parallel: int = 1
+    dram_bytes_per_block: float = 0.0
+
+
+class KernelExecution:
+    """Handle for one in-flight kernel on the device."""
+
+    _ids = itertools.count(1)
+
+    def __init__(
+        self,
+        gpu: "SimulatedGPU",
+        work: KernelWork,
+        sm_ids: tuple[int, ...],
+        mode: ExecutionMode,
+        order_factor: float,
+        task_size: int,
+        inject_frac: float,
+    ) -> None:
+        self.id = next(self._ids)
+        self.gpu = gpu
+        self.work = work
+        self.sm_ids = sm_ids
+        self.mode = mode
+        self.order_factor = order_factor
+        self.task_size = task_size
+        self.inject_frac = inject_frac
+        self.state = ExecState.RUNNING
+        self.blocks_done = 0.0
+        self.done: Event = gpu.env.event()
+        #: Fires when the kernel enters its drain tail (used by the MPS
+        #: leftover policy to admit the next kernel into freed slots).
+        self.tail_started: Event = gpu.env.event()
+        self.counters = KernelCounters(name=work.name, start_time=gpu.env.now)
+        self._rates = _Rates()
+        self._last_settle = gpu.env.now
+        self._timer_gen = 0
+        self._resize_target: tuple[int, ...] = sm_ids
+        occ = occupancy(gpu.device, work.block)
+        self.blocks_per_sm = occ.blocks_per_sm
+        self.n_tasks = math.ceil(work.num_blocks / task_size)
+
+    # -- convenience -----------------------------------------------------
+
+    @property
+    def num_sms(self) -> int:
+        return len(self.sm_ids)
+
+    @property
+    def resident(self) -> int:
+        """Concurrently resident blocks (Slate: persistent worker count)."""
+        return self.blocks_per_sm * self.num_sms
+
+    @property
+    def parallelism(self) -> int:
+        """Concurrently *executing* blocks: workers each run one block."""
+        return max(1, min(self.resident, self.n_tasks))
+
+    @property
+    def blocks_remaining(self) -> float:
+        return max(0.0, self.work.num_blocks - self.blocks_done)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"<KernelExecution #{self.id} {self.work.name} {self.mode.value} "
+            f"sms={self.num_sms} state={self.state.value}>"
+        )
+
+
+class SimulatedGPU:
+    """The device: owns the SM pool, bandwidth arbitration, and executions.
+
+    Runtimes (CUDA / MPS / Slate) decide *which* SMs a kernel gets and
+    *when*; the device turns those decisions into timing and counters.
+    """
+
+    def __init__(
+        self,
+        env: Environment,
+        device: DeviceConfig = TITAN_XP,
+        costs: CostModel = CostModel(),
+    ) -> None:
+        self.env = env
+        self.device = device
+        self.costs = costs
+        self._running: dict[int, KernelExecution] = {}
+        #: (time, {kernel name: blocks/s}) samples at every epoch boundary.
+        self.rate_trace: list[tuple[float, dict[str, float]]] = []
+
+    # -- public API -------------------------------------------------------
+
+    def all_sms(self) -> tuple[int, ...]:
+        return tuple(range(self.device.num_sms))
+
+    def sm_range(self, low: int, high: int) -> tuple[int, ...]:
+        """SMs in the inclusive range [low, high] (Slate's sm_low/sm_high)."""
+        if not 0 <= low <= high < self.device.num_sms:
+            raise ValueError(f"invalid SM range [{low}, {high}]")
+        return tuple(range(low, high + 1))
+
+    def launch(
+        self,
+        work: KernelWork,
+        sm_ids: Optional[Sequence[int]] = None,
+        mode: ExecutionMode = ExecutionMode.HARDWARE,
+        order_factor: Optional[float] = None,
+        task_size: int = 1,
+        inject_frac: float = 0.0,
+    ) -> KernelExecution:
+        """Begin executing ``work`` on ``sm_ids`` (default: all SMs).
+
+        Returns a handle whose ``done`` event fires with the execution's
+        :class:`KernelCounters` when the last block drains.
+        """
+        if task_size < 1:
+            raise ValueError(f"task_size must be >= 1, got {task_size}")
+        sms = tuple(sm_ids) if sm_ids is not None else self.all_sms()
+        if not sms:
+            raise ValueError("kernel must be given at least one SM")
+        if any(not 0 <= s < self.device.num_sms for s in sms):
+            raise ValueError(f"SM ids out of range: {sms}")
+        if order_factor is None:
+            order_factor = ORDER_FACTORS[
+                "slate" if mode is ExecutionMode.SLATE else "hardware"
+            ]
+        execution = KernelExecution(
+            self, work, sms, mode, order_factor, task_size, inject_frac
+        )
+        self._running[execution.id] = execution
+        self._recompute()
+        return execution
+
+    def resize(self, execution: KernelExecution, new_sm_ids: Sequence[int]) -> Event:
+        """Dynamically rebind a Slate kernel to a new SM range.
+
+        Models the paper's dispatch-kernel mechanism: a retreat signal stops
+        the persistent workers after their current task, and the kernel is
+        relaunched on the new range resuming from ``slateIdx`` (progress is
+        carried over exactly).  Returns an event that fires when the kernel
+        is running again (or immediately if it had already drained).
+        """
+        if execution.mode is not ExecutionMode.SLATE:
+            raise ValueError("only Slate-scheduled kernels can be resized")
+        sms = tuple(new_sm_ids)
+        if not sms:
+            raise ValueError("resize must leave at least one SM")
+        resumed = self.env.event()
+        if execution.state in (ExecState.TAIL, ExecState.DONE):
+            resumed.succeed()
+            return resumed
+        if execution.state is ExecState.RESIZING:
+            # Coalesce: just update the target range of the in-flight resize.
+            execution._resize_target = sms
+            resumed.succeed()
+            return resumed
+
+        self._settle_all()
+        execution.state = ExecState.RESIZING
+        execution._resize_target = sms
+        execution.counters.resizes += 1
+        self._recompute()
+
+        delay = self.costs.retreat_latency + self.costs.kernel_launch_overhead
+        wake = self.env.event()
+        wake._ok = True
+        wake._value = None
+        self.env.schedule(wake, delay=delay)
+
+        def _finish(_event: Event) -> None:
+            if execution.state is not ExecState.RESIZING:
+                return
+            execution.sm_ids = execution._resize_target
+            execution.state = ExecState.RUNNING
+            execution._last_settle = self.env.now
+            self._recompute()
+            resumed.succeed()
+
+        wake.callbacks.append(_finish)
+        return resumed
+
+    def pause(self, execution: KernelExecution) -> None:
+        """Suspend a kernel (context switch); progress is frozen."""
+        if execution.state is not ExecState.RUNNING:
+            return
+        self._settle_all()
+        execution.state = ExecState.PAUSED
+        self._recompute()
+
+    def resume(self, execution: KernelExecution) -> None:
+        """Resume a paused kernel."""
+        if execution.state is not ExecState.PAUSED:
+            return
+        execution.state = ExecState.RUNNING
+        execution._last_settle = self.env.now
+        self._recompute()
+
+    @property
+    def active_executions(self) -> list[KernelExecution]:
+        return [k for k in self._running.values() if k.state is ExecState.RUNNING]
+
+    # -- rate derivation ----------------------------------------------------
+
+    def _rate_input(self, k: KernelExecution) -> RateInput:
+        work = k.work
+        return RateInput(
+            key=k.id,
+            flops_per_block=work.flops_per_block,
+            bytes_per_block=work.bytes_per_block,
+            locality=work.locality,
+            dram_efficiency=work.dram_efficiency,
+            min_block_time=work.min_block_time,
+            mode=(
+                SchedulingMode.SLATE
+                if k.mode is ExecutionMode.SLATE
+                else SchedulingMode.HARDWARE
+            ),
+            blocks_per_sm=k.blocks_per_sm,
+            n_sms=k.num_sms,
+            parallelism=k.parallelism,
+            task_size=k.task_size,
+            inject_frac=k.inject_frac,
+            order_factor=k.order_factor,
+        )
+
+    def _recompute(self) -> None:
+        """Settle progress and re-derive all rates (epoch boundary)."""
+        self._settle_all()
+        active = self.active_executions
+        outputs = derive_rates(
+            [self._rate_input(k) for k in active], self.device, self.costs
+        )
+        sample: dict[str, float] = {}
+        for k in active:
+            out = outputs[k.id]
+            k._rates = _Rates(
+                block_time=out.block_time,
+                rate=out.rate,
+                throttle=out.throttle,
+                parallel=k.parallelism,
+                dram_bytes_per_block=out.dram_bytes_per_block,
+            )
+            self._schedule_completion(k)
+            sample[k.work.name] = out.rate
+        self.rate_trace.append((self.env.now, sample))
+
+    def _settle_all(self) -> None:
+        now = self.env.now
+        for k in self._running.values():
+            if k.state is not ExecState.RUNNING:
+                k._last_settle = now
+                continue
+            dt = now - k._last_settle
+            if dt <= 0:
+                continue
+            progressed = min(k._rates.rate * dt, k.blocks_remaining)
+            k.blocks_done += progressed
+            c = k.counters
+            c.blocks_executed += progressed
+            c.flops += progressed * k.work.flops_per_block
+            c.bytes_l2 += progressed * k.work.bytes_per_block
+            c.bytes_dram += progressed * k._rates.dram_bytes_per_block
+            c.instructions += progressed * k.work.instr_per_block * (1.0 + k.inject_frac)
+            ldst_factor = (
+                1.0 - self.costs.slate_ldst_saving
+                if k.mode is ExecutionMode.SLATE
+                else 1.0
+            )
+            c.ldst += progressed * k.work.ldst_per_block * ldst_factor
+            c.mem_throttle_time += dt * k._rates.throttle
+            c.busy_time += dt
+            k._last_settle = now
+
+    # -- completion machinery -------------------------------------------------
+
+    def _schedule_completion(self, k: KernelExecution) -> None:
+        k._timer_gen += 1
+        gen = k._timer_gen
+        if k._rates.rate <= _EPS:
+            return
+        delay = k.blocks_remaining / k._rates.rate
+        ev = self.env.event()
+        ev._ok = True
+        ev._value = None
+        self.env.schedule(ev, delay=delay)
+        ev.callbacks.append(lambda _e: self._on_timer(k, gen))
+
+    def _on_timer(self, k: KernelExecution, gen: int) -> None:
+        if gen != k._timer_gen or k.state is not ExecState.RUNNING:
+            return
+        self._settle_all()
+        if k.blocks_remaining > 1e-6:
+            # Numerical slack: reschedule.
+            self._schedule_completion(k)
+            return
+        self._begin_tail(k)
+
+    def _tail_time(self, k: KernelExecution) -> float:
+        """Drain time of the final ragged wave.
+
+        Two components: the *partial-wave* correction — the fluid bulk phase
+        credits a fractional final wave, but the stragglers of that wave
+        still take one full service time — and an extreme-value *straggler*
+        estimate ``cv * sqrt(2 ln P)`` from per-block time variance.  Under
+        Slate the unit of imbalance is a whole task, so the straggler term
+        scales with ``sqrt(task_size)`` (a task averages ``s`` draws, so its
+        cv shrinks by ``sqrt(s)`` while its duration grows by ``s``).
+        """
+        bt = k._rates.block_time
+        if bt <= 0:
+            return 0.0
+        parallel = max(1, k._rates.parallel)
+        cv = k.work.time_cv
+        spread = cv * math.sqrt(2.0 * math.log(max(2, parallel)))
+        if k.mode is ExecutionMode.SLATE:
+            s = k.task_size
+            waves = k.n_tasks / min(parallel, k.n_tasks)
+            frac = math.ceil(waves) - waves
+            return bt * s * frac + bt * math.sqrt(s) * spread
+        waves = k.work.num_blocks / parallel
+        frac = math.ceil(waves) - waves
+        return bt * (frac + spread)
+
+    def _begin_tail(self, k: KernelExecution) -> None:
+        k.blocks_done = float(k.work.num_blocks)
+        k.state = ExecState.TAIL
+        tail = self._tail_time(k)
+        k.counters.busy_time += tail
+        if not k.tail_started.triggered:
+            k.tail_started.succeed()
+        self._recompute()
+        ev = self.env.event()
+        ev._ok = True
+        ev._value = None
+        self.env.schedule(ev, delay=tail)
+        ev.callbacks.append(lambda _e: self._finish(k))
+
+    def _finish(self, k: KernelExecution) -> None:
+        k.state = ExecState.DONE
+        k.counters.end_time = self.env.now
+        self._running.pop(k.id, None)
+        # Freed SMs / bandwidth benefit the survivors immediately.
+        self._recompute()
+        if not k.tail_started.triggered:  # pragma: no cover - defensive
+            k.tail_started.succeed()
+        k.done.succeed(k.counters)

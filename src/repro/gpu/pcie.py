@@ -1,0 +1,43 @@
+"""Host <-> device transfer model (PCIe 3.0 x16).
+
+A single copy engine serializes transfers; each transfer pays a fixed
+latency plus ``bytes / bandwidth``.  The evaluation's application-time bars
+(Fig. 6) include these host-side transfer costs, which are identical across
+CUDA, MPS and Slate because Slate reuses the same transfer mechanism
+(§IV-A: shared buffers avoid extra copies).
+"""
+
+from __future__ import annotations
+
+from typing import Generator
+
+from repro.config import HostConfig
+from repro.sim import Environment, Resource
+
+__all__ = ["PcieLink"]
+
+
+class PcieLink:
+    """Serialized host-device copy engine."""
+
+    def __init__(self, env: Environment, host: HostConfig = HostConfig()) -> None:
+        self.env = env
+        self.host = host
+        self._engine = Resource(env, capacity=1)
+        self.bytes_moved: float = 0.0
+        self.transfer_count: int = 0
+
+    def transfer(self, nbytes: float) -> Generator:
+        """Process generator performing one transfer (either direction)."""
+        if nbytes < 0:
+            raise ValueError(f"negative transfer size {nbytes}")
+        with self._engine.request() as req:
+            yield req
+            duration = self.host.pcie_latency + nbytes / self.host.pcie_bandwidth
+            yield self.env.timeout(duration)
+        self.bytes_moved += nbytes
+        self.transfer_count += 1
+
+    def transfer_time(self, nbytes: float) -> float:
+        """Uncontended duration of a transfer of ``nbytes``."""
+        return self.host.pcie_latency + nbytes / self.host.pcie_bandwidth

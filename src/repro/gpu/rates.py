@@ -1,0 +1,150 @@
+"""Pure rate derivation for co-resident kernels.
+
+The epoch-fluid executor (:mod:`repro.gpu.device`) and the predictive
+partitioner (:mod:`repro.slate.predict`) share this function: given the
+set of kernels currently on the device — their SM allocations, scheduling
+mode and task size — derive each kernel's steady block-completion rate:
+
+1. roofline block service time = max(compute, issue, latency floor) plus
+   the per-block scheduling overhead of the mode;
+2. L2-pressure-adjusted DRAM traffic per block (locality filtering);
+3. max-min fair (water-filled) DRAM bandwidth allocation across kernels;
+4. block time stretched by the DRAM share; Slate rates additionally capped
+   by the serialized atomic task-pull throughput.
+"""
+
+from __future__ import annotations
+
+import enum
+import math
+from dataclasses import dataclass
+
+from repro.config import CostModel, DeviceConfig
+from repro.gpu.cache import LocalityModel, dram_fraction, l2_pressure
+from repro.gpu.memory import FlowDemand, waterfill
+
+__all__ = ["SchedulingMode", "RateInput", "RateOutput", "derive_rates"]
+
+_EPS = 1e-12
+
+
+class SchedulingMode(str, enum.Enum):
+    """Block scheduling regime (mirrors ExecutionMode, import-cycle-free)."""
+
+    HARDWARE = "hardware"
+    SLATE = "slate"
+
+
+@dataclass(frozen=True)
+class RateInput:
+    """One co-resident kernel's static execution parameters."""
+
+    key: object
+    #: Per-block demands (duck-typed: any object with the KernelWork fields).
+    flops_per_block: float
+    bytes_per_block: float
+    locality: LocalityModel
+    dram_efficiency: float
+    min_block_time: float
+    mode: SchedulingMode
+    #: Resident blocks per SM (occupancy) and SM count of the allocation.
+    blocks_per_sm: int
+    n_sms: int
+    #: Concurrently-executing blocks: min(resident, remaining task count).
+    parallelism: int
+    task_size: int = 1
+    inject_frac: float = 0.0
+    order_factor: float = 1.0
+
+
+@dataclass(frozen=True)
+class RateOutput:
+    """Derived steady-state execution rates for one kernel."""
+
+    block_time: float
+    #: Block completions per second.
+    rate: float
+    #: Fraction of DRAM demand unmet (the memory-throttle stall metric).
+    throttle: float
+    dram_bytes_per_block: float
+    #: DRAM-side demand (bytes/s) before arbitration.
+    demand: float
+
+
+def _block_time_unconstrained(inp: RateInput, device: DeviceConfig, costs: CostModel) -> float:
+    compute_rate = device.sm_flops / inp.blocks_per_sm
+    compute = inp.flops_per_block * (1.0 + inp.inject_frac) / compute_rate
+    issue_rate = device.sm_bw_limit / inp.blocks_per_sm
+    issue = inp.bytes_per_block / issue_rate if inp.bytes_per_block else 0.0
+    base = max(compute, issue, inp.min_block_time)
+    if inp.mode is SchedulingMode.HARDWARE:
+        overhead = costs.block_launch_overhead
+    else:
+        overhead = costs.atomic_latency / inp.task_size
+    return base + overhead
+
+
+def derive_rates(
+    inputs: list[RateInput],
+    device: DeviceConfig,
+    costs: CostModel,
+) -> dict[object, RateOutput]:
+    """Derive every kernel's rate given the full co-residency picture."""
+    total_footprint = sum(i.locality.footprint for i in inputs)
+
+    bt0: dict[object, float] = {}
+    dram_pb: dict[object, float] = {}
+    flows: list[FlowDemand] = []
+    for inp in inputs:
+        others = total_footprint - inp.locality.footprint
+        pressure = l2_pressure(inp.locality.footprint, others, device.l2_capacity)
+        frac = dram_fraction(inp.locality, inp.order_factor, pressure)
+        dram_pb[inp.key] = inp.bytes_per_block * frac
+        bt = _block_time_unconstrained(inp, device, costs)
+        bt0[inp.key] = bt
+        demand = inp.parallelism * (dram_pb[inp.key] / inp.dram_efficiency) / bt
+        flows.append(FlowDemand(inp.key, demand))
+
+    # First-pass allocation, then apply DRAM stream-interference: each
+    # kernel's effective efficiency drops with the fraction of DRAM traffic
+    # the *other* kernels move (row-buffer locality lost to interleaving).
+    alloc0 = waterfill(flows, device.dram_bandwidth)
+    penalty = costs.dram_interference_penalty
+    eff_scale: dict[object, float] = {}
+    for inp in inputs:
+        other_traffic = sum(v for k, v in alloc0.items() if k != inp.key)
+        other_frac = min(1.0, other_traffic / device.dram_bandwidth)
+        eff_scale[inp.key] = max(0.1, 1.0 - penalty * other_frac)
+    flows = [
+        FlowDemand(f.key, f.demand / eff_scale[f.key]) for f in flows
+    ]
+    alloc = waterfill(flows, device.dram_bandwidth)
+    demands = {f.key: f.demand for f in flows}
+
+    outputs: dict[object, RateOutput] = {}
+    for inp in inputs:
+        base = bt0[inp.key]
+        demand = demands[inp.key]
+        allocated = alloc[inp.key]
+        if demand > _EPS and allocated > _EPS:
+            effective_efficiency = inp.dram_efficiency * eff_scale[inp.key]
+            dram_time = (
+                (dram_pb[inp.key] / effective_efficiency) * inp.parallelism / allocated
+            )
+            block_time = max(base, dram_time)
+        else:
+            block_time = base
+        rate = inp.parallelism / block_time
+        if inp.mode is SchedulingMode.SLATE:
+            rate = min(rate, inp.task_size / costs.atomic_service_time)
+        throttle = (
+            max(0.0, 1.0 - allocated / demand) if demand > _EPS else 0.0
+        )
+        outputs[inp.key] = RateOutput(
+            block_time=block_time,
+            rate=rate,
+            throttle=throttle,
+            dram_bytes_per_block=dram_pb[inp.key],
+            demand=demand,
+        )
+    return outputs

@@ -1,0 +1,46 @@
+"""Workload models for the paper's benchmarks.
+
+Each benchmark module builds a :class:`~repro.kernels.kernel.KernelSpec`
+describing grid geometry and per-block resource demands, calibrated so that
+a solo run under the vanilla-CUDA scheduling model reproduces the profile
+the paper measured with nvprof (Table II):
+
+=============================  =========  =========  ========  ===========
+Benchmark                      Compute    Memory     GFLOP/s   Mem BW GB/s
+=============================  =========  =========  ========  ===========
+BlackScholes (BS)              Med        Med        161.3     401.49
+Gaussian (GS)                  Low        Med        19.6      340.9
+SGEMM (MM)                     High       Med        1,525     403.5
+QuasirandomGenerator (RG)      Low        Low        4.2       71.6
+Transpose (TR)                 Low        High       0.0       568.6
+=============================  =========  =========  ========  ===========
+"""
+
+from repro.kernels.kernel import GridDim, KernelSpec
+from repro.kernels.blackscholes import blackscholes
+from repro.kernels.gaussian import gaussian
+from repro.kernels.sgemm import sgemm
+from repro.kernels.quasirandom import quasirandom
+from repro.kernels.transpose import transpose
+from repro.kernels.stream import stream
+from repro.kernels.extra import hotspot, kmeans, pathfinder
+from repro.kernels.synthetic import synthetic
+from repro.kernels.registry import BENCHMARKS, SHORT_NAMES, by_name
+
+__all__ = [
+    "BENCHMARKS",
+    "GridDim",
+    "KernelSpec",
+    "SHORT_NAMES",
+    "blackscholes",
+    "by_name",
+    "gaussian",
+    "hotspot",
+    "kmeans",
+    "pathfinder",
+    "quasirandom",
+    "sgemm",
+    "stream",
+    "synthetic",
+    "transpose",
+]

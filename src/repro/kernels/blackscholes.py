@@ -1,0 +1,57 @@
+"""BlackScholes (BS) — CUDA SDK sample, option pricing.
+
+Paper profile (Table II): Med compute / Med memory, 161.3 GFLOP/s,
+401.49 GB/s.  BS streams option data with high but imperfectly-coalesced
+bandwidth: its achieved bandwidth saturates device DRAM at an efficiency of
+~0.73 (401.5 / 547.6), so it only needs ~10 SMs to reach full speed — the
+property that makes it a profitable co-run partner for low-intensity RG.
+
+Slate-specific behaviour reproduced here: moderate per-block time variance
+makes the default task size of 10 lose ~5% to worker load imbalance, while
+task size 1 slightly beats vanilla CUDA (§V-B, Fig. 5).
+"""
+
+from __future__ import annotations
+
+from repro.gpu.cache import LocalityModel
+from repro.gpu.occupancy import BlockResources
+from repro.kernels.kernel import GridDim, KernelSpec
+
+__all__ = ["blackscholes"]
+
+
+def blackscholes(num_blocks: int = 24_000, reps: int = 24) -> KernelSpec:
+    """Build the BS kernel spec.
+
+    Parameters
+    ----------
+    num_blocks:
+        1D grid size.  The default keeps per-launch work large enough that
+        the bulk phase dominates (the paper used N = 40M options).
+    reps:
+        Launches per timed application run.
+    """
+    return KernelSpec(
+        name="BS",
+        grid=GridDim(num_blocks),
+        block=BlockResources(threads_per_block=128, registers_per_thread=24),
+        # flop:byte = 0.40 per block,
+        # matching 161.3 GFLOP/s against 401.5 GB/s.
+        flops_per_block=16_800.0,
+        bytes_per_block=41_800.0,
+        # Streaming with a small order-sensitive reuse window (consecutive
+        # blocks touch adjacent option batches).
+        locality=LocalityModel(reuse_fraction=0.02, order_sensitivity=1.0, footprint=3e6),
+        # Achieved fraction of peak DRAM bandwidth; 547.6 * 0.733 = 401.4.
+        dram_efficiency=0.76,
+        # Latency floor sets the unthrottled per-SM demand (~55 GB/s DRAM
+        # side), which saturates the device at ~10 SMs.
+        min_block_time=16.7e-6,
+        time_cv=0.15,
+        instr_per_block=4400.0,
+        ldst_per_block=1350.0,
+        default_reps=reps,
+        device_footprint=5 * 40_000_000 * 4,  # call/put/S/X/T arrays
+        h2d_bytes=3 * 2_000_000 * 4,
+        d2h_bytes=2 * 2_000_000 * 4,
+    )

@@ -1,0 +1,95 @@
+"""Additional workload models beyond the paper's evaluation set.
+
+The paper's suite spans four of the five intensity classes (no M_C
+representative among the real benchmarks).  These three kernels — modelled
+on common Rodinia workloads — fill out the space for trace studies,
+cluster placement, and policy exploration:
+
+* **HotSpot (HS)** — 2D thermal stencil: medium compute, medium-high
+  memory with strongly order-sensitive halo reuse (a second GS-like
+  kernel, but 2D-grid).
+* **PathFinder (PF)** — dynamic programming over rows: short dependent
+  kernels, latency-bound, low intensity (an RG-like co-run rider).
+* **KMeans (KM)** — distance computation: genuinely compute-forward with
+  moderate streaming traffic; lands in M_C, the class the paper's suite
+  leaves empty.
+"""
+
+from __future__ import annotations
+
+from repro.gpu.cache import LocalityModel
+from repro.gpu.occupancy import BlockResources
+from repro.kernels.kernel import GridDim, KernelSpec
+
+__all__ = ["hotspot", "pathfinder", "kmeans"]
+
+
+def hotspot(tiles: int = 480, reps: int = 20) -> KernelSpec:
+    """HotSpot-style 2D stencil (``tiles`` x ``tiles`` block grid)."""
+    return KernelSpec(
+        name="HS",
+        grid=GridDim(tiles, tiles),
+        block=BlockResources(
+            threads_per_block=256, registers_per_thread=28, shared_mem_per_block=9 * 1024
+        ),
+        flops_per_block=9_000.0,
+        bytes_per_block=4_200.0,
+        # Halo rows shared between vertically-adjacent tiles: reuse is
+        # strong but only materializes when neighbours run close in time.
+        locality=LocalityModel(reuse_fraction=0.35, order_sensitivity=0.85, footprint=2e6),
+        dram_efficiency=0.52,
+        min_block_time=2.4e-6,
+        time_cv=0.04,
+        instr_per_block=1_400.0,
+        ldst_per_block=380.0,
+        default_reps=reps,
+        device_footprint=2 * 8192 * 8192 * 4,
+        h2d_bytes=2 * 2048 * 2048 * 4,
+        d2h_bytes=2048 * 2048 * 4,
+    )
+
+
+def pathfinder(num_blocks: int = 26_000, reps: int = 22) -> KernelSpec:
+    """PathFinder-style row-relaxation kernel (latency-bound, low rates)."""
+    return KernelSpec(
+        name="PF",
+        grid=GridDim(num_blocks),
+        block=BlockResources(threads_per_block=256, registers_per_thread=24),
+        flops_per_block=450.0,
+        bytes_per_block=3_100.0,
+        locality=LocalityModel(reuse_fraction=0.10, order_sensitivity=0.5, footprint=0.8e6),
+        dram_efficiency=0.9,
+        # Wavefront dependencies keep warps waiting.
+        min_block_time=24e-6,
+        time_cv=0.03,
+        instr_per_block=520.0,
+        ldst_per_block=130.0,
+        default_reps=reps,
+        device_footprint=3 * 16_000_000 * 4,
+        h2d_bytes=16_000_000 * 4,
+        d2h_bytes=100_000 * 4,
+    )
+
+
+def kmeans(num_blocks: int = 168_000, reps: int = 18) -> KernelSpec:
+    """KMeans distance kernel: the suite's M_C (medium-compute) member."""
+    return KernelSpec(
+        name="KM",
+        grid=GridDim(num_blocks),
+        block=BlockResources(threads_per_block=128, registers_per_thread=36),
+        # Distance evaluations against an L2-resident centroid table.
+        flops_per_block=9_000.0,
+        bytes_per_block=1_500.0,
+        # Centroid table fits L2 and is reused by every block regardless
+        # of order.
+        locality=LocalityModel(reuse_fraction=0.30, order_sensitivity=0.05, footprint=0.5e6),
+        dram_efficiency=0.95,
+        min_block_time=5.4e-6,
+        time_cv=0.05,
+        instr_per_block=1_400.0,
+        ldst_per_block=220.0,
+        default_reps=reps,
+        device_footprint=2 * 40_000_000 * 4,
+        h2d_bytes=40_000_000 * 4,
+        d2h_bytes=1_000_000 * 4,
+    )

@@ -1,0 +1,44 @@
+"""QuasirandomGenerator (RG) — CUDA SDK sample, Niederreiter sequences.
+
+Paper profile (Table II): Low compute / Low memory, 4.2 GFLOP/s,
+71.6 GB/s.  RG is the evaluation's universal co-run partner: it is
+latency-bound (long integer dependency chains per element) and uses only a
+small slice of both DRAM bandwidth and ALUs, so it "complement[s] well with
+BS and GS that are fairly memory intensive" (§V-E).
+
+It still *declares* a large grid — which is exactly why MPS's leftover
+policy cannot co-schedule anything with it: no occupancy slots free up until
+its tail.  Slate, by contrast, confines RG's persistent workers to a small
+SM range and gives the rest to the partner.
+"""
+
+from __future__ import annotations
+
+from repro.gpu.cache import LocalityModel
+from repro.gpu.occupancy import BlockResources
+from repro.kernels.kernel import GridDim, KernelSpec
+
+__all__ = ["quasirandom"]
+
+
+def quasirandom(num_blocks: int = 48_000, reps: int = 20) -> KernelSpec:
+    """Build the RG kernel spec."""
+    return KernelSpec(
+        name="RG",
+        grid=GridDim(num_blocks),
+        block=BlockResources(threads_per_block=128, registers_per_thread=32),
+        # 262 FLOPs (mostly integer work otherwise) and ~4.5 KB per block.
+        flops_per_block=262.0,
+        bytes_per_block=4475.0,
+        locality=LocalityModel(reuse_fraction=0.0, order_sensitivity=0.0, footprint=0.5e6),
+        dram_efficiency=1.0,
+        # The dominating latency floor: dependency chains per element.
+        min_block_time=30e-6,
+        time_cv=0.02,
+        instr_per_block=590.0,
+        ldst_per_block=110.0,
+        default_reps=reps,
+        device_footprint=3 * 16_000_000 * 4,
+        h2d_bytes=1 * 1024 * 1024,
+        d2h_bytes=3 * 1_000_000 * 4,
+    )

@@ -1,0 +1,50 @@
+"""Benchmark registry: name -> spec factory.
+
+The evaluation refers to benchmarks by their paper short names (BS, GS,
+MM, RG, TR); the registry gives harness code one place to resolve them.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.kernels.blackscholes import blackscholes
+from repro.kernels.extra import hotspot, kmeans, pathfinder
+from repro.kernels.gaussian import gaussian
+from repro.kernels.kernel import KernelSpec
+from repro.kernels.quasirandom import quasirandom
+from repro.kernels.sgemm import sgemm
+from repro.kernels.stream import stream
+from repro.kernels.transpose import transpose
+
+__all__ = ["BENCHMARKS", "SHORT_NAMES", "by_name"]
+
+#: The paper's five evaluation benchmarks (Table II order).
+BENCHMARKS: dict[str, Callable[[], KernelSpec]] = {
+    "BS": blackscholes,
+    "GS": gaussian,
+    "MM": sgemm,
+    "RG": quasirandom,
+    "TR": transpose,
+}
+
+#: Paper short names in Table II order.
+SHORT_NAMES: tuple[str, ...] = ("BS", "GS", "MM", "RG", "TR")
+
+#: Workloads beyond the paper's evaluation set (trace/cluster studies).
+_EXTRAS: dict[str, Callable[[], KernelSpec]] = {
+    "STREAM": stream,
+    "HS": hotspot,
+    "PF": pathfinder,
+    "KM": kmeans,
+}
+
+
+def by_name(name: str) -> KernelSpec:
+    """Resolve a benchmark short name to a default-parameter spec."""
+    key = name.upper()
+    factory = BENCHMARKS.get(key) or _EXTRAS.get(key)
+    if factory is None:
+        known = ", ".join([*BENCHMARKS, *_EXTRAS])
+        raise KeyError(f"unknown benchmark {name!r}; known: {known}")
+    return factory()

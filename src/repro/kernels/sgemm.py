@@ -1,0 +1,52 @@
+"""SGEMM (MM) — single-precision dense matrix multiply.
+
+Paper profile (Table II): High compute / Med memory, 1,525 GFLOP/s,
+403.5 GB/s.  The sample SGEMM is shared-memory-tiled but far from peak
+FLOPs (12.5% of the Titan Xp's 12.15 TFLOP/s); its block service time is
+set by the tile pipeline (latency floor) rather than raw ALU throughput.
+Tile reuse lives in shared memory and survives any block order, so MM gains
+little from Slate's in-order execution; under the intensity classification
+its Med memory demand takes priority, labelling it M_M (so Table I pairs it
+with L_C kernels like RG but runs it solo against other memory kernels).
+"""
+
+from __future__ import annotations
+
+from repro.gpu.cache import LocalityModel
+from repro.gpu.occupancy import BlockResources
+from repro.kernels.kernel import GridDim, KernelSpec
+
+__all__ = ["sgemm"]
+
+
+def sgemm(tiles: int = 120, reps: int = 30) -> KernelSpec:
+    """Build the MM kernel spec.
+
+    Parameters
+    ----------
+    tiles:
+        The output matrix is ``tiles x tiles`` blocks (2D grid) of 32x32
+        tiles — SGEMM is the evaluation's only 2D-grid kernel, exercising
+        Slate's 2D -> 1D grid transformation.
+    """
+    return KernelSpec(
+        name="MM",
+        grid=GridDim(tiles, tiles),
+        block=BlockResources(
+            threads_per_block=256, registers_per_thread=40, shared_mem_per_block=16 * 1024
+        ),
+        # 212 KFLOPs per tile-block against 56 KB of L2 traffic.
+        flops_per_block=212_000.0,
+        bytes_per_block=56_000.0,
+        # L2-level tile reuse, order-insensitive (double-buffered smem).
+        locality=LocalityModel(reuse_fraction=0.25, order_sensitivity=0.10, footprint=3e6),
+        dram_efficiency=0.72,
+        min_block_time=25e-6,
+        time_cv=0.04,
+        instr_per_block=9200.0,
+        ldst_per_block=2600.0,
+        default_reps=reps,
+        device_footprint=3 * 4096 * 4096 * 4,
+        h2d_bytes=2 * 1024 * 1024 * 4,
+        d2h_bytes=1024 * 1024 * 4,
+    )

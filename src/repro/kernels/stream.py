@@ -1,0 +1,47 @@
+"""Stream — the global-memory-read microbenchmark behind Figure 1.
+
+Each block streams a contiguous slice at the SM's full memory issue rate,
+so aggregate bandwidth grows linearly with the number of SMs the kernel is
+given until device DRAM saturates — at 9 SMs on the Titan Xp
+(9 x 60.8 GB/s ≈ 547 GB/s), after which the curve flattens.
+"""
+
+from __future__ import annotations
+
+from repro.gpu.cache import LocalityModel
+from repro.gpu.occupancy import BlockResources
+from repro.kernels.kernel import GridDim, KernelSpec
+
+__all__ = ["stream"]
+
+
+def stream(total_bytes: float = 6 * 1024**3, num_blocks: int = 12_000) -> KernelSpec:
+    """Build the Stream kernel spec.
+
+    Parameters
+    ----------
+    total_bytes:
+        Problem size; the paper fixes 6 GB.  Traffic is divided evenly
+        across blocks.
+    num_blocks:
+        Grid size; large enough to keep every SM's slots full.
+    """
+    if total_bytes <= 0:
+        raise ValueError("total_bytes must be positive")
+    return KernelSpec(
+        name="STREAM",
+        grid=GridDim(num_blocks),
+        block=BlockResources(threads_per_block=256, registers_per_thread=16),
+        flops_per_block=0.0,
+        bytes_per_block=total_bytes / num_blocks,
+        locality=LocalityModel(),
+        dram_efficiency=1.0,
+        min_block_time=0.0,
+        time_cv=0.02,
+        instr_per_block=96.0,
+        ldst_per_block=64.0,
+        default_reps=4,
+        device_footprint=int(total_bytes),
+        h2d_bytes=int(total_bytes),
+        d2h_bytes=0,
+    )

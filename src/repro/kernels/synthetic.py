@@ -1,0 +1,87 @@
+"""Parametric synthetic kernels for policy exploration and stress tests.
+
+``synthetic`` builds a kernel with a requested *compute intensity* and
+*memory intensity* expressed as fractions of device peak — the knobs the
+paper's heuristic classification (Table I) operates on.  Used by the
+Table I benchmark to sweep every intensity-class pairing, by property
+tests, and by the examples.
+"""
+
+from __future__ import annotations
+
+from repro.config import DeviceConfig, TITAN_XP
+from repro.gpu.cache import LocalityModel
+from repro.gpu.occupancy import BlockResources
+from repro.kernels.kernel import GridDim, KernelSpec
+
+__all__ = ["synthetic"]
+
+
+def synthetic(
+    compute_fraction: float,
+    memory_fraction: float,
+    name: str | None = None,
+    num_blocks: int = 6000,
+    threads_per_block: int = 128,
+    block_time: float = 20e-6,
+    reuse_fraction: float = 0.0,
+    order_sensitivity: float = 0.0,
+    time_cv: float = 0.03,
+    dram_efficiency: float = 1.0,
+    device: DeviceConfig = TITAN_XP,
+    reps: int = 10,
+) -> KernelSpec:
+    """Build a kernel demanding the given fractions of device peaks.
+
+    Parameters
+    ----------
+    compute_fraction:
+        Target solo FLOP rate as a fraction of ``device.device_flops``.
+    memory_fraction:
+        Target solo L2-level bandwidth *demand* as a fraction of DRAM peak.
+        With ``dram_efficiency < 1`` the achieved bandwidth caps at
+        ``efficiency * peak`` and the kernel saturates on fewer SMs — the
+        structure of Med-memory kernels like BlackScholes.
+    block_time:
+        Unconstrained per-block service time; per-block demands are derived
+        from it and the device's resident-block capacity.
+    """
+    if not 0.0 <= compute_fraction <= 1.0:
+        raise ValueError(f"compute_fraction must be in [0,1], got {compute_fraction}")
+    if not 0.0 <= memory_fraction <= 2.0:
+        raise ValueError(f"memory_fraction must be in [0,2], got {memory_fraction}")
+    if block_time <= 0:
+        raise ValueError("block_time must be positive")
+    if not 0.0 < dram_efficiency <= 1.0:
+        raise ValueError(f"dram_efficiency must be in (0,1], got {dram_efficiency}")
+
+    block = BlockResources(threads_per_block=threads_per_block, registers_per_thread=32)
+    # Resident capacity on the full device, used to translate device-level
+    # rate targets into per-block demands.
+    from repro.gpu.occupancy import occupancy
+
+    resident = occupancy(device, block).blocks_per_sm * device.num_sms
+    flops_pb = compute_fraction * device.device_flops * block_time / resident
+    bytes_pb = memory_fraction * device.dram_bandwidth * block_time / resident
+
+    return KernelSpec(
+        name=name or f"SYN(c={compute_fraction:.2f},m={memory_fraction:.2f})",
+        grid=GridDim(num_blocks),
+        block=block,
+        flops_per_block=flops_pb,
+        bytes_per_block=bytes_pb,
+        locality=LocalityModel(
+            reuse_fraction=reuse_fraction,
+            order_sensitivity=order_sensitivity,
+            footprint=1e6 if reuse_fraction else 0.0,
+        ),
+        dram_efficiency=dram_efficiency,
+        min_block_time=block_time,
+        time_cv=time_cv,
+        instr_per_block=max(1.0, flops_pb / 32 + bytes_pb / 16),
+        ldst_per_block=max(0.0, bytes_pb / 32),
+        default_reps=reps,
+        device_footprint=int(bytes_pb * num_blocks) or 1024,
+        h2d_bytes=64 * 1024,
+        d2h_bytes=64 * 1024,
+    )

@@ -1,0 +1,40 @@
+"""Matrix transpose (TR) — CUDA SDK sample, shared-memory tiled.
+
+Paper profile (Table II): Low compute / High memory, 0.0 GFLOP/s,
+568.6 GB/s.  TR moves data and computes nothing; its L2-level throughput
+slightly exceeds DRAM peak thanks to tile-edge reuse in L2.  It is the
+H_M class representative in the policy table: Slate co-runs it only with
+L_C / M_C partners and never with another memory-intensive kernel.
+"""
+
+from __future__ import annotations
+
+from repro.gpu.cache import LocalityModel
+from repro.gpu.occupancy import BlockResources
+from repro.kernels.kernel import GridDim, KernelSpec
+
+__all__ = ["transpose"]
+
+
+def transpose(num_blocks: int = 336_000, reps: int = 24) -> KernelSpec:
+    """Build the TR kernel spec (32x32 tiles via shared memory)."""
+    return KernelSpec(
+        name="TR",
+        grid=GridDim(num_blocks),
+        block=BlockResources(
+            threads_per_block=256, registers_per_thread=18, shared_mem_per_block=4224
+        ),
+        flops_per_block=0.0,
+        bytes_per_block=4740.0,
+        # Small order-insensitive L2 reuse at tile boundaries.
+        locality=LocalityModel(reuse_fraction=0.12, order_sensitivity=0.10, footprint=4e6),
+        dram_efficiency=0.92,
+        min_block_time=1.85e-6,
+        time_cv=0.03,
+        instr_per_block=200.0,
+        ldst_per_block=80.0,
+        default_reps=reps,
+        device_footprint=2 * 16384 * 16384 * 4,
+        h2d_bytes=4096 * 4096 * 4,
+        d2h_bytes=4096 * 4096 * 4,
+    )

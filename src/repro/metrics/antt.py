@@ -1,0 +1,77 @@
+"""Throughput metrics (§III-B, Eyerman & Eeckhout conventions).
+
+The paper uses average normalized turnaround time (ANTT) to define
+*complementary*: "Assume that kernels J_k and J_{k+1} take T_k and T_{k+1}
+to complete using all the SMs respectively, and T'_k and T'_{k+1} when
+sharing resource.  ANTT is T = (T_k + T_{k+1}) for the consecutive solo
+runs ... ANTT is T' = max(T'_k, T'_{k+1}) for the concurrent case.
+T' < T indicates better throughput."
+
+We provide both the paper's simplified pairwise form and the standard
+multi-program definitions:
+
+* ``ANTT = (1/n) * sum_i T'_i / T_i`` (lower is better);
+* ``STP  = sum_i T_i / T'_i`` (higher is better, max n).
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+__all__ = [
+    "normalized_times",
+    "antt",
+    "stp",
+    "paper_antt_consecutive",
+    "paper_antt_concurrent",
+]
+
+
+def normalized_times(
+    shared: Mapping[str, float], solo: Mapping[str, float]
+) -> dict[str, float]:
+    """Per-application slowdown T'_i / T_i (1.0 = no interference)."""
+    missing = set(shared) - set(solo)
+    if missing:
+        raise KeyError(f"no solo baseline for {sorted(missing)}")
+    result = {}
+    for name, t_shared in shared.items():
+        t_solo = solo[name]
+        if t_solo <= 0 or t_shared < 0:
+            raise ValueError(f"invalid times for {name}: solo={t_solo} shared={t_shared}")
+        result[name] = t_shared / t_solo
+    return result
+
+
+def antt(shared: Mapping[str, float], solo: Mapping[str, float]) -> float:
+    """Average normalized turnaround time (lower is better)."""
+    ratios = normalized_times(shared, solo)
+    if not ratios:
+        raise ValueError("no applications to average")
+    return sum(ratios.values()) / len(ratios)
+
+
+def stp(shared: Mapping[str, float], solo: Mapping[str, float]) -> float:
+    """System throughput: sum of per-app speed fractions (max = n apps)."""
+    ratios = normalized_times(shared, solo)
+    if not ratios:
+        raise ValueError("no applications to sum")
+    return sum(1.0 / r for r in ratios.values())
+
+
+def paper_antt_consecutive(times: Sequence[float]) -> float:
+    """The paper's consecutive-execution turnaround: sum of solo times."""
+    if not times:
+        raise ValueError("need at least one kernel time")
+    if any(t < 0 for t in times):
+        raise ValueError("negative kernel time")
+    return float(sum(times))
+
+
+def paper_antt_concurrent(times: Sequence[float]) -> float:
+    """The paper's concurrent turnaround: the longer co-run time."""
+    if not times:
+        raise ValueError("need at least one kernel time")
+    if any(t < 0 for t in times):
+        raise ValueError("negative kernel time")
+    return float(max(times))

@@ -1,0 +1,48 @@
+"""Fairness metrics for multi-tenant schedules.
+
+ANTT/STP summarize efficiency; these summarize *equity* — whether the
+scheduler's gains come at one tenant's expense (the paper's stated goal is
+to improve throughput "without slowing down individual application
+execution").
+
+* ``fairness_index`` — Jain's index over per-app speed fractions
+  (solo/shared time): 1.0 = perfectly even slowdowns, 1/n = one app got
+  everything.
+* ``max_slowdown`` — the worst tenant's normalized turnaround (a tail
+  latency-style guarantee).
+* ``speedup_spread`` — max/min slowdown ratio (1.0 = identical treatment).
+"""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+from repro.metrics.antt import normalized_times
+
+__all__ = ["fairness_index", "max_slowdown", "speedup_spread"]
+
+
+def fairness_index(shared: Mapping[str, float], solo: Mapping[str, float]) -> float:
+    """Jain's fairness index over per-app speeds, in (0, 1]."""
+    ratios = normalized_times(shared, solo)
+    if not ratios:
+        raise ValueError("no applications")
+    speeds = [1.0 / r for r in ratios.values()]
+    n = len(speeds)
+    return sum(speeds) ** 2 / (n * sum(s * s for s in speeds))
+
+
+def max_slowdown(shared: Mapping[str, float], solo: Mapping[str, float]) -> float:
+    """The worst tenant's normalized turnaround (>= 1 under contention)."""
+    ratios = normalized_times(shared, solo)
+    if not ratios:
+        raise ValueError("no applications")
+    return max(ratios.values())
+
+
+def speedup_spread(shared: Mapping[str, float], solo: Mapping[str, float]) -> float:
+    """Ratio of the worst to the best tenant's slowdown (1.0 = even)."""
+    ratios = normalized_times(shared, solo)
+    if not ratios:
+        raise ValueError("no applications")
+    return max(ratios.values()) / min(ratios.values())

@@ -1,0 +1,129 @@
+"""SM-allocation timeline rendering.
+
+Turns a Slate scheduler's ``allocation_log`` into a terminal Gantt chart:
+one row per time interval, 30 columns of SMs, one letter per kernel — the
+paper's Figure 4 scheduling decisions made visible::
+
+    t=  0.00 ms  GGGGGGGGGGGGGGGGGGGGGGGGGGGGGG   GS solo
+    t=  2.50 ms  GGGGGGGGGGGGGGGGGGGGGGGGGGGRRR   GS shrinks, RG arrives
+    t=  8.50 ms  GGGGGGGGGGGGGGGGGGGGGGGGGGG...   RG finished
+    t=  8.80 ms  GGGGGGGGGGGGGGGGGGGGGGGGGGGGGG   GS grows
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.config import DeviceConfig, TITAN_XP
+
+__all__ = ["TimelineRow", "build_timeline", "render_timeline", "to_chrome_trace"]
+
+
+@dataclass(frozen=True)
+class TimelineRow:
+    """One allocation interval."""
+
+    start: float
+    #: kernel name -> inclusive (sm_low, sm_high).
+    allocation: dict[str, tuple[int, int]]
+
+    def lane(self, num_sms: int) -> str:
+        """The row's SM occupancy string, one char per SM."""
+        cells = ["."] * num_sms
+        for name, (low, high) in sorted(self.allocation.items()):
+            letter = name[0].upper()
+            for sm in range(low, high + 1):
+                cells[sm] = letter if cells[sm] == "." else "#"  # '#': overlap
+        return "".join(cells)
+
+
+def build_timeline(
+    allocation_log: Sequence[tuple[float, dict[str, tuple[int, int]]]],
+    coalesce_window: float = 0.0,
+) -> list[TimelineRow]:
+    """Convert a scheduler allocation log into deduplicated timeline rows.
+
+    Consecutive identical allocations are merged; ``coalesce_window``
+    additionally merges rows closer together than the window (the retreat
+    and relaunch transients around a resize).
+    """
+    rows: list[TimelineRow] = []
+    for t, allocation in allocation_log:
+        if rows and rows[-1].allocation == allocation:
+            continue
+        if rows and coalesce_window > 0 and t - rows[-1].start < coalesce_window:
+            rows[-1] = TimelineRow(start=rows[-1].start, allocation=dict(allocation))
+            continue
+        rows.append(TimelineRow(start=t, allocation=dict(allocation)))
+    return rows
+
+
+def render_timeline(
+    allocation_log: Sequence[tuple[float, dict[str, tuple[int, int]]]],
+    device: DeviceConfig = TITAN_XP,
+    coalesce_window: float = 0.0,
+    max_rows: int = 40,
+) -> str:
+    """Render the log as a text Gantt chart (see module docstring)."""
+    rows = build_timeline(allocation_log, coalesce_window)
+    if not rows:
+        return "(empty timeline)"
+    shown = rows[:max_rows]
+    lines = [f"SM allocation timeline ({device.num_sms} SMs, '.'=idle):"]
+    for row in shown:
+        tenants = ", ".join(
+            f"{name}[{low}-{high}]" for name, (low, high) in sorted(row.allocation.items())
+        ) or "idle"
+        lines.append(f"  t={row.start * 1e3:9.3f} ms  {row.lane(device.num_sms)}  {tenants}")
+    if len(rows) > max_rows:
+        lines.append(f"  ... {len(rows) - max_rows} more rows")
+    return "\n".join(lines)
+
+
+def to_chrome_trace(
+    allocation_log: Sequence[tuple[float, dict[str, tuple[int, int]]]],
+    end_time: float | None = None,
+) -> list[dict]:
+    """Export an allocation log as Chrome-trace (``chrome://tracing``) events.
+
+    Each kernel occupies one trace row; SM-range changes show as
+    consecutive complete ("X") events annotated with the range.  Load the
+    returned list (JSON-encoded) in Chrome's tracing UI or Perfetto.
+    """
+    rows = build_timeline(allocation_log)
+    if not rows:
+        return []
+    if end_time is None:
+        end_time = rows[-1].start
+    events: list[dict] = []
+    # Track each kernel's open interval.
+    open_since: dict[str, tuple[float, tuple[int, int]]] = {}
+
+    def close(name: str, until: float) -> None:
+        start, (low, high) = open_since.pop(name)
+        if until <= start:
+            return
+        events.append(
+            {
+                "name": f"{name} [{low}-{high}]",
+                "cat": "sm-allocation",
+                "ph": "X",
+                "ts": start * 1e6,  # chrome traces are in microseconds
+                "dur": (until - start) * 1e6,
+                "pid": 0,
+                "tid": name,
+                "args": {"sm_low": low, "sm_high": high, "sms": high - low + 1},
+            }
+        )
+
+    for row in rows:
+        for name in list(open_since):
+            if open_since[name][1] != row.allocation.get(name):
+                close(name, row.start)
+        for name, sm_range in row.allocation.items():
+            if name not in open_since:
+                open_since[name] = (row.start, sm_range)
+    for name in list(open_since):
+        close(name, end_time)
+    return events

@@ -1,0 +1,74 @@
+"""Device-utilization accounting from a scheduler's allocation log.
+
+The paper's motivation is utilization: "many kernels cannot fully utilize
+the memory and compute resources on their own".  These helpers turn a
+Slate scheduler's ``allocation_log`` into the quantities that argument is
+made with: time-weighted SM occupancy, idle fraction, and the tenancy
+histogram (how long the device hosted 0, 1, 2, ... kernels).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping, Sequence
+
+from repro.config import DeviceConfig, TITAN_XP
+
+__all__ = ["UtilizationSummary", "summarize_utilization"]
+
+
+@dataclass(frozen=True)
+class UtilizationSummary:
+    """Time-weighted occupancy statistics over [start, end]."""
+
+    duration: float
+    #: Mean fraction of SMs assigned to some kernel.
+    mean_sm_occupancy: float
+    #: Fraction of time with no kernel resident at all.
+    idle_fraction: float
+    #: tenant count -> fraction of time spent at that tenancy.
+    tenancy: Mapping[int, float]
+
+    @property
+    def shared_fraction(self) -> float:
+        """Fraction of time with two or more co-resident kernels."""
+        return sum(frac for count, frac in self.tenancy.items() if count >= 2)
+
+
+def summarize_utilization(
+    allocation_log: Sequence[tuple[float, dict[str, tuple[int, int]]]],
+    end_time: float,
+    device: DeviceConfig = TITAN_XP,
+) -> UtilizationSummary:
+    """Integrate SM occupancy over an allocation log up to ``end_time``."""
+    if not allocation_log:
+        raise ValueError("empty allocation log")
+    start = allocation_log[0][0]
+    if end_time < start:
+        raise ValueError("end_time precedes the first allocation record")
+    duration = end_time - start
+    if duration == 0:
+        return UtilizationSummary(
+            duration=0.0, mean_sm_occupancy=0.0, idle_fraction=1.0, tenancy={0: 1.0}
+        )
+
+    occupied_time = 0.0
+    tenancy_time: dict[int, float] = {}
+    for (t0, alloc), (t1, _next) in zip(
+        allocation_log, [*allocation_log[1:], (end_time, {})]
+    ):
+        span = max(0.0, min(t1, end_time) - t0)
+        if span == 0:
+            continue
+        sms = sum(high - low + 1 for low, high in alloc.values())
+        occupied_time += span * min(sms, device.num_sms)
+        count = len(alloc)
+        tenancy_time[count] = tenancy_time.get(count, 0.0) + span
+
+    tenancy = {k: v / duration for k, v in sorted(tenancy_time.items())}
+    return UtilizationSummary(
+        duration=duration,
+        mean_sm_occupancy=occupied_time / (duration * device.num_sms),
+        idle_fraction=tenancy.get(0, 0.0),
+        tenancy=tenancy,
+    )

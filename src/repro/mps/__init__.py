@@ -1,0 +1,14 @@
+"""NVIDIA MPS baseline: context funneling + hardware leftover policy.
+
+MPS maps every client process's CUDA context onto one server context so the
+hardware can run their kernels concurrently — but it applies no workload
+awareness: the *leftover* policy only admits a second kernel's blocks into
+occupancy slots that free up near the end of the prior kernel's execution.
+For the paper's large kernels this degenerates to consecutive execution
+with a small tail overlap (§V-A2), plus a per-call daemon relay cost that
+makes MPS application time slightly worse than CUDA for solo runs (Fig. 6).
+"""
+
+from repro.mps.server import MpsRuntime, MpsSession
+
+__all__ = ["MpsRuntime", "MpsSession"]

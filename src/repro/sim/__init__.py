@@ -1,0 +1,54 @@
+"""Discrete-event simulation engine.
+
+A small, self-contained, simpy-flavoured discrete-event simulation (DES)
+kernel.  Everything in the GPU simulator — streaming multiprocessors, memory
+bandwidth arbitration, runtime daemons, host processes — is expressed as
+processes (Python generators) scheduled by an :class:`Environment`.
+
+Design notes
+------------
+* Events carry a *value* (or an exception) and a list of callbacks.  An event
+  moves through three states: untriggered, triggered (scheduled on the event
+  queue with its value), and processed (callbacks have run).
+* Processes are generators driven by the environment.  A process yields
+  events; when a yielded event is processed the generator is resumed with the
+  event's value (or the exception is thrown into it).
+* :meth:`Process.interrupt` delivers an :class:`~repro.sim.interrupts.Interrupt`
+  exception into a process even while it waits, which is how the Slate
+  runtime models ``retreat`` signals terminating persistent GPU workers.
+* The event queue is ordered by ``(time, priority, sequence)`` so that
+  simultaneous events are processed deterministically in scheduling order.
+"""
+
+from repro.sim.engine import Environment, StopSimulation
+from repro.sim.events import (
+    AllOf,
+    AnyOf,
+    Event,
+    EventPriority,
+    Timeout,
+)
+from repro.sim.interrupts import Interrupt
+from repro.sim.process import Process
+from repro.sim.resources import PriorityResource, Resource
+from repro.sim.store import FilterStore, PriorityStore, Store
+from repro.sim.tracing import TraceRecord, Tracer
+
+__all__ = [
+    "AllOf",
+    "AnyOf",
+    "Environment",
+    "Event",
+    "EventPriority",
+    "FilterStore",
+    "Interrupt",
+    "PriorityResource",
+    "PriorityStore",
+    "Process",
+    "Resource",
+    "StopSimulation",
+    "Store",
+    "Timeout",
+    "TraceRecord",
+    "Tracer",
+]

@@ -1,0 +1,180 @@
+"""The discrete-event simulation environment.
+
+The :class:`Environment` owns the event queue and the simulated clock.  It is
+deliberately close to simpy's core so the rest of the codebase can use
+familiar idioms::
+
+    env = Environment()
+
+    def proc(env):
+        yield env.timeout(5)
+        return "done"
+
+    p = env.process(proc(env))
+    env.run()
+    assert env.now == 5 and p.value == "done"
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Generator, Iterable, Optional
+
+from repro.sim.events import AllOf, AnyOf, Event, EventPriority, Timeout
+from repro.sim.interrupts import SimulationError
+from repro.sim.process import Process
+
+__all__ = ["Environment", "StopSimulation", "EmptySchedule"]
+
+
+class StopSimulation(Exception):
+    """Raised internally to end :meth:`Environment.run` at a target event."""
+
+
+class EmptySchedule(Exception):
+    """Raised by :meth:`Environment.step` when no events remain."""
+
+
+class Environment:
+    """Discrete-event execution environment with a floating-point clock.
+
+    Parameters
+    ----------
+    initial_time:
+        Starting value of the simulated clock (seconds by convention
+        throughout this project).
+    tracer:
+        Optional :class:`repro.sim.tracing.Tracer` recording every processed
+        event for debugging and test assertions.
+    """
+
+    def __init__(self, initial_time: float = 0.0, tracer: Any = None) -> None:
+        self._now = float(initial_time)
+        self._queue: list[tuple[float, int, int, Event]] = []
+        self._eid = 0
+        self.tracer = tracer
+
+    # -- clock & queue ---------------------------------------------------
+
+    @property
+    def now(self) -> float:
+        """Current simulated time."""
+        return self._now
+
+    def schedule(
+        self,
+        event: Event,
+        delay: float = 0.0,
+        priority: EventPriority = EventPriority.NORMAL,
+    ) -> None:
+        """Place a triggered event on the queue ``delay`` into the future."""
+        if delay < 0:
+            raise ValueError(f"negative delay {delay}")
+        self._eid += 1
+        heapq.heappush(self._queue, (self._now + delay, int(priority), self._eid, event))
+
+    def peek(self) -> float:
+        """Time of the next scheduled event, or ``inf`` if none."""
+        return self._queue[0][0] if self._queue else float("inf")
+
+    def step(self) -> None:
+        """Process the next event.  Raises :class:`EmptySchedule` if none."""
+        try:
+            when, _, _, event = heapq.heappop(self._queue)
+        except IndexError:
+            raise EmptySchedule() from None
+        if when < self._now:  # pragma: no cover - guarded by schedule()
+            raise SimulationError("event scheduled in the past")
+        self._now = when
+
+        callbacks, event.callbacks = event.callbacks, None
+        if self.tracer is not None:
+            self.tracer.record(self._now, event)
+        for callback in callbacks:
+            callback(event)
+
+        if not event._ok and not event._defused:
+            value = event._value
+            if isinstance(value, BaseException):
+                raise value
+            raise SimulationError(f"event failed with non-exception {value!r}")
+
+    # -- running -----------------------------------------------------------
+
+    def run(self, until: "Event | float | int | None" = None) -> Any:
+        """Run until the queue empties, a time is reached, or an event fires.
+
+        ``until`` may be ``None`` (exhaust the queue), a number (advance the
+        clock to that time), or an :class:`Event` (run until it is processed
+        and return its value).
+        """
+        stop: Optional[Event] = None
+        if until is not None:
+            if isinstance(until, Event):
+                stop = until
+                if stop.callbacks is None:
+                    # Already processed.
+                    if stop._ok:
+                        return stop._value
+                    raise stop._value
+                stop.callbacks.append(self._stop_simulation)
+            else:
+                at = float(until)
+                if at < self._now:
+                    raise ValueError(f"until ({at}) is before current time ({self._now})")
+                stop = Event(self)
+                # Schedule with URGENT priority so the clock stops *before*
+                # events at exactly `at` are processed (simpy semantics).
+                stop._ok = True
+                stop._value = None
+                self.schedule(stop, delay=at - self._now, priority=EventPriority.URGENT)
+                stop.callbacks.append(self._stop_simulation)
+
+        try:
+            while True:
+                self.step()
+        except StopSimulation as exc:
+            event = exc.args[0]
+            if event is stop and not isinstance(until, Event):
+                return None
+            if event._ok:
+                return event._value
+            raise event._value from None
+        except EmptySchedule:
+            if stop is not None and not stop.triggered:
+                if isinstance(until, Event):
+                    raise SimulationError(
+                        "simulation ended before the awaited event triggered"
+                    ) from None
+            return None
+
+    @staticmethod
+    def _stop_simulation(event: Event) -> None:
+        if not event._ok:
+            event.defuse()
+        raise StopSimulation(event)
+
+    # -- factories -----------------------------------------------------------
+
+    def event(self) -> Event:
+        """Create a new untriggered event."""
+        return Event(self)
+
+    def timeout(self, delay: float, value: Any = None) -> Timeout:
+        """Create an event firing ``delay`` time units from now."""
+        return Timeout(self, delay, value)
+
+    def process(self, generator: Generator) -> Process:
+        """Spawn a process driving ``generator``."""
+        return Process(self, generator)
+
+    def any_of(self, events: Iterable[Event]) -> AnyOf:
+        """Event that fires when any of ``events`` fires."""
+        return AnyOf(self, events)
+
+    def all_of(self, events: Iterable[Event]) -> AllOf:
+        """Event that fires when all of ``events`` have fired."""
+        return AllOf(self, events)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<Environment now={self._now} pending={len(self._queue)}>"

@@ -1,0 +1,40 @@
+"""Interrupt exception used to asynchronously unblock processes.
+
+An :class:`Interrupt` is thrown *into* a process generator by
+:meth:`repro.sim.process.Process.interrupt`.  The interrupted process may
+catch it and decide how to proceed (e.g. a persistent GPU worker draining its
+current task after a Slate ``retreat`` signal) or let it propagate, which
+fails the process.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+__all__ = ["Interrupt", "SimulationError"]
+
+
+class SimulationError(Exception):
+    """Base class for errors raised by the simulation engine itself."""
+
+
+class Interrupt(Exception):
+    """Raised inside a process when another process interrupts it.
+
+    Parameters
+    ----------
+    cause:
+        Arbitrary payload describing why the interrupt happened.  The Slate
+        runtime uses string causes such as ``"retreat"`` and ``"shutdown"``.
+    """
+
+    def __init__(self, cause: Any = None) -> None:
+        super().__init__(cause)
+
+    @property
+    def cause(self) -> Any:
+        """The payload passed to :meth:`Process.interrupt`."""
+        return self.args[0]
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Interrupt(cause={self.args[0]!r})"

@@ -1,0 +1,172 @@
+"""Processes: generators driven by the simulation environment.
+
+A :class:`Process` wraps a generator.  The generator yields events; when a
+yielded event is processed, the generator is resumed with the event's value,
+or — if the event failed — the exception is thrown into it.  A process is
+itself an event that triggers when the generator terminates, so processes can
+wait on each other.
+"""
+
+from __future__ import annotations
+
+from types import GeneratorType
+from typing import TYPE_CHECKING, Any, Generator
+
+from repro.sim.events import Event, EventPriority
+from repro.sim.interrupts import Interrupt, SimulationError
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.sim.engine import Environment
+
+__all__ = ["Process"]
+
+
+class Process(Event):
+    """An active simulation entity executing a generator.
+
+    The process event succeeds with the generator's return value, or fails
+    with any uncaught exception the generator raises.
+    """
+
+    __slots__ = ("_generator", "_target", "_started")
+
+    def __init__(self, env: "Environment", generator: Generator) -> None:
+        if not isinstance(generator, GeneratorType):
+            raise TypeError(f"{generator!r} is not a generator")
+        super().__init__(env)
+        self._generator = generator
+        # The event this process currently waits for (None => being resumed
+        # right now or not yet started).
+        self._target: Event | None = None
+
+        # Kick the process off via an initialisation event so that it starts
+        # executing from within the event loop, not synchronously here.
+        init = Event(env)
+        init._ok = True
+        init._value = None
+        init.callbacks.append(self._resume)
+        env.schedule(init)
+        self._target = init
+        self._started = False
+
+    # -- introspection ---------------------------------------------------
+
+    @property
+    def is_alive(self) -> bool:
+        """Whether the generator has not yet terminated."""
+        return not self.triggered
+
+    @property
+    def target(self) -> Event | None:
+        """The event this process is currently waiting on."""
+        return self._target
+
+    # -- control -----------------------------------------------------------
+
+    def interrupt(self, cause: Any = None) -> None:
+        """Throw :class:`Interrupt` into the process as soon as possible.
+
+        The interrupt is delivered with URGENT priority at the current
+        simulation time.  Interrupting a dead process raises
+        :class:`SimulationError`; interrupting a process that is currently
+        being resumed is delivered on its next suspension.
+        """
+        if not self.is_alive:
+            raise SimulationError(f"{self!r} has terminated and cannot be interrupted")
+        if self._target is not None and isinstance(self._target, _InterruptEvent):
+            # Already has a pending interrupt; chain a second one.
+            pass
+        interrupt_event = _InterruptEvent(self.env, self, Interrupt(cause))
+        self.env.schedule(interrupt_event, priority=EventPriority.URGENT)
+
+    # -- engine plumbing ----------------------------------------------------
+
+    def _resume(self, event: Event) -> None:
+        """Advance the generator with the outcome of ``event``."""
+        self._target = None
+        self._started = True
+        while True:
+            try:
+                if event._ok:
+                    next_event = self._generator.send(event._value)
+                else:
+                    # The caused exception is considered handled by
+                    # delivering it into the process.
+                    event.defuse()
+                    exc = event._value
+                    next_event = self._generator.throw(exc)
+            except StopIteration as stop:
+                if not self.triggered:
+                    self._ok = True
+                    self._value = stop.value
+                    self.env.schedule(self)
+                return
+            except BaseException as exc:
+                if not self.triggered:
+                    self._ok = False
+                    self._value = exc
+                    self.env.schedule(self)
+                    return
+                raise
+
+            if not isinstance(next_event, Event):
+                exc = SimulationError(
+                    f"process yielded a non-event: {next_event!r}"
+                )
+                event = _failed_stub(self.env, exc)
+                continue
+
+            if next_event.callbacks is not None:
+                # Event not yet processed: subscribe and suspend.
+                next_event.callbacks.append(self._resume)
+                self._target = next_event
+                return
+
+            # Event already processed: loop immediately with its outcome.
+            event = next_event
+
+
+class _InterruptEvent(Event):
+    """Internal event that delivers an interrupt into a process."""
+
+    __slots__ = ("_process",)
+
+    def __init__(self, env: "Environment", process: Process, cause: Interrupt) -> None:
+        super().__init__(env)
+        self._process = process
+        self._ok = False
+        self._value = cause
+        self._defused = True
+        self.callbacks = [self._deliver]
+
+    def _deliver(self, event: Event) -> None:
+        process = self._process
+        if not process.is_alive:
+            # Process terminated between scheduling and delivery; drop it.
+            return
+        if not process._started:
+            # The generator has not run yet (its init event is still
+            # queued): delivering now would raise at the function header,
+            # outside any try block.  Requeue with normal priority so the
+            # interrupt lands right after the first suspension.
+            retry = _InterruptEvent(self.env, process, self._value)
+            self.env.schedule(retry, priority=EventPriority.NORMAL)
+            return
+        if process._target is not None:
+            # Detach the process from whatever it was waiting on.
+            target = process._target
+            if target.callbacks is not None:
+                try:
+                    target.callbacks.remove(process._resume)
+                except ValueError:  # pragma: no cover - defensive
+                    pass
+        process._resume(self)
+
+
+def _failed_stub(env: "Environment", exc: BaseException) -> Event:
+    """Create an already-'processed' failed event used for inline throws."""
+    stub = Event(env)
+    stub._ok = False
+    stub._value = exc
+    stub.callbacks = None
+    return stub

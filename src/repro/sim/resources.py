@@ -1,0 +1,149 @@
+"""Shared-resource primitives: counted and priority resources.
+
+A :class:`Resource` models a pool of identical service slots (e.g. the single
+serialization point of a GPU atomic unit, or the PCIe copy engine).  Requests
+are events; a process acquires a slot with::
+
+    with resource.request() as req:
+        yield req
+        ...  # holding a slot
+
+or manages the request/release pair explicitly.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import TYPE_CHECKING, Optional
+
+from repro.sim.events import Event
+from repro.sim.interrupts import SimulationError
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.sim.engine import Environment
+
+__all__ = ["Resource", "PriorityResource", "Request", "Release"]
+
+
+class Request(Event):
+    """A pending or granted claim on a resource slot.
+
+    Usable as a context manager: exiting the ``with`` block releases the slot
+    (or cancels the claim if it was never granted).
+    """
+
+    __slots__ = ("resource", "key")
+
+    def __init__(self, resource: "Resource", key: tuple) -> None:
+        super().__init__(resource.env)
+        self.resource = resource
+        self.key = key
+
+    def __enter__(self) -> "Request":
+        return self
+
+    def __exit__(self, exc_type, exc_val, exc_tb) -> None:
+        self.cancel()
+
+    def cancel(self) -> None:
+        """Release the slot if granted, or withdraw the pending request."""
+        self.resource.release(self)
+
+
+class Release(Event):
+    """Event that fires once a release has been applied (always immediate)."""
+
+    __slots__ = ()
+
+
+class Resource:
+    """A counted resource with FIFO granting.
+
+    Parameters
+    ----------
+    env:
+        Simulation environment.
+    capacity:
+        Number of slots that may be held simultaneously.
+    """
+
+    def __init__(self, env: "Environment", capacity: int = 1) -> None:
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self.env = env
+        self._capacity = capacity
+        self._counter = itertools.count()
+        # Min-heap of pending requests keyed by (priority..., seq).
+        self._waiting: list[tuple[tuple, Request]] = []
+        self._users: set[Request] = set()
+
+    # -- introspection ---------------------------------------------------
+
+    @property
+    def capacity(self) -> int:
+        return self._capacity
+
+    @property
+    def count(self) -> int:
+        """Number of slots currently held."""
+        return len(self._users)
+
+    @property
+    def queue_length(self) -> int:
+        """Number of requests waiting for a slot."""
+        return len(self._waiting)
+
+    # -- operations ---------------------------------------------------------
+
+    def _make_key(self, seq: int) -> tuple:
+        return (seq,)
+
+    def request(self) -> Request:
+        """Claim a slot; the returned event fires once the slot is granted."""
+        req = Request(self, self._make_key(next(self._counter)))
+        heapq.heappush(self._waiting, (req.key, req))
+        self._grant()
+        return req
+
+    def release(self, request: Request) -> Release:
+        """Return a slot to the pool (or withdraw an ungranted request)."""
+        if request in self._users:
+            self._users.discard(request)
+        else:
+            # Withdraw from the waiting queue if still pending.
+            for i, (_, pending) in enumerate(self._waiting):
+                if pending is request:
+                    self._waiting[i] = self._waiting[-1]
+                    self._waiting.pop()
+                    heapq.heapify(self._waiting)
+                    break
+        rel = Release(self.env)
+        rel.succeed()
+        self._grant()
+        return rel
+
+    def _grant(self) -> None:
+        while self._waiting and len(self._users) < self._capacity:
+            _, req = heapq.heappop(self._waiting)
+            if req.triggered:  # pragma: no cover - defensive
+                raise SimulationError("request granted twice")
+            self._users.add(req)
+            req.succeed(req)
+
+
+class PriorityResource(Resource):
+    """Resource whose waiting queue is ordered by a numeric priority.
+
+    Lower priority values are served first; ties are FIFO.
+    """
+
+    def __init__(self, env: "Environment", capacity: int = 1) -> None:
+        super().__init__(env, capacity)
+        self._next_priority: Optional[float] = None
+
+    def request(self, priority: float = 0.0) -> Request:  # type: ignore[override]
+        req = Request(self, (priority, next(self._counter)))
+        heapq.heappush(self._waiting, (req.key, req))
+        self._grant()
+        return req

@@ -1,0 +1,176 @@
+"""Message-passing stores used for queues between simulated components.
+
+:class:`Store` is an unbounded-or-bounded FIFO of Python objects with
+event-based ``put``/``get`` — the substrate for Slate's per-process kernel
+queues, daemon command pipes, and the device-side task queues.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import TYPE_CHECKING, Any, Callable, Optional
+
+from repro.sim.events import Event
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.sim.engine import Environment
+
+__all__ = ["Store", "FilterStore", "PriorityStore", "StorePut", "StoreGet"]
+
+
+class StorePut(Event):
+    """Pending ``put`` operation; fires once the item is accepted."""
+
+    __slots__ = ("item",)
+
+    def __init__(self, env: "Environment", item: Any) -> None:
+        super().__init__(env)
+        self.item = item
+
+
+class StoreGet(Event):
+    """Pending ``get`` operation; fires with the retrieved item."""
+
+    __slots__ = ("filter",)
+
+    def __init__(self, env: "Environment", filter: Optional[Callable[[Any], bool]] = None) -> None:
+        super().__init__(env)
+        self.filter = filter
+
+
+class Store:
+    """FIFO store of arbitrary items with optional capacity."""
+
+    def __init__(self, env: "Environment", capacity: float = float("inf")) -> None:
+        if capacity <= 0:
+            raise ValueError(f"capacity must be positive, got {capacity}")
+        self.env = env
+        self.capacity = capacity
+        self.items: list[Any] = []
+        self._putters: list[StorePut] = []
+        self._getters: list[StoreGet] = []
+
+    def __len__(self) -> int:
+        return len(self.items)
+
+    def put(self, item: Any) -> StorePut:
+        """Insert ``item``; the event fires when the store has room."""
+        event = StorePut(self.env, item)
+        self._putters.append(event)
+        self._dispatch()
+        return event
+
+    def get(self) -> StoreGet:
+        """Remove and return the next item (as the event's value)."""
+        event = StoreGet(self.env)
+        self._getters.append(event)
+        self._dispatch()
+        return event
+
+    # -- internals ---------------------------------------------------------
+
+    def _do_put(self, event: StorePut) -> bool:
+        if len(self.items) < self.capacity:
+            self._insert(event.item)
+            event.succeed()
+            return True
+        return False
+
+    def _do_get(self, event: StoreGet) -> bool:
+        if self.items:
+            event.succeed(self._extract(event))
+            return True
+        return False
+
+    def _insert(self, item: Any) -> None:
+        self.items.append(item)
+
+    def _extract(self, event: StoreGet) -> Any:
+        return self.items.pop(0)
+
+    def _dispatch(self) -> None:
+        progressed = True
+        while progressed:
+            progressed = False
+            while self._putters:
+                put = self._putters[0]
+                if put.triggered or self._do_put(put):
+                    self._putters.pop(0)
+                    progressed = True
+                else:
+                    break
+            while self._getters:
+                get = self._getters[0]
+                if get.triggered:
+                    self._getters.pop(0)
+                    progressed = True
+                    continue
+                if self._do_get(get):
+                    self._getters.pop(0)
+                    progressed = True
+                else:
+                    break
+
+
+class FilterStore(Store):
+    """Store whose getters may select items with a predicate."""
+
+    def get(self, filter: Optional[Callable[[Any], bool]] = None) -> StoreGet:  # type: ignore[override]
+        event = StoreGet(self.env, filter)
+        self._getters.append(event)
+        self._dispatch()
+        return event
+
+    def _do_get(self, event: StoreGet) -> bool:
+        if event.filter is None:
+            return super()._do_get(event)
+        for i, item in enumerate(self.items):
+            if event.filter(item):
+                self.items.pop(i)
+                event.succeed(item)
+                return True
+        return False
+
+    def _dispatch(self) -> None:
+        # Filtered getters must each be examined: one blocked getter must not
+        # starve another whose predicate matches.
+        progressed = True
+        while progressed:
+            progressed = False
+            while self._putters:
+                put = self._putters[0]
+                if put.triggered or self._do_put(put):
+                    self._putters.pop(0)
+                    progressed = True
+                else:
+                    break
+            remaining: list[StoreGet] = []
+            for get in self._getters:
+                if get.triggered:
+                    progressed = True
+                    continue
+                if self._do_get(get):
+                    progressed = True
+                else:
+                    remaining.append(get)
+            self._getters = remaining
+
+
+class PriorityStore(Store):
+    """Store returning the smallest item first (heap-ordered).
+
+    Items must be comparable, or wrapped in ``(priority, payload)`` tuples;
+    a monotone sequence number breaks ties to keep ordering deterministic.
+    """
+
+    def __init__(self, env: "Environment", capacity: float = float("inf")) -> None:
+        super().__init__(env, capacity)
+        self._seq = itertools.count()
+
+    def _insert(self, item: Any) -> None:
+        heapq.heappush(self.items, (item, next(self._seq)))
+
+    def _extract(self, event: StoreGet) -> Any:
+        item, _ = heapq.heappop(self.items)
+        return item

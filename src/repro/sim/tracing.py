@@ -1,0 +1,56 @@
+"""Event tracing for debugging and timeline assertions in tests."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Iterator, Optional
+
+__all__ = ["TraceRecord", "Tracer"]
+
+
+@dataclass(frozen=True)
+class TraceRecord:
+    """One processed event: its timestamp, type name and value."""
+
+    time: float
+    kind: str
+    value: Any
+
+
+@dataclass
+class Tracer:
+    """Records processed events; attach via ``Environment(tracer=...)``.
+
+    Parameters
+    ----------
+    predicate:
+        Optional filter; only events for which it returns True are kept.
+    limit:
+        Maximum number of records retained (oldest dropped beyond it).
+    """
+
+    predicate: Optional[Callable[[Any], bool]] = None
+    limit: int = 1_000_000
+    records: list[TraceRecord] = field(default_factory=list)
+
+    def record(self, time: float, event: Any) -> None:
+        if self.predicate is not None and not self.predicate(event):
+            return
+        if len(self.records) >= self.limit:
+            del self.records[0 : len(self.records) // 2]
+        value = event._value if event.triggered else None
+        self.records.append(TraceRecord(time, type(event).__name__, value))
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    def __iter__(self) -> Iterator[TraceRecord]:
+        return iter(self.records)
+
+    def of_kind(self, kind: str) -> list[TraceRecord]:
+        """All records whose event type name equals ``kind``."""
+        return [r for r in self.records if r.kind == kind]
+
+    def times(self) -> list[float]:
+        """Timestamps of all records, in processing order."""
+        return [r.time for r in self.records]

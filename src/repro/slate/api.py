@@ -1,0 +1,116 @@
+"""The Slate client API, C-header style (§IV-A1).
+
+"The Slate API is presently provided as a C++ header and shared linkable
+library for user kernels."  This module mirrors that surface for code
+ported from C-style clients: free functions named like the header's,
+operating on an opaque handle, each one a process generator (call with
+``yield from`` inside an application process)::
+
+    handle = slate_init(runtime, "my-app")
+    buf    = yield from slate_malloc(handle, 1 << 20)
+    yield from slate_memcpy(handle, buf, nbytes, SLATE_MEMCPY_HOST_TO_DEVICE)
+    yield from slate_launch_kernel(handle, spec, args=[buf])
+    yield from slate_synchronize(handle)
+    yield from slate_free(handle, buf)
+    slate_finalize(handle)
+
+Everything delegates to :class:`~repro.slate.daemon.SlateSession`; the
+object-oriented session remains the primary Python API.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Generator, Optional
+
+from repro.cuda.memory_manager import DevicePointer
+from repro.kernels.kernel import KernelSpec
+from repro.slate.daemon import SlateRuntime, SlateSession
+
+__all__ = [
+    "SLATE_MEMCPY_DEVICE_TO_HOST",
+    "SLATE_MEMCPY_HOST_TO_DEVICE",
+    "SlateHandle",
+    "slate_finalize",
+    "slate_free",
+    "slate_init",
+    "slate_launch_kernel",
+    "slate_malloc",
+    "slate_memcpy",
+    "slate_synchronize",
+]
+
+SLATE_MEMCPY_HOST_TO_DEVICE = 1
+SLATE_MEMCPY_DEVICE_TO_HOST = 2
+
+
+@dataclass
+class SlateHandle:
+    """Opaque client handle returned by :func:`slate_init`."""
+
+    session: SlateSession
+    _finalized: bool = False
+
+    def _check(self) -> None:
+        if self._finalized:
+            raise RuntimeError("Slate handle used after slate_finalize")
+
+
+def slate_init(runtime: SlateRuntime, client_name: str) -> SlateHandle:
+    """Connect to the Slate daemon; returns the client handle."""
+    return SlateHandle(session=runtime.create_session(client_name))
+
+
+def slate_malloc(handle: SlateHandle, nbytes: int) -> Generator:
+    """slateMalloc(handle, size) -> device pointer."""
+    handle._check()
+    ptr = yield from handle.session.malloc(nbytes)
+    return ptr
+
+
+def slate_free(handle: SlateHandle, ptr: DevicePointer) -> Generator:
+    """slateFree(handle, ptr)."""
+    handle._check()
+    yield from handle.session.free(ptr)
+
+
+def slate_memcpy(
+    handle: SlateHandle, ptr: DevicePointer, nbytes: float, direction: int
+) -> Generator:
+    """slateMemcpy(handle, ptr, size, direction)."""
+    handle._check()
+    if direction == SLATE_MEMCPY_HOST_TO_DEVICE:
+        yield from handle.session.memcpy_h2d(nbytes)
+    elif direction == SLATE_MEMCPY_DEVICE_TO_HOST:
+        yield from handle.session.memcpy_d2h(nbytes)
+    else:
+        raise ValueError(f"unknown memcpy direction {direction}")
+
+
+def slate_launch_kernel(
+    handle: SlateHandle,
+    spec: KernelSpec,
+    args: Optional[list] = None,
+    task_size: Optional[int] = None,
+    priority: int = 0,
+) -> Generator:
+    """slateLaunchKernel(handle, kernel, args...) -> launch ticket."""
+    handle._check()
+    ticket = yield from handle.session.launch(
+        spec, task_size=task_size, priority=priority, args=args
+    )
+    return ticket
+
+
+def slate_synchronize(handle: SlateHandle) -> Generator:
+    """slateSynchronize(handle): wait for the client's outstanding work."""
+    handle._check()
+    yield from handle.session.synchronize()
+
+
+def slate_finalize(handle: SlateHandle) -> None:
+    """End the client session; frees its device allocations."""
+    if handle._finalized:
+        return
+    handle.session.close()
+    handle._finalized = True

@@ -1,0 +1,143 @@
+"""Workload intensity classification (§III-B2).
+
+Kernels are labelled by compute intensity (L/M/H_C) and memory intensity,
+with *memory taking priority*: "an application of H_M is simply memory
+intensive, while an application of low-memory (L_M) could be L_C or M_C or
+H_C".  The combined label is therefore one of {L_C, M_C, H_C, M_M, H_M} —
+exactly the row/column alphabet of the Table I policy.
+
+Thresholds are fractions of device peaks, chosen so the paper's five
+benchmarks land in their published classes (Table II):
+
+==========  ======================  =====================  ========
+Benchmark   compute fraction        memory fraction        class
+==========  ======================  =====================  ========
+BS          0.013 (Med)             0.73 (Med)             M_M
+GS          0.002 (Low)             0.60 (Med)             M_M
+MM          0.125 (High)            0.73 (Med)             M_M
+RG          0.0003 (Low)            0.13 (Low)             L_C
+TR          0.000 (Low)             1.03 (High)            H_M
+==========  ======================  =====================  ========
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.config import DeviceConfig, TITAN_XP
+
+__all__ = [
+    "BASES",
+    "ClassifierThresholds",
+    "IntensityClass",
+    "Level",
+    "classify",
+    "classify_levels",
+]
+
+#: Classification bases:
+#: * ``device`` — fractions of the whole device's peaks (the paper's
+#:   implicit choice; thresholds assume one compute:bandwidth ratio).
+#: * ``per_sm`` — memory intensity normalized per SM against the per-SM
+#:   issue limit, making the classes invariant to compute-only device
+#:   scaling (see experiments/scaling.py for why this matters).
+BASES = ("device", "per_sm")
+
+#: SM count of the calibration device (the paper's Titan Xp).
+_CALIBRATION_SMS = 30
+
+
+class Level(str, enum.Enum):
+    LOW = "L"
+    MED = "M"
+    HIGH = "H"
+
+
+class IntensityClass(str, enum.Enum):
+    """Combined workload class used by the Table I policy."""
+
+    L_C = "L_C"
+    M_C = "M_C"
+    H_C = "H_C"
+    M_M = "M_M"
+    H_M = "H_M"
+
+    @property
+    def memory_intensive(self) -> bool:
+        return self in (IntensityClass.M_M, IntensityClass.H_M)
+
+
+@dataclass(frozen=True)
+class ClassifierThresholds:
+    """Fraction-of-peak cutoffs for Low/Med/High levels."""
+
+    compute_high: float = 0.10
+    compute_med: float = 0.01
+    memory_high: float = 0.85
+    memory_med: float = 0.25
+
+    def __post_init__(self) -> None:
+        if not 0 < self.compute_med < self.compute_high:
+            raise ValueError("compute thresholds must satisfy 0 < med < high")
+        if not 0 < self.memory_med < self.memory_high:
+            raise ValueError("memory thresholds must satisfy 0 < med < high")
+
+
+DEFAULT_THRESHOLDS = ClassifierThresholds()
+
+
+def classify_levels(
+    gflops: float,
+    mem_bw: float,
+    device: DeviceConfig = TITAN_XP,
+    thresholds: ClassifierThresholds = DEFAULT_THRESHOLDS,
+    basis: str = "device",
+) -> tuple[Level, Level]:
+    """Raw (compute level, memory level) for a kernel profile."""
+    if gflops < 0 or mem_bw < 0:
+        raise ValueError("profile rates must be non-negative")
+    if basis not in BASES:
+        raise ValueError(f"unknown classification basis {basis!r}; known: {BASES}")
+    cfrac = gflops * 1e9 / device.device_flops
+    if basis == "per_sm":
+        # Normalize by the *per-SM* bandwidth demand, scaled back onto the
+        # calibration device's 30-SM geometry so both bases agree exactly
+        # there.  The per-SM demand is a property of the kernel, so this
+        # basis is invariant to compute-only device scaling.
+        per_sm = mem_bw / device.num_sms
+        mfrac = per_sm * _CALIBRATION_SMS / device.dram_bandwidth
+    else:
+        mfrac = mem_bw / device.dram_bandwidth
+
+    def level(frac: float, med: float, high: float) -> Level:
+        if frac >= high:
+            return Level.HIGH
+        if frac >= med:
+            return Level.MED
+        return Level.LOW
+
+    return (
+        level(cfrac, thresholds.compute_med, thresholds.compute_high),
+        level(mfrac, thresholds.memory_med, thresholds.memory_high),
+    )
+
+
+def classify(
+    gflops: float,
+    mem_bw: float,
+    device: DeviceConfig = TITAN_XP,
+    thresholds: ClassifierThresholds = DEFAULT_THRESHOLDS,
+    basis: str = "device",
+) -> IntensityClass:
+    """Combined class with memory priority (see module docstring)."""
+    compute, memory = classify_levels(gflops, mem_bw, device, thresholds, basis)
+    if memory is Level.HIGH:
+        return IntensityClass.H_M
+    if memory is Level.MED:
+        return IntensityClass.M_M
+    return {
+        Level.LOW: IntensityClass.L_C,
+        Level.MED: IntensityClass.M_C,
+        Level.HIGH: IntensityClass.H_C,
+    }[compute]

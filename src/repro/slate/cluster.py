@@ -1,0 +1,158 @@
+"""Multi-GPU Slate: a daemon per device plus workload-aware placement.
+
+A natural extension of the paper ("Slate ... provides a platform for
+future GPU multiprocessing research", §VII): a node with several GPUs runs
+one Slate daemon per device, and a placement layer decides which device a
+new client lands on.  Three policies:
+
+``round-robin``
+    Devices in turn — the baseline any launcher gets for free.
+``least-loaded``
+    The device with the fewest active client sessions.
+``class-aware``
+    Use the kernel-intensity classes (the same Table I machinery that
+    drives co-scheduling *within* a device) to steer tenants toward
+    devices whose residents they complement: an L_C kernel goes where a
+    saturating M_M tenant leaves SMs idle; a second memory hog goes to an
+    empty device instead of fighting the first one's DRAM.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.config import CostModel, DeviceConfig, HostConfig, TITAN_XP
+from repro.kernels.kernel import KernelSpec
+from repro.sim import Environment
+from repro.slate.daemon import SlateRuntime, SlateSession
+from repro.slate.policy import DEFAULT_POLICY, PolicyTable
+from repro.slate.profiler import offline_profile
+
+__all__ = ["SlateCluster", "PLACEMENT_POLICIES"]
+
+PLACEMENT_POLICIES = ("round-robin", "least-loaded", "class-aware")
+
+
+@dataclass
+class _DeviceState:
+    runtime: SlateRuntime
+    #: session name -> intensity class of its hinted kernel (if known).
+    residents: dict[str, object] = field(default_factory=dict)
+
+
+class SlateCluster:
+    """N Slate daemons (one per device) behind a placement policy."""
+
+    def __init__(
+        self,
+        env: Environment,
+        num_devices: int = 2,
+        device: DeviceConfig = TITAN_XP,
+        host: HostConfig = HostConfig(),
+        costs: CostModel = CostModel(),
+        policy: PolicyTable = DEFAULT_POLICY,
+        placement: str = "class-aware",
+    ) -> None:
+        if num_devices < 1:
+            raise ValueError("num_devices must be >= 1")
+        if placement not in PLACEMENT_POLICIES:
+            raise ValueError(
+                f"unknown placement {placement!r}; known: {PLACEMENT_POLICIES}"
+            )
+        self.env = env
+        self.placement = placement
+        self.policy = policy
+        self.device = device
+        self._devices = [
+            _DeviceState(
+                runtime=SlateRuntime(env, device=device, host=host, costs=costs, policy=policy)
+            )
+            for _ in range(num_devices)
+        ]
+        self._rr = itertools.cycle(range(num_devices))
+        #: session name -> device index (for tests/diagnostics).
+        self.placements: dict[str, int] = {}
+
+    # -- introspection -----------------------------------------------------
+
+    @property
+    def num_devices(self) -> int:
+        return len(self._devices)
+
+    def runtime(self, index: int) -> SlateRuntime:
+        return self._devices[index].runtime
+
+    def load(self, index: int) -> int:
+        return len(self._devices[index].residents)
+
+    # -- placement -----------------------------------------------------------
+
+    def preload_profiles(self, specs: list[KernelSpec]) -> None:
+        """Seed every device's profile table (offline profiling)."""
+        for state in self._devices:
+            state.runtime.preload_profiles(specs)
+
+    def _class_of(self, spec: KernelSpec):
+        table = self._devices[0].runtime.profiles
+        profile = table.get(spec.name)
+        if profile is None:
+            profile = offline_profile(spec, self.device)
+            for state in self._devices:
+                state.runtime.profiles.put(spec.name, profile)
+        return profile.intensity
+
+    def _pick_device(self, spec_hint: Optional[KernelSpec]) -> int:
+        if self.placement == "round-robin":
+            return next(self._rr)
+        if self.placement == "least-loaded" or spec_hint is None:
+            # class-aware without a hint degrades to least-loaded.
+            return min(range(self.num_devices), key=self.load)
+
+        new_class = self._class_of(spec_hint)
+        best, best_key = 0, None
+        for i, state in enumerate(self._devices):
+            residents = list(state.residents.values())
+            # Every resident must be policy-compatible both ways.
+            compatible = all(
+                self.policy.should_corun(r, new_class)
+                and self.policy.should_corun(new_class, r)
+                for r in residents
+            )
+            # Prefer: compatible, then fewer residents, then lower index.
+            key = (0 if compatible else 1, len(residents), i)
+            if best_key is None or key < best_key:
+                best, best_key = i, key
+        return best
+
+    # -- sessions -----------------------------------------------------------
+
+    def create_session(
+        self, name: str, spec_hint: Optional[KernelSpec] = None
+    ) -> SlateSession:
+        """Open a session, placed per the cluster policy.
+
+        ``spec_hint`` tells class-aware placement which kernel the client
+        will run (clients know; schedulers in datacenters ask).  The
+        returned session behaves exactly like a single-device one; closing
+        it releases the placement slot.
+        """
+        index = self._pick_device(spec_hint)
+        state = self._devices[index]
+        session = state.runtime.create_session(name)
+        self.placements[name] = index
+        state.residents[name] = (
+            self._class_of(spec_hint) if spec_hint is not None else None
+        )
+        if state.residents[name] is None:
+            del state.residents[name]
+
+        original_close = session.close
+
+        def close_and_release() -> None:
+            original_close()
+            state.residents.pop(name, None)
+
+        session.close = close_and_release  # type: ignore[method-assign]
+        return session

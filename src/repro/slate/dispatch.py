@@ -1,0 +1,147 @@
+"""The dispatch kernel (Listing 3): retreat / relaunch bookkeeping.
+
+Slate launches a *dispatch kernel* instead of the user kernel; the
+dispatch kernel launches the transformed user kernel onto its designated
+SM range and, whenever the range is adjusted before the task queue drains,
+terminates the running workers (retreat) and relaunches onto the new range
+— carrying progress over through ``slateIdx`` (§IV-C, Listing 3)::
+
+    retreat = 0; slateIdx = 0;
+    do {
+        <<<launch user kernel with sm bounds>>>
+        cudaDeviceSynchronize();
+        retreat = 0;
+    } while (slateIdx < slateMax);
+
+Workers then have three exit conditions (§IV-C): (1) wrong SM — quit in
+the prologue; (2) ran the whole queue — persisted through; (3) retreated —
+terminated early or launched late.  This module wraps a device
+:class:`~repro.gpu.device.KernelExecution` with that loop's accounting so
+schedulers and tests observe Listing 3's behaviour explicitly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from repro.gpu.device import ExecutionMode, KernelExecution, SimulatedGPU
+from repro.gpu.occupancy import occupancy
+from repro.kernels.kernel import KernelSpec
+from repro.sim import Event
+
+__all__ = ["DispatchKernel", "DispatchRecord"]
+
+
+@dataclass(frozen=True)
+class DispatchRecord:
+    """One (re)launch performed by the dispatch kernel's loop."""
+
+    time: float
+    sm_low: int
+    sm_high: int
+    #: slateIdx value at (re)launch — where the worker set resumed.
+    slate_idx: float
+    workers: int
+
+
+@dataclass
+class ExitConditions:
+    """Worker exit-condition tallies across the dispatch loop (§IV-C)."""
+
+    #: (1) would-be workers on undesignated SMs (guard-prologue exits).
+    wrong_sm: int = 0
+    #: (2) workers that persisted until the queue drained.
+    persisted: int = 0
+    #: (3) workers terminated early by a retreat.
+    retreated: int = 0
+
+
+class DispatchKernel:
+    """Runs one user kernel through the dispatch-kernel loop."""
+
+    def __init__(
+        self,
+        gpu: SimulatedGPU,
+        spec: KernelSpec,
+        sm_ids: Sequence[int],
+        task_size: int = 10,
+        inject_frac: float = 0.03,
+    ) -> None:
+        self.gpu = gpu
+        self.spec = spec
+        self.task_size = task_size
+        self._work = spec.work()
+        self._blocks_per_sm = occupancy(gpu.device, self._work.block).blocks_per_sm
+        self.records: list[DispatchRecord] = []
+        self.exit_conditions = ExitConditions()
+        self.execution: KernelExecution = gpu.launch(
+            self._work,
+            sm_ids=sm_ids,
+            mode=ExecutionMode.SLATE,
+            task_size=task_size,
+            inject_frac=inject_frac,
+        )
+        self._record_launch(tuple(sm_ids))
+        self.execution.done.callbacks.append(self._on_done)
+
+    # -- bookkeeping ------------------------------------------------------
+
+    def _record_launch(self, sms: tuple[int, ...]) -> None:
+        workers = self._blocks_per_sm * len(sms)
+        # Exit condition (1): blocks the hardware placed on undesignated
+        # SMs return immediately in the SM-guard prologue.
+        undesignated = self.gpu.device.num_sms - len(sms)
+        self.exit_conditions.wrong_sm += self._blocks_per_sm * undesignated
+        self.records.append(
+            DispatchRecord(
+                time=self.gpu.env.now,
+                sm_low=min(sms),
+                sm_high=max(sms),
+                slate_idx=self.execution.blocks_done if self.records else 0.0,
+                workers=workers,
+            )
+        )
+
+    def _on_done(self, _event: Event) -> None:
+        # Exit condition (2): the final worker set persisted to the end.
+        self.exit_conditions.persisted += self.records[-1].workers
+
+    # -- the Listing 3 loop -------------------------------------------------
+
+    @property
+    def done(self) -> Event:
+        return self.execution.done
+
+    @property
+    def slate_idx(self) -> float:
+        """Current queue position (blocks claimed so far)."""
+        return self.execution.blocks_done
+
+    @property
+    def slate_max(self) -> int:
+        return self._work.num_blocks
+
+    @property
+    def relaunches(self) -> int:
+        return len(self.records) - 1
+
+    def adjust_sm_range(self, new_sm_ids: Sequence[int]) -> Event:
+        """Retreat the current workers and relaunch on ``new_sm_ids``.
+
+        Returns the event that fires when the relaunched workers are
+        running; progress carries over through ``slateIdx``.
+        """
+        sms = tuple(new_sm_ids)
+        if self.execution.state.value in ("running", "resizing"):
+            # Exit condition (3): the current worker set terminates early.
+            self.exit_conditions.retreated += self.records[-1].workers
+        resumed = self.gpu.resize(self.execution, sms)
+
+        def _after(_event: Event) -> None:
+            if self.execution.state.value in ("running",):
+                self._record_launch(sms)
+
+        if resumed.callbacks is not None:
+            resumed.callbacks.append(_after)
+        return resumed

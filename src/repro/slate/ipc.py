@@ -1,0 +1,58 @@
+"""Client-daemon communication channels (§IV-A1).
+
+Slate uses a *type-based communication strategy*: a named pipe carries API
+commands (small, latency-sensitive), and shared buffers carry kernel IO data
+(bytes to gigabytes) without extra copies.  Each channel charges its own
+cost and keeps counters for the overhead breakdown of Fig. 6.
+"""
+
+from __future__ import annotations
+
+from typing import Generator
+
+from repro.config import CostModel
+from repro.sim import Environment
+
+__all__ = ["NamedPipe", "SharedBufferChannel"]
+
+
+class NamedPipe:
+    """Command channel: one round trip per API call."""
+
+    def __init__(self, env: Environment, costs: CostModel) -> None:
+        self.env = env
+        self.costs = costs
+        self.round_trips = 0
+        self.total_time = 0.0
+
+    def command(self) -> Generator:
+        """Process generator: one command round trip."""
+        self.round_trips += 1
+        self.total_time += self.costs.pipe_roundtrip
+        yield self.env.timeout(self.costs.pipe_roundtrip)
+
+
+class SharedBufferChannel:
+    """Bulk-data channel: shared memory mapping, no payload copy.
+
+    The daemon maps a buffer shared with the client and records the
+    (client address -> GPU pointer) association in its hash table; only the
+    fixed mapping/bookkeeping cost is charged regardless of payload size —
+    "this channel avoids extra memory footprint and data copy" (§IV-A1).
+    """
+
+    def __init__(self, env: Environment, costs: CostModel) -> None:
+        self.env = env
+        self.costs = costs
+        self.handoffs = 0
+        self.bytes_handled = 0.0
+        self.total_time = 0.0
+
+    def handoff(self, nbytes: float) -> Generator:
+        """Process generator: map/bookkeep one buffer of ``nbytes``."""
+        if nbytes < 0:
+            raise ValueError(f"negative buffer size {nbytes}")
+        self.handoffs += 1
+        self.bytes_handled += nbytes
+        self.total_time += self.costs.shared_buffer_overhead
+        yield self.env.timeout(self.costs.shared_buffer_overhead)

@@ -1,0 +1,117 @@
+"""The system-state monitor (Figure 2, step (e)).
+
+"Slate monitors the system state, notifies the dispatch kernels to
+dynamically adjust the kernel sizes."  The scheduler itself is
+event-driven (arrivals and completions trigger resizes); the monitor adds
+the periodic safety net a daemon needs in production: every ``interval``
+it samples device state and, if SMs have been sitting idle while a tenant
+could use them (a missed grow — e.g. the event-driven path was disabled,
+raced, or a grace was interrupted), it reclaims them.
+
+It also keeps a sample history (tenancy, SM coverage) that powers
+operator-facing reports.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.sim import Environment, Interrupt
+from repro.slate.scheduler import SlateScheduler
+
+__all__ = ["MonitorSample", "SystemMonitor"]
+
+
+@dataclass(frozen=True)
+class MonitorSample:
+    """One periodic observation of device state."""
+
+    time: float
+    running: int
+    waiting: int
+    covered_sms: int
+
+    def idle_sms(self, num_sms: int) -> int:
+        return max(0, num_sms - self.covered_sms)
+
+
+class SystemMonitor:
+    """Periodic device-state sampler with idle-SM reclamation."""
+
+    def __init__(
+        self,
+        env: Environment,
+        scheduler: SlateScheduler,
+        interval: float = 1e-3,
+        reclaim: bool = True,
+    ) -> None:
+        if interval <= 0:
+            raise ValueError("monitor interval must be positive")
+        self.env = env
+        self.scheduler = scheduler
+        self.interval = interval
+        self.reclaim = reclaim
+        self.samples: list[MonitorSample] = []
+        self.reclaims = 0
+        self._proc = env.process(self._loop())
+        self._stopped = False
+
+    def stop(self) -> None:
+        """Shut the monitor down (idempotent)."""
+        if not self._stopped and self._proc.is_alive:
+            self._stopped = True
+            self._proc.interrupt("monitor-stop")
+
+    def _covered_sms(self) -> int:
+        return sum(len(sms) for sms in self.scheduler.running_sms().values())
+
+    def _loop(self):
+        scheduler = self.scheduler
+        num_sms = scheduler.device.num_sms
+        while True:
+            try:
+                yield self.env.timeout(self.interval)
+            except Interrupt:
+                return
+            sample = MonitorSample(
+                time=self.env.now,
+                running=scheduler.running_count,
+                waiting=scheduler.waiting_count,
+                covered_sms=self._covered_sms(),
+            )
+            self.samples.append(sample)
+            if (
+                self.reclaim
+                and sample.running >= 1
+                and sample.waiting == 0
+                and sample.covered_sms < num_sms
+            ):
+                # Idle SMs a tenant could use: trigger the rebalance the
+                # event-driven path would normally have performed.
+                if sample.running == 1:
+                    survivor = scheduler._running[0]
+                    all_sms = scheduler.gpu.all_sms()
+                    if survivor.sms != all_sms:
+                        survivor.sms = all_sms
+                        scheduler.resizes += 1
+                        scheduler.gpu.resize(survivor.handle, all_sms)
+                        scheduler._log_allocation()
+                        self.reclaims += 1
+                else:
+                    scheduler._rebalance_survivors()
+                    self.reclaims += 1
+
+    def report(self) -> str:
+        """Operator summary of the sampled history."""
+        if not self.samples:
+            return "(no monitor samples)"
+        num_sms = self.scheduler.device.num_sms
+        n = len(self.samples)
+        mean_cov = sum(s.covered_sms for s in self.samples) / n / num_sms
+        idle = sum(s.running == 0 for s in self.samples) / n
+        shared = sum(s.running >= 2 for s in self.samples) / n
+        return (
+            f"monitor: {n} samples at {self.interval * 1e3:.1f} ms; "
+            f"mean SM coverage {mean_cov:.0%}, idle {idle:.0%}, "
+            f"shared {shared:.0%}, reclaims {self.reclaims}"
+        )

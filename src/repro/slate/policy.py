@@ -1,0 +1,74 @@
+"""The Table I heuristic corun/solo policy (§III-B2).
+
+"At run time, Slate refers to a heuristic policy table to decide whether a
+given pair of kernels should share a GPU.  This table is derived from
+empirical results."  Rows index the currently-active kernel's class, columns
+the candidate's; the verbatim paper table is::
+
+            L_C    M_C    H_C    M_M    H_M
+    L_C    corun  corun  solo   corun  corun
+    M_C    corun  corun  solo   solo   corun
+    H_C    solo   solo   solo   solo   corun
+    M_M    corun  solo   corun  solo   solo
+    H_M    corun  corun  solo   solo   solo
+
+Note the table as published is not symmetric (e.g. H_C row x M_M column is
+"solo" but M_M row x H_C column is "corun").  We reproduce it verbatim and
+resolve a lookup with row = the *running* kernel, column = the *candidate*,
+which is how the selection algorithm of §III-B1 consults it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping
+
+from repro.slate.classify import IntensityClass as C
+
+__all__ = ["PolicyTable", "DEFAULT_POLICY", "Decision"]
+
+Decision = str  # "corun" | "solo"
+
+_PAPER_TABLE: dict[tuple[C, C], Decision] = {}
+
+
+def _row(active: C, decisions: str) -> None:
+    for candidate, decision in zip((C.L_C, C.M_C, C.H_C, C.M_M, C.H_M), decisions.split()):
+        _PAPER_TABLE[(active, candidate)] = decision
+
+
+_row(C.L_C, "corun corun solo  corun corun")
+_row(C.M_C, "corun corun solo  solo  corun")
+_row(C.H_C, "solo  solo  solo  solo  corun")
+_row(C.M_M, "corun solo  corun solo  solo")
+_row(C.H_M, "corun corun solo  solo  solo")
+
+
+@dataclass(frozen=True)
+class PolicyTable:
+    """Lookup wrapper over a corun/solo matrix."""
+
+    table: Mapping[tuple[C, C], Decision] = field(default_factory=lambda: dict(_PAPER_TABLE))
+
+    def __post_init__(self) -> None:
+        for key, decision in self.table.items():
+            if decision not in ("corun", "solo"):
+                raise ValueError(f"invalid decision {decision!r} for {key}")
+
+    def should_corun(self, active: C, candidate: C) -> bool:
+        """True if ``candidate`` may share the GPU with ``active``."""
+        return self.table[(active, candidate)] == "corun"
+
+    def decision(self, active: C, candidate: C) -> Decision:
+        return self.table[(active, candidate)]
+
+    def corun_pairs(self) -> list[tuple[C, C]]:
+        """All (active, candidate) pairs the policy allows to share."""
+        return sorted(
+            (k for k, v in self.table.items() if v == "corun"),
+            key=lambda pair: (pair[0].value, pair[1].value),
+        )
+
+
+#: The paper's published policy.
+DEFAULT_POLICY = PolicyTable()

@@ -1,0 +1,168 @@
+"""Kernel profiling and the daemon's profile table (§IV-B).
+
+"The daemon profiles kernels at their first time run, and saves the profile
+data in the kernel profile table.  The daemon references the profile data
+online to decide if it should run the kernels solo or concurrently."
+
+A profile records the solo rates (GFLOP/s, memory bandwidth), the derived
+intensity class, and the *memory throttle fraction*, from which the
+scheduler estimates how many SMs the kernel needs before extra SMs stop
+helping (its bandwidth saturation point — the Figure 1 insight).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Hashable, Optional
+
+from repro.config import CostModel, DeviceConfig, TITAN_XP
+from repro.gpu.device import ExecutionMode, KernelCounters, SimulatedGPU
+from repro.kernels.kernel import KernelSpec
+from repro.slate.classify import IntensityClass, classify
+from repro.sim import Environment
+
+__all__ = [
+    "KernelProfile",
+    "ProfileTable",
+    "load_profiles",
+    "offline_profile",
+    "profile_from_counters",
+    "save_profiles",
+]
+
+
+@dataclass(frozen=True)
+class KernelProfile:
+    """Solo-run profile of one kernel under Slate scheduling."""
+
+    name: str
+    gflops: float
+    mem_bw: float
+    throttle_fraction: float
+    intensity: IntensityClass
+    elapsed: float
+
+    def saturation_sms(self, device: DeviceConfig = TITAN_XP) -> int:
+        """SMs beyond which this kernel gains (almost) nothing.
+
+        A kernel throttled to fraction ``t`` of its demand was over-
+        provisioned by ``1/(1-t)``: it reaches the same bandwidth with
+        ``ceil(num_sms * (1-t))`` SMs (Fig. 1's knee).  Unthrottled kernels
+        scale to the whole device.
+        """
+        effective = device.num_sms * (1.0 - self.throttle_fraction)
+        return max(1, min(device.num_sms, math.ceil(effective)))
+
+
+def profile_from_counters(
+    counters: KernelCounters,
+    device: DeviceConfig = TITAN_XP,
+    basis: str = "device",
+) -> KernelProfile:
+    """Build a profile from a completed execution's counters."""
+    gflops = counters.gflops
+    bw = counters.l2_throughput
+    return KernelProfile(
+        name=counters.name,
+        gflops=gflops,
+        mem_bw=bw,
+        throttle_fraction=counters.mem_throttle_fraction,
+        intensity=classify(gflops, bw, device, basis=basis),
+        elapsed=counters.elapsed,
+    )
+
+
+def offline_profile(
+    spec: KernelSpec,
+    device: DeviceConfig = TITAN_XP,
+    costs: CostModel = CostModel(),
+    task_size: int = 10,
+    basis: str = "device",
+) -> KernelProfile:
+    """Profile ``spec`` by a solo Slate-scheduled run on a private device.
+
+    This is the paper's "offline profiling" path: a dedicated simulation
+    runs the kernel alone on all SMs and records its counters.
+    """
+    env = Environment()
+    gpu = SimulatedGPU(env, device, costs)
+    handle = gpu.launch(
+        spec.work(), mode=ExecutionMode.SLATE, task_size=task_size, inject_frac=0.03
+    )
+    counters = env.run(until=handle.done)
+    return profile_from_counters(counters, device, basis=basis)
+
+
+class ProfileTable:
+    """The daemon's kernel profile store."""
+
+    def __init__(self, device: DeviceConfig = TITAN_XP, basis: str = "device") -> None:
+        self.device = device
+        self.basis = basis
+        self._profiles: dict[Hashable, KernelProfile] = {}
+        self.lookups = 0
+        self.misses = 0
+
+    def get(self, key: Hashable) -> Optional[KernelProfile]:
+        self.lookups += 1
+        profile = self._profiles.get(key)
+        if profile is None:
+            self.misses += 1
+        return profile
+
+    def put(self, key: Hashable, profile: KernelProfile) -> None:
+        self._profiles[key] = profile
+
+    def record_run(self, key: Hashable, counters: KernelCounters) -> KernelProfile:
+        """First-run profiling: derive and store a profile from counters."""
+        profile = profile_from_counters(counters, self.device, basis=self.basis)
+        self._profiles[key] = profile
+        return profile
+
+    def __contains__(self, key: Hashable) -> bool:
+        return key in self._profiles
+
+    def __len__(self) -> int:
+        return len(self._profiles)
+
+
+def save_profiles(table: ProfileTable, path) -> None:
+    """Persist a profile table to JSON (the paper's across-run profiles)."""
+    import json
+
+    payload = {
+        str(key): {
+            "name": p.name,
+            "gflops": p.gflops,
+            "mem_bw": p.mem_bw,
+            "throttle_fraction": p.throttle_fraction,
+            "intensity": p.intensity.value,
+            "elapsed": p.elapsed,
+        }
+        for key, p in table._profiles.items()
+    }
+    with open(path, "w") as fh:
+        json.dump(payload, fh, indent=2, sort_keys=True)
+
+
+def load_profiles(path, device: DeviceConfig = TITAN_XP) -> ProfileTable:
+    """Load a profile table saved by :func:`save_profiles`."""
+    import json
+
+    with open(path) as fh:
+        payload = json.load(fh)
+    table = ProfileTable(device)
+    for key, raw in payload.items():
+        table.put(
+            key,
+            KernelProfile(
+                name=raw["name"],
+                gflops=float(raw["gflops"]),
+                mem_bw=float(raw["mem_bw"]),
+                throttle_fraction=float(raw["throttle_fraction"]),
+                intensity=IntensityClass(raw["intensity"]),
+                elapsed=float(raw["elapsed"]),
+            ),
+        )
+    return table

@@ -1,0 +1,530 @@
+"""The daemon-side workload-aware kernel scheduler (§III-B, §III-C, §IV-C).
+
+Responsibilities:
+
+* maintain the waiting queue of launch requests from all client sessions;
+* on each arrival/completion, consult the profile table and the Table I
+  policy to decide corun vs solo (§III-B1's selection algorithm);
+* for corun decisions, pick the SM partition, shrink the running kernel
+  (retreat + relaunch via the dispatch-kernel mechanism) and launch the
+  newcomer on the complementary SMs;
+* on completion, grow the surviving kernel onto the freed SMs and record
+  first-run profiles into the table.
+
+Kernels whose profile is not yet known run solo on the whole device (the
+first-run profiling pass); their counters populate the profile table.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Hashable, Optional
+
+from repro.config import CostModel, DeviceConfig, TITAN_XP
+from repro.gpu.device import ExecutionMode, KernelCounters, KernelExecution, SimulatedGPU
+from repro.kernels.kernel import KernelSpec
+from repro.slate.partition import choose_partition
+from repro.slate.policy import DEFAULT_POLICY, PolicyTable
+from repro.slate.profiler import KernelProfile, ProfileTable
+from repro.sim import Environment, Event
+
+__all__ = ["Decision", "SlateScheduler", "SlateTicket", "DEFAULT_TASK_SIZE", "SLATE_INJECT_FRAC"]
+
+#: The paper's default task size ("We set the default task size as 10
+#: blocks", §V-B).
+DEFAULT_TASK_SIZE = 10
+
+#: Injected-instruction overhead: "about 4 million or 3% more instructions"
+#: for BlackScholes (§V-D1).
+SLATE_INJECT_FRAC = 0.03
+
+
+@dataclass
+class SlateTicket:
+    """One kernel launch request inside the daemon."""
+
+    spec: KernelSpec
+    profile_key: Hashable
+    done: Event
+    enqueued_at: float
+    task_size: int = DEFAULT_TASK_SIZE
+    #: Larger = more important.  Orders the waiting queue; with the
+    #: scheduler's ``enable_preemption``, a strictly-higher-priority
+    #: arrival that cannot corun preempts the running kernel (retreat,
+    #: progress held in slateIdx, resumed on completion).
+    priority: int = 0
+    started_at: Optional[float] = None
+    #: Times this ticket's kernel was preempted by a higher priority one.
+    preemptions: int = 0
+    counters: Optional[KernelCounters] = None
+    #: Whether this run executed without a profile (first-run profiling).
+    profiling_run: bool = False
+    seq: int = field(default_factory=itertools.count().__next__)
+
+
+@dataclass(frozen=True)
+class Decision:
+    """One scheduling decision, with enough context to explain it."""
+
+    time: float
+    kind: str  # solo | corun | preempt | resume
+    kernel: str
+    #: Intensity classes involved: (newcomer, *tenants) where known.
+    classes: tuple[str, ...] = ()
+    #: SM count granted to the kernel the decision is about.
+    sms: int = 0
+    reason: str = ""
+
+    def describe(self) -> str:
+        klasses = " vs ".join(self.classes) if self.classes else "?"
+        return (
+            f"t={self.time * 1e3:9.3f} ms  {self.kind:7}  {self.kernel:8} "
+            f"[{klasses}] -> {self.sms} SMs  ({self.reason})"
+        )
+
+
+@dataclass
+class _Running:
+    ticket: SlateTicket
+    handle: KernelExecution
+    sms: tuple[int, ...]
+
+
+class SlateScheduler:
+    """Workload-aware scheduler bound to one simulated device."""
+
+    def __init__(
+        self,
+        env: Environment,
+        gpu: SimulatedGPU,
+        device: DeviceConfig = TITAN_XP,
+        costs: CostModel = CostModel(),
+        policy: PolicyTable = DEFAULT_POLICY,
+        profiles: Optional[ProfileTable] = None,
+        partition_strategy: str = "heuristic",
+        enable_grow: bool = True,
+        enable_preemption: bool = False,
+        max_corun: int = 2,
+        profile_refresh: float = 0.0,
+    ) -> None:
+        if partition_strategy not in ("heuristic", "predictive", "even"):
+            raise ValueError(f"unknown partition strategy {partition_strategy!r}")
+        if max_corun < 1:
+            raise ValueError("max_corun must be >= 1")
+        if not 0.0 <= profile_refresh <= 1.0:
+            raise ValueError("profile_refresh must be in [0, 1]")
+        self.env = env
+        self.gpu = gpu
+        self.device = device
+        self.costs = costs
+        self.policy = policy
+        self.partition_strategy = partition_strategy
+        #: Dynamic-resizing grow on completion (disable for ablations).
+        self.enable_grow = enable_grow
+        #: Priority preemption (QoS extension; off = paper behaviour).
+        self.enable_preemption = enable_preemption
+        #: Tenants allowed to share the device simultaneously.  The paper
+        #: evaluates pairs (2); higher values enable N-way co-residency
+        #: when the policy approves the newcomer against EVERY tenant.
+        self.max_corun = max_corun
+        #: Exponential-smoothing weight for refreshing a kernel's profile
+        #: from later *solo full-device* runs (0 = paper behaviour: the
+        #: first-run profile is kept forever).  Lets the scheduler track
+        #: kernels whose behaviour drifts with their input data.
+        self.profile_refresh = profile_refresh
+        self.profile_refreshes = 0
+        self._preempted: list[_Running] = []
+        self.preemptions = 0
+        self.profiles = profiles if profiles is not None else ProfileTable(device)
+        self._waiting: list[SlateTicket] = []
+        self._running: list[_Running] = []
+        # Statistics for the evaluation.
+        self.corun_launches = 0
+        self.solo_launches = 0
+        self.resizes = 0
+        self.decision_log: list[Decision] = []
+        #: (time, {kernel name: (sm_low, sm_high)}) after every allocation
+        #: change — the input to the timeline renderer.
+        self.allocation_log: list[tuple[float, dict[str, tuple[int, int]]]] = []
+
+    @property
+    def decisions(self) -> list[tuple[float, str]]:
+        """(time, kind) view of the decision log (backwards compatible)."""
+        return [(d.time, d.kind) for d in self.decision_log]
+
+    def _decide(self, kind, ticket, classes=(), sms=0, reason="") -> None:
+        self.decision_log.append(
+            Decision(
+                time=self.env.now,
+                kind=kind,
+                kernel=ticket.spec.name,
+                classes=tuple(classes),
+                sms=sms,
+                reason=reason,
+            )
+        )
+
+    def explain(self, last: int = 20) -> str:
+        """Human-readable tail of the decision log."""
+        return "\n".join(d.describe() for d in self.decision_log[-last:])
+
+    def _log_allocation(self) -> None:
+        snapshot = {
+            r.ticket.spec.name: (min(r.sms), max(r.sms)) for r in self._running
+        }
+        self.allocation_log.append((self.env.now, snapshot))
+
+    # -- public API -------------------------------------------------------
+
+    def submit(self, ticket: SlateTicket) -> None:
+        """Accept a launch request and re-evaluate the schedule."""
+        self._waiting.append(ticket)
+        # Highest priority first; FIFO within a priority level.
+        self._waiting.sort(key=lambda t: (-t.priority, t.seq))
+        if self.enable_preemption:
+            self._maybe_preempt()
+        self._try_schedule()
+
+    # -- priority preemption (QoS extension) --------------------------------
+
+    def _maybe_preempt(self) -> None:
+        """Preempt a lower-priority kernel for an incompatible VIP arrival.
+
+        Slate's retreat mechanism makes this cheap: the victim's workers
+        drain their current tasks, progress stays in ``slateIdx``, and the
+        kernel resumes on the freed device once the VIP completes.
+        """
+        if not self._waiting or not self._running:
+            return
+        head = self._waiting[0]
+        victim = min(self._running, key=lambda r: r.ticket.priority)
+        if head.priority <= victim.ticket.priority:
+            return
+        if self._can_schedule_more():
+            return  # compatible corun serves the VIP without a preemption
+        self.gpu.pause(victim.handle)
+        self._running.remove(victim)
+        self._preempted.append(victim)
+        victim.ticket.preemptions += 1
+        self.preemptions += 1
+        self._decide(
+            "preempt",
+            victim.ticket,
+            classes=(str(head.priority), str(victim.ticket.priority)),
+            sms=0,
+            reason=f"priority {head.priority} arrival beats {victim.ticket.priority}",
+        )
+        self._log_allocation()
+
+    def _resume_preempted(self) -> None:
+        if not self._preempted or self._running:
+            return
+        entry = self._preempted.pop()
+        # Resume on the whole device (its SMs may have been taken over).
+        entry.sms = self.gpu.all_sms()
+        self.gpu.resume(entry.handle)
+        self._running.append(entry)
+        self._decide(
+            "resume", entry.ticket, sms=len(entry.sms), reason="VIP completed"
+        )
+        self._log_allocation()
+
+    @property
+    def running_count(self) -> int:
+        return len(self._running)
+
+    @property
+    def waiting_count(self) -> int:
+        return len(self._waiting)
+
+    def running_sms(self) -> dict[str, tuple[int, ...]]:
+        """Current kernel -> SM-set assignment (for tests/diagnostics)."""
+        return {r.ticket.spec.name: r.sms for r in self._running}
+
+    # -- scheduling core ----------------------------------------------------
+
+    def _profile_of(self, ticket: SlateTicket) -> Optional[KernelProfile]:
+        return self.profiles.get(ticket.profile_key)
+
+    def _launch(self, ticket: SlateTicket, sms: tuple[int, ...]) -> None:
+        ticket.started_at = self.env.now
+        handle = self.gpu.launch(
+            ticket.spec.work(),
+            sm_ids=sms,
+            mode=ExecutionMode.SLATE,
+            task_size=ticket.task_size,
+            inject_frac=SLATE_INJECT_FRAC,
+        )
+        entry = _Running(ticket=ticket, handle=handle, sms=sms)
+        self._running.append(entry)
+        self._log_allocation()
+        self.env.process(self._await_completion(entry))
+
+    def _await_completion(self, entry: _Running):
+        counters = yield entry.handle.done
+        entry.ticket.counters = counters
+        if entry.ticket.profile_key not in self.profiles:
+            self.profiles.record_run(entry.ticket.profile_key, counters)
+        elif (
+            self.profile_refresh > 0
+            and entry.sms == self.gpu.all_sms()
+            and counters.resizes == 0
+        ):
+            self._refresh_profile(entry.ticket.profile_key, counters)
+        self._running.remove(entry)
+        self._log_allocation()
+        entry.ticket.done.succeed(counters)
+        self._on_completion()
+
+    def _refresh_profile(self, key, counters) -> None:
+        """Blend a fresh solo observation into the stored profile."""
+        from repro.slate.profiler import profile_from_counters
+
+        old = self.profiles.get(key)
+        fresh = profile_from_counters(counters, self.device, basis=self.profiles.basis)
+        w = self.profile_refresh
+        from dataclasses import replace
+
+        from repro.slate.classify import classify
+
+        gflops = (1 - w) * old.gflops + w * fresh.gflops
+        mem_bw = (1 - w) * old.mem_bw + w * fresh.mem_bw
+        throttle = (1 - w) * old.throttle_fraction + w * fresh.throttle_fraction
+        blended = replace(
+            old,
+            gflops=gflops,
+            mem_bw=mem_bw,
+            throttle_fraction=throttle,
+            intensity=classify(
+                gflops, mem_bw, self.device, basis=self.profiles.basis
+            ),
+            elapsed=fresh.elapsed,
+        )
+        self.profiles.put(key, blended)
+        self.profile_refreshes += 1
+
+    def _on_completion(self) -> None:
+        if self.enable_preemption:
+            self._resume_preempted()
+        self._try_schedule()
+        if not self.enable_grow:
+            return
+        if len(self._running) == 1 and not self._can_schedule_more():
+            # Grow the survivor onto the whole device (§III-C) — after a
+            # short grace so a partner's imminent next launch (the looped
+            # workloads' steady state) does not trigger grow-then-shrink
+            # retreat churn.
+            survivor = self._running[0]
+            if survivor.sms != self.gpu.all_sms():
+                self.env.process(self._grow_after_grace(survivor))
+        elif len(self._running) >= 2 and not self._can_schedule_more():
+            # N-way: surviving tenants claim the freed SMs.
+            covered = sum(len(r.sms) for r in self._running)
+            if covered < self.device.num_sms:
+                self.env.process(self._rebalance_after_grace(len(self._running)))
+
+    def _grow_after_grace(self, survivor: _Running):
+        sms_at_schedule = survivor.sms
+        yield self.env.timeout(self.costs.grow_grace)
+        still_running = len(self._running) == 1 and self._running[0] is survivor
+        if not still_running or self._waiting or survivor.sms != sms_at_schedule:
+            return
+        all_sms = self.gpu.all_sms()
+        survivor.sms = all_sms
+        self.resizes += 1
+        self.gpu.resize(survivor.handle, all_sms)
+        self._log_allocation()
+
+    def _rebalance_after_grace(self, survivor_count: int):
+        yield self.env.timeout(self.costs.grow_grace)
+        if len(self._running) != survivor_count or self._waiting:
+            return
+        covered = sum(len(r.sms) for r in self._running)
+        if covered < self.device.num_sms:
+            self._rebalance_survivors()
+
+    def _can_schedule_more(self) -> bool:
+        if not self._waiting:
+            return False
+        if not self._running:
+            return True
+        if len(self._running) >= self.max_corun:
+            return False
+        head = self._waiting[0]
+        head_profile = self._profile_of(head)
+        if head_profile is None:
+            return False
+        for running in self._running:
+            running_profile = self._profile_of(running.ticket)
+            if running_profile is None:
+                return False
+            if not self.policy.should_corun(
+                running_profile.intensity, head_profile.intensity
+            ):
+                return False
+        return True
+
+    def _split_device(
+        self,
+        running: "_Running",
+        head: SlateTicket,
+        running_profile: KernelProfile,
+        head_profile: KernelProfile,
+    ) -> tuple[tuple[int, ...], tuple[int, ...]]:
+        """SM sets (for the running kernel, for the newcomer)."""
+        n = self.device.num_sms
+        if self.partition_strategy == "even":
+            half = n // 2
+            return tuple(range(half)), tuple(range(half, n))
+        if self.partition_strategy == "predictive":
+            from repro.slate.predict import choose_partition_predictive
+
+            split = choose_partition_predictive(
+                running.ticket.spec,
+                head.spec,
+                self.device,
+                self.costs,
+                task_size=head.task_size,
+            )
+            return (
+                tuple(range(split.n_a)),
+                tuple(range(split.n_a, n)),
+            )
+        partition, primary, _secondary = choose_partition(
+            running_profile, head_profile, self.device
+        )
+        if primary is running_profile:
+            return partition.primary_sms, partition.secondary_sms
+        return partition.secondary_sms, partition.primary_sms
+
+    def _nway_shares(self, profiles: list[KernelProfile]) -> list[int]:
+        """SM share per tenant: the most memory-intensive keeps its
+        saturation share (capped), the rest split the remainder evenly."""
+        n = self.device.num_sms
+        k = len(profiles)
+        primary_index = max(
+            range(k), key=lambda i: (profiles[i].mem_bw, profiles[i].gflops)
+        )
+        needed = profiles[primary_index].saturation_sms(self.device)
+        primary_share = max(3, min(n - 3 * (k - 1), needed))
+        rest = n - primary_share
+        shares = []
+        others = k - 1
+        for i in range(k):
+            if i == primary_index:
+                shares.append(primary_share)
+            else:
+                share = rest // others
+                shares.append(share)
+        # Distribute any remainder to the last non-primary tenant.
+        deficit = n - sum(shares)
+        for i in range(k - 1, -1, -1):
+            if i != primary_index:
+                shares[i] += deficit
+                break
+        else:
+            shares[primary_index] += deficit
+        return shares
+
+    def _admit_nway(self, head: SlateTicket) -> None:
+        """Admit ``head`` as the (k+1)-th tenant: re-split and resize."""
+        tenants = list(self._running)
+        profiles = [self._profile_of(t.ticket) for t in tenants]
+        profiles.append(self._profile_of(head))
+        shares = self._nway_shares(profiles)
+        low = 0
+        assignments = []
+        for share in shares:
+            assignments.append(tuple(range(low, low + share)))
+            low += share
+        for entry, sms in zip(tenants, assignments[:-1]):
+            if entry.sms != sms:
+                entry.sms = sms
+                self.resizes += 1
+                self.gpu.resize(entry.handle, sms)
+        self.corun_launches += 1
+        head_profile = self._profile_of(head)
+        self._decide(
+            "corun",
+            head,
+            classes=tuple(p.intensity.value for p in profiles),
+            sms=len(assignments[-1]),
+            reason=f"{len(tenants) + 1}-way complementary set",
+        )
+        self._launch(head, assignments[-1])
+        self._log_allocation()
+
+    def _rebalance_survivors(self) -> None:
+        """After a completion with >= 2 survivors, claim the freed SMs."""
+        tenants = list(self._running)
+        profiles = [self._profile_of(t.ticket) for t in tenants]
+        if any(p is None for p in profiles):
+            return
+        shares = self._nway_shares(profiles)
+        low = 0
+        for entry, share in zip(tenants, shares):
+            sms = tuple(range(low, low + share))
+            low += share
+            if entry.sms != sms:
+                entry.sms = sms
+                self.resizes += 1
+                self.gpu.resize(entry.handle, sms)
+        self._log_allocation()
+
+    def _try_schedule(self) -> None:
+        while self._waiting:
+            head = self._waiting[0]
+            if not self._running:
+                # Idle device: run on all SMs (solo, §III-B1 case b) — also
+                # the first-run profiling path when no profile exists.
+                self._waiting.pop(0)
+                head.profiling_run = head.profile_key not in self.profiles
+                self.solo_launches += 1
+                profile = self._profile_of(head)
+                self._decide(
+                    "solo",
+                    head,
+                    classes=(profile.intensity.value,) if profile else (),
+                    sms=self.device.num_sms,
+                    reason="first-run profiling" if head.profiling_run else "device idle",
+                )
+                self._launch(head, self.gpu.all_sms())
+                continue
+            if not self._can_schedule_more():
+                return
+            # Corun: partition the device between the running kernel(s) and
+            # the newcomer (§III-B1 case a).
+            self._waiting.pop(0)
+            if len(self._running) > 1:
+                self._admit_nway(head)
+                continue
+            running = self._running[0]
+            head_profile = self._profile_of(head)
+            running_profile = self._profile_of(running.ticket)
+            run_sms, new_sms = self._split_device(running, head, running_profile, head_profile)
+            if running.sms == new_sms and len(new_sms) == len(run_sms):
+                # Equal-sized sides and the running kernel already occupies
+                # the other one (e.g. identical-kernel pairs): swap roles
+                # instead of migrating it for nothing.
+                run_sms, new_sms = new_sms, run_sms
+            if running.sms != run_sms:
+                running.sms = run_sms
+                self.resizes += 1
+                self.gpu.resize(running.handle, run_sms)
+                self._log_allocation()
+            self.corun_launches += 1
+            self._decide(
+                "corun",
+                head,
+                classes=(
+                    head_profile.intensity.value,
+                    running_profile.intensity.value,
+                ),
+                sms=len(new_sms),
+                reason=(
+                    f"Table I corun with {running.ticket.spec.name} "
+                    f"({len(run_sms)}/{len(new_sms)} split)"
+                ),
+            )
+            self._launch(head, new_sms)

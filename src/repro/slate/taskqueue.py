@@ -1,0 +1,77 @@
+"""The Slate device-side task queue (``slateIdx`` / ``slateMax``).
+
+Workers pull ``SLATE_ITERS`` user blocks per atomic increment; the queue
+survives worker relaunches (dynamic resizing) because ``slateIdx`` is global
+state: a relaunched worker set resumes exactly where the previous one
+stopped (§III-C).  ``retreat`` tells workers to exit after the task they
+are currently executing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["SlateQueue", "Task"]
+
+
+@dataclass(frozen=True)
+class Task:
+    """A group of consecutive user blocks pulled by one worker."""
+
+    start: int
+    count: int
+
+    @property
+    def block_range(self) -> range:
+        return range(self.start, self.start + self.count)
+
+
+class SlateQueue:
+    """The global task queue for one transformed kernel execution."""
+
+    def __init__(self, num_blocks: int, task_size: int) -> None:
+        if num_blocks < 1:
+            raise ValueError(f"num_blocks must be >= 1, got {num_blocks}")
+        if task_size < 1:
+            raise ValueError(f"task_size must be >= 1, got {task_size}")
+        #: slateMax: one past the last user block index.
+        self.slate_max = num_blocks
+        self.task_size = task_size
+        #: slateIdx: next unclaimed user block index.
+        self.slate_idx = 0
+        self.retreat = False
+        self.pulls = 0
+
+    @property
+    def exhausted(self) -> bool:
+        return self.slate_idx >= self.slate_max
+
+    @property
+    def remaining_blocks(self) -> int:
+        return max(0, self.slate_max - self.slate_idx)
+
+    @property
+    def remaining_tasks(self) -> int:
+        return -(-self.remaining_blocks // self.task_size)
+
+    def pull(self) -> Task | None:
+        """Atomically claim the next task (None when queue is drained).
+
+        Mirrors Listing 2: ``globIdx = atomicAdd(&slateIdx, SLATE_ITERS)``
+        with the iteration count clamped at ``slateMax`` for the last task.
+        """
+        if self.exhausted:
+            return None
+        start = self.slate_idx
+        count = min(self.task_size, self.slate_max - start)
+        self.slate_idx = start + self.task_size
+        self.pulls += 1
+        return Task(start=start, count=count)
+
+    def signal_retreat(self) -> None:
+        """Raise the retreat flag; workers exit after their current task."""
+        self.retreat = True
+
+    def clear_retreat(self) -> None:
+        """Lower the flag before relaunching workers (Listing 3's loop)."""
+        self.retreat = False

@@ -1,0 +1,132 @@
+"""Semantic model of the kernel transformation ``K(B, T) -> K*(B*, T)``.
+
+The paper's central correctness requirement: the transformed kernel "must
+preserve the semantics of user kernels" (§III-A).  Concretely, across any
+worker count, task size, and any schedule of retreats/relaunches (dynamic
+resizing), the persistent workers must execute **exactly** the user's block
+indices, each once, reconstructing 2D coordinates without per-block division
+(one div/mod per task, then increment-with-rollover — Listing 2 step (4)).
+
+:class:`GridTransform` reproduces that index arithmetic;
+:func:`simulate_workers` executes a transformed kernel on simulated workers
+and returns the block ids each worker observed — the object property tests
+verify against the original grid enumeration.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.kernels.kernel import GridDim
+from repro.slate.taskqueue import SlateQueue, Task
+
+__all__ = ["GridTransform", "simulate_workers", "WorkerTrace"]
+
+
+@dataclass(frozen=True)
+class GridTransform:
+    """The 1D linearization of a user grid and its index reconstruction."""
+
+    grid: GridDim
+
+    @property
+    def slate_max(self) -> int:
+        """Total user blocks — the transformed kernel's queue length."""
+        return self.grid.num_blocks
+
+    def task_block_coords(self, task: Task) -> list[tuple[int, int]]:
+        """User ``(blockIdx.x, blockIdx.y)`` for each block of ``task``.
+
+        Mirrors the injected code exactly: the leader computes the *seed*
+        coordinate with one mod/div (offset by -1 in x), then the loop
+        pre-increments x and rolls over into y — avoiding per-iteration
+        division (§III-A3).
+        """
+        gx = self.grid.x
+        # Listing 2: shared_blockID.x = globIdx % gridDim.x - 1 (may be -1).
+        bx = task.start % gx - 1
+        by = task.start // gx
+        coords = []
+        for _ in range(task.count):
+            bx += 1
+            if bx == gx:
+                bx = 0
+                by += 1
+            coords.append((bx, by))
+        return coords
+
+    def enumerate_all(self) -> list[tuple[int, int]]:
+        """The user grid's native (hardware) enumeration, row-major."""
+        return [self.grid.coords(i) for i in range(self.grid.num_blocks)]
+
+
+@dataclass
+class WorkerTrace:
+    """Blocks executed by one persistent worker, in execution order."""
+
+    worker_id: int
+    epoch: int
+    blocks: list[tuple[int, int]]
+
+
+def simulate_workers(
+    grid: GridDim,
+    task_size: int,
+    worker_schedule: list[int],
+) -> list[WorkerTrace]:
+    """Execute a transformed kernel over a resize schedule.
+
+    Parameters
+    ----------
+    grid:
+        The user kernel's grid.
+    task_size:
+        ``SLATE_ITERS``.
+    worker_schedule:
+        Worker counts per epoch: ``[w0, w1, ...]``.  Epoch ``i`` runs with
+        ``w_i`` persistent workers; after each epoch except the last a
+        retreat is signalled and workers are relaunched (dynamic resizing).
+        Each epoch lets every worker pull one round-robin turn repeatedly
+        until either the queue drains (final epoch) or one full round
+        completes (then the next resize takes effect) — an adversarial
+        schedule for the carry-over logic.
+
+    Returns
+    -------
+    list[WorkerTrace]
+        Per-(epoch, worker) traces.  Concatenating all traces yields each
+        user block exactly once (the property tests' invariant).
+    """
+    if not worker_schedule:
+        raise ValueError("worker_schedule must contain at least one epoch")
+    if any(w < 1 for w in worker_schedule):
+        raise ValueError("every epoch needs at least one worker")
+
+    transform = GridTransform(grid)
+    queue = SlateQueue(num_blocks=transform.slate_max, task_size=task_size)
+    traces: list[WorkerTrace] = []
+
+    for epoch, workers in enumerate(worker_schedule):
+        queue.clear_retreat()
+        epoch_traces = [WorkerTrace(worker_id=w, epoch=epoch, blocks=[]) for w in range(workers)]
+        last_epoch = epoch == len(worker_schedule) - 1
+        rounds = 0
+        while not queue.exhausted:
+            progressed = False
+            for trace in epoch_traces:
+                task = queue.pull()
+                if task is None:
+                    break
+                trace.blocks.extend(transform.task_block_coords(task))
+                progressed = True
+            rounds += 1
+            if not last_epoch and progressed:
+                # A resize arrives: workers drain their current task (already
+                # recorded) and exit; remaining blocks carry to next epoch.
+                queue.signal_retreat()
+                break
+            if not progressed:
+                break
+        traces.extend(epoch_traces)
+
+    return traces

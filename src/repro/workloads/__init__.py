@@ -1,0 +1,26 @@
+"""Multi-process application workloads and the pairing harness."""
+
+from repro.workloads.app import AppResult, AppSpec, run_application
+from repro.workloads.harness import (
+    RUNTIMES,
+    app_for,
+    make_runtime,
+    run_many,
+    run_pair,
+    run_solo,
+)
+from repro.workloads.pairings import all_pairings, pairing_label
+
+__all__ = [
+    "AppResult",
+    "AppSpec",
+    "RUNTIMES",
+    "all_pairings",
+    "app_for",
+    "make_runtime",
+    "pairing_label",
+    "run_application",
+    "run_many",
+    "run_pair",
+    "run_solo",
+]

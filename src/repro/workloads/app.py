@@ -1,0 +1,115 @@
+"""The GPU application model used throughout the evaluation.
+
+Each application follows the paper's measurement structure (§V-A3): setup,
+allocate, copy inputs to the device, loop the kernel for a fixed repetition
+count (the paper sizes the loop to ~30 s; we scale down but keep the loop),
+copy results back, tear down.  Application time and kernel time are recorded
+separately — Fig. 6's full bar vs bottom bar.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Generator, Optional
+
+from repro.gpu.device import KernelCounters
+from repro.kernels.kernel import KernelSpec
+
+__all__ = ["AppSpec", "AppResult", "run_application"]
+
+
+@dataclass(frozen=True)
+class AppSpec:
+    """One host process running a benchmark in a loop."""
+
+    name: str
+    kernel: KernelSpec
+    reps: Optional[int] = None
+    include_transfers: bool = True
+    #: Slate task size override (None = runtime default).
+    task_size: Optional[int] = None
+
+    @property
+    def effective_reps(self) -> int:
+        return self.reps if self.reps is not None else self.kernel.default_reps
+
+
+@dataclass
+class AppResult:
+    """Timing breakdown of one application run."""
+
+    name: str
+    start: float = 0.0
+    end: float = 0.0
+    setup_time: float = 0.0
+    h2d_time: float = 0.0
+    d2h_time: float = 0.0
+    #: Wall time spent between launch and synchronize (includes queueing).
+    kernel_wall_time: float = 0.0
+    #: Sum of device-side kernel execution times.
+    kernel_exec_time: float = 0.0
+    launches: int = 0
+    counters: list[KernelCounters] = field(default_factory=list)
+    #: Slate-only breakdowns (0 elsewhere).
+    comm_time: float = 0.0
+    compile_time: float = 0.0
+
+    @property
+    def app_time(self) -> float:
+        """Total application execution time (Fig. 6's full bar)."""
+        return self.end - self.start
+
+    @property
+    def host_time(self) -> float:
+        """App time minus kernel wall time (setup, transfers, API costs)."""
+        return self.app_time - self.kernel_wall_time
+
+
+def run_application(env, session, app: AppSpec, costs) -> Generator:
+    """Process generator: run ``app`` through ``session``; returns AppResult.
+
+    ``session`` is any runtime session (CUDA, MPS or Slate) — they share the
+    malloc/memcpy/launch/synchronize surface.
+    """
+    result = AppResult(name=app.name, start=env.now)
+
+    # Application setup (context creation, binary load...).
+    yield env.timeout(costs.app_setup_time)
+    result.setup_time = costs.app_setup_time
+
+    spec = app.kernel
+    ptr = yield from session.malloc(max(512, spec.device_footprint))
+
+    if app.include_transfers and spec.h2d_bytes:
+        t0 = env.now
+        yield from session.memcpy_h2d(spec.h2d_bytes)
+        result.h2d_time = env.now - t0
+
+    launch_kwargs = {}
+    if app.task_size is not None and hasattr(session, "runtime") and hasattr(
+        session.runtime, "scheduler"
+    ):
+        launch_kwargs["task_size"] = app.task_size
+
+    for _ in range(app.effective_reps):
+        t0 = env.now
+        ticket = yield from session.launch(spec, **launch_kwargs)
+        yield from session.synchronize()
+        result.kernel_wall_time += env.now - t0
+        result.launches += 1
+        if ticket.counters is not None:
+            result.counters.append(ticket.counters)
+            result.kernel_exec_time += ticket.counters.elapsed
+
+    if app.include_transfers and spec.d2h_bytes:
+        t0 = env.now
+        yield from session.memcpy_d2h(spec.d2h_bytes)
+        result.d2h_time = env.now - t0
+
+    yield from session.free(ptr)
+    session.close()
+
+    result.end = env.now
+    result.comm_time = getattr(session, "comm_time", 0.0)
+    result.compile_time = getattr(session, "compile_time", 0.0)
+    return result

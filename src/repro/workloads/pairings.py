@@ -1,0 +1,23 @@
+"""The evaluation's 15 application pairings (§V-E).
+
+"We run all possible 15 pairings of the applications": the 10 unordered
+distinct pairs of {BS, GS, MM, RG, TR} plus the 5 self-pairings.
+"""
+
+from __future__ import annotations
+
+from itertools import combinations_with_replacement
+
+from repro.kernels.registry import SHORT_NAMES
+
+__all__ = ["all_pairings", "pairing_label"]
+
+
+def all_pairings() -> list[tuple[str, str]]:
+    """The 15 pairings in deterministic (Table II) order."""
+    return list(combinations_with_replacement(SHORT_NAMES, 2))
+
+
+def pairing_label(pair: tuple[str, str]) -> str:
+    """Canonical 'A-B' label used in reports (Fig. 7's x axis)."""
+    return f"{pair[0]}-{pair[1]}"

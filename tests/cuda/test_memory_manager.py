@@ -1,0 +1,110 @@
+"""Device memory allocator tests (unit + property-based)."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.cuda.errors import CudaInvalidValue, CudaOutOfMemory
+from repro.cuda.memory_manager import DeviceMemoryManager
+
+
+class TestAllocFree:
+    def test_simple_alloc(self):
+        mm = DeviceMemoryManager(1 << 20)
+        ptr = mm.alloc(1000)
+        assert ptr.size == 1024  # rounded to 512B granule
+        assert mm.used == 1024
+
+    def test_alignment(self):
+        mm = DeviceMemoryManager(1 << 20)
+        assert mm.alloc(1).size == 512
+        assert mm.alloc(512).size == 512
+        assert mm.alloc(513).size == 1024
+
+    def test_oom(self):
+        mm = DeviceMemoryManager(4096)
+        mm.alloc(4096)
+        with pytest.raises(CudaOutOfMemory):
+            mm.alloc(1)
+
+    def test_free_returns_memory(self):
+        mm = DeviceMemoryManager(4096)
+        ptr = mm.alloc(4096)
+        mm.free(ptr)
+        assert mm.used == 0
+        mm.alloc(4096)  # no raise
+
+    def test_double_free_rejected(self):
+        mm = DeviceMemoryManager(4096)
+        ptr = mm.alloc(512)
+        mm.free(ptr)
+        with pytest.raises(CudaInvalidValue):
+            mm.free(ptr)
+
+    def test_invalid_sizes(self):
+        mm = DeviceMemoryManager(4096)
+        with pytest.raises(CudaInvalidValue):
+            mm.alloc(0)
+        with pytest.raises(CudaInvalidValue):
+            mm.alloc(-5)
+        with pytest.raises(CudaInvalidValue):
+            DeviceMemoryManager(0)
+
+    def test_coalescing_defragments(self):
+        mm = DeviceMemoryManager(3 * 512)
+        a = mm.alloc(512)
+        b = mm.alloc(512)
+        c = mm.alloc(512)
+        mm.free(a)
+        mm.free(c)
+        mm.free(b)  # middle free should merge all three extents
+        assert mm.largest_free_extent == 3 * 512
+        mm.alloc(3 * 512)
+
+    def test_allocations_do_not_overlap(self):
+        mm = DeviceMemoryManager(1 << 16)
+        ptrs = [mm.alloc(700) for _ in range(20)]
+        spans = sorted((p.address, p.address + p.size) for p in ptrs)
+        for (s1, e1), (s2, e2) in zip(spans, spans[1:]):
+            assert e1 <= s2
+
+    def test_free_all(self):
+        mm = DeviceMemoryManager(1 << 16)
+        for _ in range(5):
+            mm.alloc(1000)
+        mm.free_all()
+        assert mm.used == 0
+        assert mm.allocation_count == 0
+
+
+@given(
+    ops=st.lists(
+        st.one_of(
+            st.tuples(st.just("alloc"), st.integers(min_value=1, max_value=8192)),
+            st.tuples(st.just("free"), st.integers(min_value=0, max_value=50)),
+        ),
+        max_size=120,
+    )
+)
+def test_allocator_invariants_under_random_workload(ops):
+    """Accounting stays consistent and allocations never overlap."""
+    mm = DeviceMemoryManager(1 << 18)
+    live = []
+    for op, arg in ops:
+        if op == "alloc":
+            try:
+                live.append(mm.alloc(arg))
+            except CudaOutOfMemory:
+                pass
+        elif live:
+            mm.free(live.pop(arg % len(live)))
+        # Invariants:
+        assert mm.used == sum(p.size for p in live)
+        assert 0 <= mm.used <= mm.capacity
+        spans = sorted((p.address, p.address + p.size) for p in live)
+        for (s1, e1), (s2, e2) in zip(spans, spans[1:]):
+            assert e1 <= s2
+    for ptr in list(live):
+        mm.free(ptr)
+    assert mm.used == 0
+    assert mm.largest_free_extent == mm.capacity

@@ -1,0 +1,102 @@
+"""NVRTC compiler-cache and PCIe link tests."""
+
+import pytest
+
+from repro.config import CostModel, HostConfig
+from repro.cuda.module import NvrtcCompiler
+from repro.gpu.pcie import PcieLink
+from repro.sim import Environment
+
+
+class TestNvrtc:
+    def test_first_compile_pays_cost(self):
+        env = Environment()
+        costs = CostModel()
+        nv = NvrtcCompiler(env, costs)
+
+        def proc(env):
+            module = yield from nv.compile("kernelA")
+            return module
+
+        p = env.process(proc(env))
+        module = env.run(until=p)
+        assert not module.from_cache
+        assert env.now == pytest.approx(
+            costs.nvrtc_compile_time + costs.code_injection_time
+        )
+
+    def test_cache_hit_is_free(self):
+        env = Environment()
+        nv = NvrtcCompiler(env)
+
+        def proc(env):
+            yield from nv.compile("k")
+            t_after_first = env.now
+            module = yield from nv.compile("k")
+            return t_after_first, env.now, module
+
+        t1, t2, module = env.run(until=env.process(proc(env)))
+        assert t1 == t2  # no extra time
+        assert module.from_cache
+        assert nv.cache_hits == 1
+        assert nv.compile_count == 1
+
+    def test_no_injection_for_plain_load(self):
+        env = Environment()
+        costs = CostModel()
+        nv = NvrtcCompiler(env, costs)
+
+        def proc(env):
+            yield from nv.compile("k", inject=False)
+
+        env.run(until=env.process(proc(env)))
+        assert env.now == pytest.approx(costs.nvrtc_compile_time)
+        assert nv.total_injection_time == 0.0
+
+    def test_invalidate_forces_recompile(self):
+        env = Environment()
+        nv = NvrtcCompiler(env)
+
+        def proc(env):
+            yield from nv.compile("k")
+            nv.invalidate("k")
+            assert not nv.is_cached("k")
+            yield from nv.compile("k")
+
+        env.run(until=env.process(proc(env)))
+        assert nv.compile_count == 2
+
+
+class TestPcie:
+    def test_transfer_time_model(self):
+        env = Environment()
+        host = HostConfig(pcie_bandwidth=10e9, pcie_latency=1e-5)
+        link = PcieLink(env, host)
+
+        def proc(env):
+            yield from link.transfer(1e9)
+
+        env.run(until=env.process(proc(env)))
+        assert env.now == pytest.approx(1e-5 + 0.1)
+        assert link.bytes_moved == 1e9
+        assert link.transfer_count == 1
+
+    def test_transfers_serialize(self):
+        env = Environment()
+        link = PcieLink(env)
+        done = []
+
+        def proc(env, nbytes):
+            yield from link.transfer(nbytes)
+            done.append(env.now)
+
+        env.process(proc(env, 12e9))  # ~1 s
+        env.process(proc(env, 12e9))
+        env.run()
+        assert done[1] == pytest.approx(2 * done[0], rel=0.01)
+
+    def test_negative_size_rejected(self):
+        env = Environment()
+        link = PcieLink(env)
+        with pytest.raises(ValueError):
+            list(link.transfer(-1))

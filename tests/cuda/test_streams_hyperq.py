@@ -1,0 +1,124 @@
+"""Hyper-Q / stream concurrency tests for the vanilla CUDA runtime."""
+
+import pytest
+
+from repro.cuda import VanillaCudaRuntime
+from repro.cuda.errors import CudaInvalidValue
+from repro.kernels import synthetic
+from repro.sim import Environment
+
+
+def small_kernel(name="K", blocks=480, block_time=100e-6):
+    return synthetic(0.01, 0.05, name=name, num_blocks=blocks, block_time=block_time)
+
+
+class TestStreams:
+    def test_create_stream(self):
+        env = Environment()
+        rt = VanillaCudaRuntime(env)
+        s = rt.create_session("app")
+        stream = s.create_stream()
+        assert stream.context is s.context
+        assert stream is not s.context.default_stream
+
+    def test_foreign_stream_rejected(self):
+        env = Environment()
+        rt = VanillaCudaRuntime(env)
+        s1, s2 = rt.create_session("a"), rt.create_session("b")
+        foreign = s2.create_stream()
+
+        def app(env):
+            with pytest.raises(CudaInvalidValue):
+                yield from s1.launch(small_kernel(), stream=foreign)
+            yield env.timeout(0)
+
+        env.run(until=env.process(app(env)))
+
+    def test_same_stream_kernels_serialize(self):
+        env = Environment()
+        rt = VanillaCudaRuntime(env)
+        s = rt.create_session("app")
+
+        def app(env):
+            t1 = yield from s.launch(small_kernel("k1"))
+            t2 = yield from s.launch(small_kernel("k2"))
+            yield from s.synchronize()
+            return t1, t2
+
+        t1, t2 = env.run(until=env.process(app(env)))
+        assert rt.hyperq_coruns == 0
+        # Disjoint execution windows.
+        assert t2.started_at >= t1.counters.end_time - 1e-9
+
+    def test_different_streams_corun(self):
+        """Two streams' kernels overlap via Hyper-Q (one context)."""
+        env = Environment()
+        rt = VanillaCudaRuntime(env)
+        s = rt.create_session("app")
+
+        def app(env):
+            stream2 = s.create_stream()
+            t1 = yield from s.launch(small_kernel("k1"))
+            t2 = yield from s.launch(small_kernel("k2"), stream=stream2)
+            yield from s.synchronize()
+            return t1, t2
+
+        t1, t2 = env.run(until=env.process(app(env)))
+        assert rt.hyperq_coruns == 1
+        # Overlapping windows.
+        assert t2.started_at < t1.counters.end_time
+
+    def test_hyperq_speeds_up_small_kernels(self):
+        """Device-filling split: two half-device kernels finish faster
+        concurrently than serialized."""
+
+        def run(two_streams: bool) -> float:
+            env = Environment()
+            rt = VanillaCudaRuntime(env)
+            s = rt.create_session("app")
+
+            def app(env):
+                streams = [None, s.create_stream() if two_streams else None]
+                for i in range(2):
+                    kwargs = {"stream": streams[i]} if streams[i] else {}
+                    yield from s.launch(small_kernel(f"k{i}", blocks=240), **kwargs)
+                yield from s.synchronize()
+
+            env.run(until=env.process(app(env)))
+            return env.now
+
+        serial = run(two_streams=False)
+        concurrent = run(two_streams=True)
+        assert concurrent < 0.75 * serial
+
+    def test_cross_context_never_coruns(self):
+        """Hyper-Q works within one context only — different processes
+        still time-slice (that's why MPS/Slate exist)."""
+        env = Environment()
+        rt = VanillaCudaRuntime(env)
+        s1, s2 = rt.create_session("a"), rt.create_session("b")
+
+        def app(env, session, name):
+            yield from session.launch(small_kernel(name))
+            yield from session.synchronize()
+
+        p1 = env.process(app(env, s1, "k1"))
+        p2 = env.process(app(env, s2, "k2"))
+        env.run(until=p1 & p2)
+        assert rt.hyperq_coruns == 0
+        assert rt.context_switches >= 1
+
+    def test_stream_launch_counter(self):
+        env = Environment()
+        rt = VanillaCudaRuntime(env)
+        s = rt.create_session("app")
+
+        def app(env):
+            stream = s.create_stream()
+            yield from s.launch(small_kernel(), stream=stream)
+            yield from s.launch(small_kernel(), stream=stream)
+            yield from s.synchronize()
+            return stream
+
+        stream = env.run(until=env.process(app(env)))
+        assert stream.launches == 2

@@ -1,0 +1,65 @@
+"""Tests for the extension experiments: ablations and generalization."""
+
+import pytest
+
+from repro.experiments import ablations, generalization
+
+
+class TestAblations:
+    @pytest.fixture(scope="class")
+    def policy(self):
+        return ablations.run_policy_ablation()
+
+    @pytest.fixture(scope="class")
+    def partition(self):
+        return ablations.run_partition_ablation()
+
+    def test_table1_beats_blind_variants(self, policy):
+        assert policy.average("table1") < policy.average("always")
+        assert policy.average("table1") < policy.average("never")
+
+    def test_always_corun_hurts_memory_pairs(self, policy):
+        for pair in ("GS-GS", "TR-TR", "MM-MM"):
+            assert policy.rows[pair]["always"] > policy.rows[pair]["table1"]
+
+    def test_never_corun_forfeits_rg_wins(self, policy):
+        for pair in ("BS-RG", "GS-RG", "MM-RG"):
+            assert policy.rows[pair]["never"] > policy.rows[pair]["table1"]
+
+    def test_heuristic_partition_best_on_average(self, partition):
+        assert partition.average("heuristic") <= partition.average("predictive") + 1e-9
+        assert partition.average("heuristic") < partition.average("even")
+
+    def test_locality_ablation_isolates_table3(self):
+        result = ablations.run_locality_ablation()
+        assert 1.15 <= result.speedup_from_ordering <= 1.45
+
+    def test_resizing_helps(self):
+        result = ablations.run_resizing_ablation()
+        assert result.average("grow") < result.average("no_grow")
+
+    def test_formatters(self, policy, partition):
+        assert "Table I" in ablations.format_policy_ablation(policy)
+        assert "heuristic" in ablations.format_partition_ablation(partition)
+
+
+class TestGeneralization:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return generalization.run()
+
+    def test_both_devices_present(self, result):
+        assert set(result.tables) == {"Titan Xp", "Tesla V100"}
+
+    def test_gains_persist_on_v100(self, result):
+        """Slate's mechanism is not Titan-Xp-specific."""
+        assert result.average_gain("Tesla V100") > 0.08
+        assert result.gain("Tesla V100", "BS-RG") > 0.15
+        assert result.gain("Tesla V100", "GS-RG") > 0.15
+
+    def test_titan_matches_fig7(self, result):
+        assert result.gain("Titan Xp", "BS-RG") == pytest.approx(0.27, abs=0.06)
+
+    def test_format(self, result):
+        out = generalization.format_result(result)
+        assert "Tesla V100" in out and "Titan Xp" in out

@@ -1,0 +1,61 @@
+"""Runner registry tests."""
+
+import pytest
+
+from repro.experiments import runner
+
+
+class TestRegistry:
+    def test_keys_unique(self):
+        keys = [e.key for e in runner.EXPERIMENTS]
+        assert len(keys) == len(set(keys))
+
+    def test_every_paper_artifact_registered(self):
+        keys = {e.key for e in runner.EXPERIMENTS}
+        for required in (
+            "fig1",
+            "fig3",
+            "fig4",
+            "fig5",
+            "fig6",
+            "fig7",
+            "tab1",
+            "tab2",
+            "tab3",
+            "tab4",
+            "tab5",
+        ):
+            assert required in keys, required
+
+    def test_extensions_registered(self):
+        keys = {e.key for e in runner.EXPERIMENTS}
+        for extension in (
+            "abl-policy",
+            "abl-partition",
+            "abl-locality",
+            "abl-resizing",
+            "abl-tasksize",
+            "validate",
+            "sweep",
+            "scaling",
+            "cluster",
+            "gen",
+        ):
+            assert extension in keys, extension
+
+    def test_entries_are_runnable_pairs(self):
+        for experiment in runner.EXPERIMENTS:
+            assert callable(experiment.run)
+            assert callable(experiment.format)
+            assert experiment.title
+
+    def test_run_all_filters_by_key(self):
+        results = runner.run_all(["fig3"])
+        assert set(results) == {"fig3"}
+        assert results["fig3"].is_isomorphic
+
+    def test_main_prints_selected(self, capsys):
+        assert runner.main(["fig3"]) == 0
+        out = capsys.readouterr().out
+        assert "Figure 3" in out
+        assert "Figure 1" not in out

@@ -1,0 +1,106 @@
+"""Locality / cache-filtering model tests."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.gpu.cache import ORDER_FACTORS, LocalityModel, dram_fraction, l2_pressure
+
+
+class TestLocalityModel:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            LocalityModel(reuse_fraction=1.5)
+        with pytest.raises(ValueError):
+            LocalityModel(order_sensitivity=-0.1)
+        with pytest.raises(ValueError):
+            LocalityModel(footprint=-1)
+
+    def test_no_reuse_means_all_dram(self):
+        loc = LocalityModel(reuse_fraction=0.0)
+        assert dram_fraction(loc, 1.0) == pytest.approx(1.0)
+
+    def test_full_order_insensitive_reuse_survives_scattering(self):
+        loc = LocalityModel(reuse_fraction=0.4, order_sensitivity=0.0)
+        assert dram_fraction(loc, ORDER_FACTORS["hardware"]) == pytest.approx(0.6)
+        assert dram_fraction(loc, ORDER_FACTORS["slate"]) == pytest.approx(0.6)
+
+    def test_order_sensitive_reuse_lost_under_hardware(self):
+        loc = LocalityModel(reuse_fraction=0.4, order_sensitivity=1.0)
+        hw = dram_fraction(loc, ORDER_FACTORS["hardware"])
+        slate = dram_fraction(loc, ORDER_FACTORS["slate"])
+        assert slate == pytest.approx(0.6)
+        assert hw == pytest.approx(1 - 0.4 * 0.25)
+        assert hw > slate  # in-order execution sends less traffic to DRAM
+
+    def test_pressure_degrades_reuse(self):
+        loc = LocalityModel(reuse_fraction=0.5, order_sensitivity=0.5)
+        alone = dram_fraction(loc, 1.0, pressure=1.0)
+        contended = dram_fraction(loc, 1.0, pressure=0.5)
+        assert contended > alone
+
+    def test_invalid_args(self):
+        loc = LocalityModel(reuse_fraction=0.5)
+        with pytest.raises(ValueError):
+            dram_fraction(loc, order_factor=1.5)
+        with pytest.raises(ValueError):
+            dram_fraction(loc, 1.0, pressure=0.0)
+
+
+class TestL2Pressure:
+    def test_sole_tenant_fits(self):
+        assert l2_pressure(1e6, 0.0, 3e6) == 1.0
+
+    def test_both_fit_no_pressure(self):
+        assert l2_pressure(1e6, 1e6, 3e6) == 1.0
+
+    def test_contention_reduces_pressure(self):
+        p = l2_pressure(4e6, 4e6, 3e6)
+        assert 0.1 <= p < 1.0
+
+    def test_zero_footprint_unaffected(self):
+        assert l2_pressure(0.0, 100e6, 3e6) == 1.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            l2_pressure(1.0, 1.0, 0.0)
+        with pytest.raises(ValueError):
+            l2_pressure(-1.0, 1.0, 1.0)
+
+
+@given(
+    reuse=st.floats(min_value=0, max_value=1),
+    sens=st.floats(min_value=0, max_value=1),
+    order=st.floats(min_value=0, max_value=1),
+    pressure=st.floats(min_value=0.01, max_value=1),
+)
+def test_dram_fraction_always_valid(reuse, sens, order, pressure):
+    loc = LocalityModel(reuse_fraction=reuse, order_sensitivity=sens)
+    frac = dram_fraction(loc, order, pressure)
+    assert 0.0 <= frac <= 1.0
+
+
+@given(
+    reuse=st.floats(min_value=0, max_value=1),
+    sens=st.floats(min_value=0, max_value=1),
+    lo=st.floats(min_value=0, max_value=1),
+    hi=st.floats(min_value=0, max_value=1),
+)
+def test_better_order_never_increases_dram_traffic(reuse, sens, lo, hi):
+    """dram_fraction is monotone non-increasing in order quality."""
+    lo, hi = min(lo, hi), max(lo, hi)
+    loc = LocalityModel(reuse_fraction=reuse, order_sensitivity=sens)
+    assert dram_fraction(loc, hi) <= dram_fraction(loc, lo) + 1e-12
+
+
+@given(
+    own=st.floats(min_value=0, max_value=1e9),
+    others=st.floats(min_value=0, max_value=1e9),
+    cap=st.floats(min_value=1.0, max_value=1e8),
+)
+def test_l2_pressure_bounded_and_monotone(own, others, cap):
+    p = l2_pressure(own, others, cap)
+    assert 0.1 <= p <= 1.0
+    # More co-runner footprint can only hurt.
+    p_more = l2_pressure(own, others * 2 + 1, cap)
+    assert p_more <= p + 1e-12

@@ -1,0 +1,162 @@
+"""Cross-validation: per-block DES executor vs the epoch-fluid executor."""
+
+import pytest
+
+from repro.config import TITAN_XP, CostModel
+from repro.gpu.detailed import run_detailed
+from repro.gpu.device import ExecutionMode, KernelWork, SimulatedGPU
+from repro.gpu.occupancy import BlockResources
+from repro.sim import Environment
+
+
+def fluid_elapsed(work, mode=ExecutionMode.HARDWARE, task_size=1, sm_count=30):
+    env = Environment()
+    gpu = SimulatedGPU(env, TITAN_XP, CostModel())
+    handle = gpu.launch(work, sm_ids=range(sm_count), mode=mode, task_size=task_size)
+    return env.run(until=handle.done).elapsed
+
+
+def make_work(num_blocks=2000, flops=2e6, bytes_pb=0.0, cv=0.0, threads=128):
+    return KernelWork(
+        name="xval",
+        num_blocks=num_blocks,
+        block=BlockResources(threads_per_block=threads, registers_per_thread=32),
+        flops_per_block=flops,
+        bytes_per_block=bytes_pb,
+        time_cv=cv,
+    )
+
+
+class TestCrossValidation:
+    @pytest.mark.parametrize("num_blocks", [480, 2000, 7000])
+    def test_hardware_compute_bound_agrees(self, num_blocks):
+        work = make_work(num_blocks=num_blocks, flops=2e6)
+        detailed = run_detailed(work, mode=ExecutionMode.HARDWARE).elapsed
+        fluid = fluid_elapsed(work, mode=ExecutionMode.HARDWARE)
+        assert fluid == pytest.approx(detailed, rel=0.08)
+
+    @pytest.mark.parametrize("task_size", [1, 5, 10, 25])
+    def test_slate_task_sizes_agree(self, task_size):
+        work = make_work(num_blocks=4800, flops=3e5)
+        detailed = run_detailed(
+            work, mode=ExecutionMode.SLATE, task_size=task_size
+        ).elapsed
+        fluid = fluid_elapsed(work, mode=ExecutionMode.SLATE, task_size=task_size)
+        assert fluid == pytest.approx(detailed, rel=0.15)
+
+    def test_memory_bound_agrees(self):
+        work = make_work(num_blocks=3000, flops=0.0, bytes_pb=3e6)
+        detailed = run_detailed(work, mode=ExecutionMode.HARDWARE).elapsed
+        fluid = fluid_elapsed(work)
+        assert fluid == pytest.approx(detailed, rel=0.1)
+
+    @pytest.mark.parametrize("sm_count", [5, 15, 30])
+    def test_partial_sm_sets_agree(self, sm_count):
+        work = make_work(num_blocks=3000, flops=2e6)
+        detailed = run_detailed(work, sm_count=sm_count).elapsed
+        fluid = fluid_elapsed(work, sm_count=sm_count)
+        assert fluid == pytest.approx(detailed, rel=0.08)
+
+    def test_variance_increases_detailed_time(self):
+        smooth = make_work(num_blocks=2000, flops=2e6, cv=0.0)
+        noisy = make_work(num_blocks=2000, flops=2e6, cv=0.3)
+        t_smooth = run_detailed(smooth, seed=7).elapsed
+        t_noisy = run_detailed(noisy, seed=7).elapsed
+        assert t_noisy > t_smooth
+
+    def test_queue_pull_count(self):
+        work = make_work(num_blocks=1000, flops=3e5)
+        res = run_detailed(work, mode=ExecutionMode.SLATE, task_size=10)
+        assert res.queue_pulls == 100
+        assert res.blocks_executed == 1000
+
+    def test_detailed_deterministic_per_seed(self):
+        work = make_work(num_blocks=500, flops=2e6, cv=0.2)
+        a = run_detailed(work, seed=3).elapsed
+        b = run_detailed(work, seed=3).elapsed
+        c = run_detailed(work, seed=4).elapsed
+        assert a == b
+        assert a != c
+
+    def test_validation_errors(self):
+        work = make_work()
+        with pytest.raises(ValueError):
+            run_detailed(work, sm_count=0)
+        with pytest.raises(ValueError):
+            run_detailed(work, task_size=0)
+
+
+class TestFig5ShapeDetailed:
+    def test_short_block_kernel_prefers_grouping(self):
+        """GS-like kernel: detailed executor shows s=10 halving s=1 time."""
+        work = make_work(num_blocks=20000, flops=2e4, threads=256)
+        t1 = run_detailed(work, mode=ExecutionMode.SLATE, task_size=1).elapsed
+        t10 = run_detailed(work, mode=ExecutionMode.SLATE, task_size=10).elapsed
+        assert t1 > 1.5 * t10
+
+    def test_high_variance_kernel_prefers_small_tasks(self):
+        """BS-like kernel: detailed executor shows imbalance at s=10."""
+        work = make_work(num_blocks=4800, flops=2e7, cv=0.12)
+        t1 = run_detailed(work, mode=ExecutionMode.SLATE, task_size=1, seed=11).elapsed
+        t10 = run_detailed(work, mode=ExecutionMode.SLATE, task_size=10, seed=11).elapsed
+        assert t10 > t1
+
+
+class TestCorunCrossValidation:
+    """Fluid vs per-block executor for two co-resident kernels."""
+
+    def fluid_corun(self, work_a, work_b, sms_a, task_size=10):
+        from repro.config import TITAN_XP, CostModel
+        from repro.gpu.device import SimulatedGPU
+        from repro.sim import Environment
+
+        env = Environment()
+        gpu = SimulatedGPU(env, TITAN_XP, CostModel())
+        ha = gpu.launch(
+            work_a, sm_ids=range(sms_a), mode=ExecutionMode.SLATE, task_size=task_size
+        )
+        hb = gpu.launch(
+            work_b,
+            sm_ids=range(sms_a, 30),
+            mode=ExecutionMode.SLATE,
+            task_size=task_size,
+        )
+        env.run(until=ha.done & hb.done)
+        return ha.counters.elapsed, hb.counters.elapsed
+
+    def test_compute_pair_agrees(self):
+        from repro.gpu.detailed import run_detailed_corun
+
+        a = make_work(num_blocks=2400, flops=2e6)
+        b = make_work(num_blocks=2400, flops=2e6)
+        da, db = run_detailed_corun(a, b, 15, 15)
+        fa, fb = self.fluid_corun(a, b, 15)
+        assert fa == pytest.approx(da.elapsed, rel=0.12)
+        assert fb == pytest.approx(db.elapsed, rel=0.12)
+
+    def test_memory_contending_pair_agrees(self):
+        from repro.gpu.detailed import run_detailed_corun
+
+        a = make_work(num_blocks=2400, flops=0.0, bytes_pb=3e6)
+        b = make_work(num_blocks=2400, flops=0.0, bytes_pb=3e6)
+        da, db = run_detailed_corun(a, b, 15, 15)
+        fa, fb = self.fluid_corun(a, b, 15)
+        assert fa == pytest.approx(da.elapsed, rel=0.15)
+        assert fb == pytest.approx(db.elapsed, rel=0.15)
+
+    def test_asymmetric_partition_agrees(self):
+        from repro.gpu.detailed import run_detailed_corun
+
+        a = make_work(num_blocks=1600, flops=0.0, bytes_pb=2e6)
+        b = make_work(num_blocks=3200, flops=1e6)
+        da, db = run_detailed_corun(a, b, 10, 20)
+        fa, fb = self.fluid_corun(a, b, 10)
+        assert fa == pytest.approx(da.elapsed, rel=0.15)
+        assert fb == pytest.approx(db.elapsed, rel=0.15)
+
+    def test_invalid_partition_rejected(self):
+        from repro.gpu.detailed import run_detailed_corun
+
+        a = make_work(num_blocks=100)
+        with pytest.raises(ValueError):
+            run_detailed_corun(a, a, 20, 20)

@@ -1,0 +1,192 @@
+"""Occupancy calculator tests (unit + property-based)."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.config import TITAN_XP, DeviceConfig
+from repro.gpu.occupancy import BlockResources, occupancy
+
+
+class TestBasicLimits:
+    def test_thread_limited(self):
+        # 1024-thread blocks: 2048/1024 = 2 blocks per SM.
+        res = occupancy(TITAN_XP, BlockResources(threads_per_block=1024, registers_per_thread=0))
+        assert res.blocks_per_sm == 2
+        assert res.limiter in ("threads", "warps")
+
+    def test_block_limited(self):
+        # Tiny blocks: the 32-block cap binds before threads do.
+        res = occupancy(TITAN_XP, BlockResources(threads_per_block=32, registers_per_thread=0))
+        assert res.blocks_per_sm == 32
+        assert res.limiter == "blocks"
+
+    def test_register_limited(self):
+        # 256 threads * 64 regs = 16384 regs/block -> 4 blocks (65536 regs).
+        res = occupancy(
+            TITAN_XP, BlockResources(threads_per_block=256, registers_per_thread=64)
+        )
+        assert res.blocks_per_sm == 4
+        assert res.limiter == "registers"
+
+    def test_shared_mem_limited(self):
+        res = occupancy(
+            TITAN_XP,
+            BlockResources(
+                threads_per_block=64,
+                registers_per_thread=0,
+                shared_mem_per_block=48 * 1024,
+            ),
+        )
+        assert res.blocks_per_sm == 2
+        assert res.limiter == "shared_mem"
+
+    def test_typical_128_thread_kernel(self):
+        # 128 threads, 32 regs: threads limit 2048/128 = 16.
+        res = occupancy(
+            TITAN_XP, BlockResources(threads_per_block=128, registers_per_thread=32)
+        )
+        assert res.blocks_per_sm == 16
+
+    def test_warps_per_block_rounds_up(self):
+        res = occupancy(TITAN_XP, BlockResources(threads_per_block=33, registers_per_thread=0))
+        assert res.warps_per_block == 2
+
+    def test_threads_per_sm_property(self):
+        res = occupancy(TITAN_XP, BlockResources(threads_per_block=256, registers_per_thread=0))
+        assert res.threads_per_sm == res.blocks_per_sm * 256
+
+    def test_occupancy_fraction_bounded(self):
+        res = occupancy(TITAN_XP, BlockResources(threads_per_block=256, registers_per_thread=32))
+        assert 0 < res.occupancy_fraction(TITAN_XP) <= 1.0
+
+
+class TestErrors:
+    def test_oversized_block_rejected(self):
+        with pytest.raises(ValueError, match="exceeds device limit"):
+            occupancy(TITAN_XP, BlockResources(threads_per_block=2048))
+
+    def test_register_hog_rejected(self):
+        with pytest.raises(ValueError, match="registers"):
+            occupancy(
+                TITAN_XP, BlockResources(threads_per_block=1024, registers_per_thread=255)
+            )
+
+    def test_shared_mem_hog_rejected(self):
+        with pytest.raises(ValueError, match="shared memory"):
+            occupancy(
+                TITAN_XP,
+                BlockResources(threads_per_block=32, shared_mem_per_block=128 * 1024),
+            )
+
+    def test_invalid_block_resources(self):
+        with pytest.raises(ValueError):
+            BlockResources(threads_per_block=0)
+        with pytest.raises(ValueError):
+            BlockResources(threads_per_block=32, registers_per_thread=-1)
+        with pytest.raises(ValueError):
+            BlockResources(threads_per_block=32, shared_mem_per_block=-1)
+
+
+@given(
+    threads=st.integers(min_value=1, max_value=1024),
+    regs=st.integers(min_value=0, max_value=64),
+    smem=st.integers(min_value=0, max_value=32 * 1024),
+)
+def test_occupancy_respects_every_hardware_limit(threads, regs, smem):
+    """The result never violates any SM capacity."""
+    block = BlockResources(threads, regs, smem)
+    try:
+        res = occupancy(TITAN_XP, block)
+    except ValueError:
+        return  # unlaunchable configurations are allowed to be rejected
+    n = res.blocks_per_sm
+    assert 1 <= n <= TITAN_XP.max_blocks_per_sm
+    assert n * res.warps_per_block <= TITAN_XP.max_warps_per_sm
+    assert n * res.warps_per_block * 32 <= TITAN_XP.max_threads_per_sm
+    if smem:
+        assert n * smem <= TITAN_XP.shared_mem_per_sm
+
+
+@given(
+    threads=st.integers(min_value=1, max_value=512),
+    regs=st.integers(min_value=1, max_value=48),
+)
+def test_occupancy_is_maximal(threads, regs):
+    """One more block would violate at least one limit."""
+    block = BlockResources(threads, regs)
+    res = occupancy(TITAN_XP, block)
+    n = res.blocks_per_sm + 1
+    warps = res.warps_per_block
+    regs_per_warp = ((regs * 32 + 255) // 256) * 256
+    violations = (
+        n > TITAN_XP.max_blocks_per_sm
+        or n * warps > TITAN_XP.max_warps_per_sm
+        or n * warps * 32 > TITAN_XP.max_threads_per_sm
+        or n * warps * regs_per_warp > TITAN_XP.registers_per_sm
+    )
+    assert violations
+
+
+@given(threads=st.integers(min_value=1, max_value=1024))
+def test_more_registers_never_increases_occupancy(threads):
+    lo = occupancy(TITAN_XP, BlockResources(threads, registers_per_thread=16))
+    hi = occupancy(TITAN_XP, BlockResources(threads, registers_per_thread=32))
+    assert hi.blocks_per_sm <= lo.blocks_per_sm
+
+
+class TestAnalyze:
+    def test_report_fields(self):
+        from repro.gpu.occupancy import analyze
+
+        report = analyze(TITAN_XP, BlockResources(256, 64, 16 * 1024))
+        assert report.result.blocks_per_sm == 4
+        assert report.result.limiter == "registers"
+        assert report.limits["registers"] == 4
+        assert report.limits["shared_mem"] == 6
+        assert "registers" in report.headroom_hint
+        assert 0 < report.occupancy_fraction <= 1
+
+    def test_limits_are_consistent_with_result(self):
+        from repro.gpu.occupancy import analyze
+
+        report = analyze(TITAN_XP, BlockResources(128, 32))
+        assert report.result.blocks_per_sm == min(report.limits.values())
+
+    def test_hints_cover_limiters(self):
+        from repro.gpu.occupancy import analyze
+
+        smem_bound = analyze(TITAN_XP, BlockResources(64, 8, 48 * 1024))
+        assert "shared_mem" == smem_bound.result.limiter
+        assert "shared_mem_per_block" in smem_bound.headroom_hint
+        thread_bound = analyze(TITAN_XP, BlockResources(1024, 16))
+        assert "smaller thread blocks" in thread_bound.headroom_hint
+        block_bound = analyze(TITAN_XP, BlockResources(32, 8))
+        assert "block cap" in block_bound.headroom_hint
+
+
+class TestOccupancyCurve:
+    def test_curve_shape(self):
+        from repro.gpu.occupancy import occupancy_curve
+
+        curve = occupancy_curve(TITAN_XP, 512, registers_per_thread=40)
+        assert set(curve) == set(range(32, 513, 32))
+        assert all(0 <= v <= 1 for v in curve.values())
+
+    def test_low_register_kernels_reach_full_occupancy(self):
+        from repro.gpu.occupancy import occupancy_curve
+
+        curve = occupancy_curve(TITAN_XP, 256, registers_per_thread=16)
+        assert max(curve.values()) == pytest.approx(1.0)
+
+    def test_unlaunchable_sizes_report_zero(self):
+        from repro.gpu.occupancy import occupancy_curve
+
+        curve = occupancy_curve(TITAN_XP, 1024, registers_per_thread=128)
+        assert curve[1024] == 0.0  # 128 regs x 1024 threads > register file
+
+    def test_validation(self):
+        from repro.gpu.occupancy import occupancy_curve
+
+        with pytest.raises(ValueError):
+            occupancy_curve(TITAN_XP, 16)

@@ -1,0 +1,158 @@
+"""Tests for the pure rate-derivation function (shared by device + predictor)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.config import TITAN_XP, CostModel
+from repro.gpu.cache import LocalityModel
+from repro.gpu.rates import RateInput, SchedulingMode, derive_rates
+
+
+def make_input(
+    key="k",
+    flops=1e6,
+    bytes_pb=0.0,
+    n_sms=30,
+    blocks_per_sm=16,
+    mode=SchedulingMode.HARDWARE,
+    task_size=1,
+    parallelism=None,
+    **kw,
+):
+    defaults = dict(
+        locality=LocalityModel(),
+        dram_efficiency=1.0,
+        min_block_time=0.0,
+        inject_frac=0.0,
+        order_factor=1.0,
+    )
+    defaults.update(kw)
+    return RateInput(
+        key=key,
+        flops_per_block=flops,
+        bytes_per_block=bytes_pb,
+        mode=mode,
+        blocks_per_sm=blocks_per_sm,
+        n_sms=n_sms,
+        parallelism=parallelism if parallelism is not None else blocks_per_sm * n_sms,
+        task_size=task_size,
+        **defaults,
+    )
+
+
+class TestSingleKernel:
+    def test_compute_bound_rate(self):
+        costs = CostModel(block_launch_overhead=0.0)
+        inp = make_input(flops=4e6, bytes_pb=0.0)
+        out = derive_rates([inp], TITAN_XP, costs)["k"]
+        block_time = 4e6 / (TITAN_XP.sm_flops / 16)
+        assert out.block_time == pytest.approx(block_time, rel=1e-9)
+        assert out.rate == pytest.approx(480 / block_time, rel=1e-9)
+        assert out.throttle == 0.0
+
+    def test_memory_bound_throttles(self):
+        costs = CostModel(block_launch_overhead=0.0)
+        inp = make_input(flops=0.0, bytes_pb=4e6)
+        out = derive_rates([inp], TITAN_XP, costs)["k"]
+        assert out.throttle > 0.3
+        # Achieved DRAM rate equals capacity.
+        achieved = out.rate * out.dram_bytes_per_block
+        assert achieved == pytest.approx(TITAN_XP.dram_bandwidth, rel=1e-6)
+
+    def test_latency_floor(self):
+        inp = make_input(flops=1.0, min_block_time=1e-3)
+        out = derive_rates([inp], TITAN_XP, CostModel())["k"]
+        assert out.block_time >= 1e-3
+
+    def test_slate_pull_amortization(self):
+        costs = CostModel(block_launch_overhead=0.0)
+        s1 = make_input(mode=SchedulingMode.SLATE, task_size=1, flops=1e4)
+        s10 = make_input(mode=SchedulingMode.SLATE, task_size=10, flops=1e4)
+        out1 = derive_rates([s1], TITAN_XP, costs)["k"]
+        out10 = derive_rates([s10], TITAN_XP, costs)["k"]
+        assert out1.block_time - out10.block_time == pytest.approx(
+            costs.atomic_latency * 0.9, rel=1e-6
+        )
+
+    def test_empty_input(self):
+        assert derive_rates([], TITAN_XP, CostModel()) == {}
+
+
+class TestTwoKernels:
+    def test_compute_pair_independent(self):
+        a = make_input(key="a", flops=4e6, n_sms=15)
+        b = make_input(key="b", flops=4e6, n_sms=15)
+        paired = derive_rates([a, b], TITAN_XP, CostModel())
+        solo = derive_rates([a], TITAN_XP, CostModel())
+        assert paired["a"].rate == pytest.approx(solo["a"].rate, rel=1e-9)
+
+    def test_memory_pair_contends(self):
+        a = make_input(key="a", flops=0.0, bytes_pb=4e6, n_sms=15)
+        b = make_input(key="b", flops=0.0, bytes_pb=4e6, n_sms=15)
+        paired = derive_rates([a, b], TITAN_XP, CostModel())
+        solo = derive_rates([a], TITAN_XP, CostModel())
+        assert paired["a"].rate < 0.6 * solo["a"].rate
+        assert paired["a"].throttle > solo["a"].throttle
+
+    def test_interference_penalty_slows_even_unthrottled_kernels(self):
+        """A moderate-BW kernel gets slower when a hog streams beside it."""
+        costs = CostModel()
+        # DRAM-bound victim at ~40% of peak demand.
+        victim = make_input(
+            key="v", flops=0.0, bytes_pb=4e6, n_sms=4, min_block_time=0.0
+        )
+        hog = make_input(key="h", flops=0.0, bytes_pb=4e6, n_sms=26)
+        solo = derive_rates([victim], TITAN_XP, costs)["v"]
+        paired = derive_rates([victim, hog], TITAN_XP, costs)["v"]
+        assert paired.rate < solo.rate
+
+    def test_interference_disabled_restores_fair_sharing(self):
+        costs = CostModel(dram_interference_penalty=0.0)
+        a = make_input(key="a", flops=0.0, bytes_pb=4e6, n_sms=15)
+        b = make_input(key="b", flops=0.0, bytes_pb=4e6, n_sms=15)
+        out = derive_rates([a, b], TITAN_XP, costs)
+        total = sum(
+            o.rate * o.dram_bytes_per_block for o in out.values()
+        )
+        assert total == pytest.approx(TITAN_XP.dram_bandwidth, rel=1e-6)
+
+
+@given(
+    n_kernels=st.integers(min_value=1, max_value=5),
+    bytes_pb=st.floats(min_value=0, max_value=1e7),
+    flops=st.floats(min_value=0, max_value=1e8),
+    data=st.data(),
+)
+@settings(max_examples=100)
+def test_rates_always_positive_and_bounded(n_kernels, bytes_pb, flops, data):
+    """Invariants: positive finite rates; combined DRAM within capacity."""
+    sms = data.draw(
+        st.lists(
+            st.integers(min_value=1, max_value=10),
+            min_size=n_kernels,
+            max_size=n_kernels,
+        )
+    )
+    inputs = [
+        make_input(key=i, flops=flops + 1.0, bytes_pb=bytes_pb, n_sms=n)
+        for i, n in enumerate(sms)
+    ]
+    out = derive_rates(inputs, TITAN_XP, CostModel())
+    total_dram = 0.0
+    for o in out.values():
+        assert o.rate > 0
+        assert o.block_time > 0
+        assert 0 <= o.throttle <= 1
+        total_dram += o.rate * o.dram_bytes_per_block
+    assert total_dram <= TITAN_XP.dram_bandwidth * 1.001
+
+
+@given(n_small=st.integers(min_value=1, max_value=14))
+def test_more_sms_never_slower(n_small):
+    """Monotonicity: a kernel alone never slows down with more SMs."""
+    small = make_input(key="k", flops=1e6, bytes_pb=1e5, n_sms=n_small)
+    big = make_input(key="k", flops=1e6, bytes_pb=1e5, n_sms=n_small + 1)
+    out_small = derive_rates([small], TITAN_XP, CostModel())["k"]
+    out_big = derive_rates([big], TITAN_XP, CostModel())["k"]
+    assert out_big.rate >= out_small.rate - 1e-9

@@ -1,0 +1,112 @@
+"""Calibration tests: solo CUDA profiles must reproduce Table II.
+
+These are the anchor tests of the reproduction: if they drift, every
+downstream experiment's absolute numbers drift with them.
+"""
+
+import pytest
+
+from repro.config import TITAN_XP, CostModel
+from repro.gpu.device import ExecutionMode, SimulatedGPU
+from repro.kernels import BENCHMARKS, by_name
+from repro.sim import Environment
+
+#: Paper Table II: (GFLOP/s, memory bandwidth GB/s) under solo CUDA.
+TABLE_II = {
+    "BS": (161.3, 401.49),
+    "GS": (19.6, 340.9),
+    "MM": (1525.0, 403.5),
+    "RG": (4.2, 71.6),
+    "TR": (0.0, 568.6),
+}
+
+
+def run_solo(name, mode=ExecutionMode.HARDWARE, task_size=10):
+    env = Environment()
+    gpu = SimulatedGPU(env, TITAN_XP, CostModel())
+    spec = by_name(name)
+    inject = 0.03 if mode is ExecutionMode.SLATE else 0.0
+    handle = gpu.launch(spec.work(), mode=mode, task_size=task_size, inject_frac=inject)
+    return env.run(until=handle.done)
+
+
+class TestTableIIProfiles:
+    @pytest.mark.parametrize("name", list(TABLE_II))
+    def test_gflops_matches_paper(self, name):
+        gf_target, _ = TABLE_II[name]
+        counters = run_solo(name)
+        if gf_target == 0.0:
+            assert counters.gflops == 0.0
+        else:
+            assert counters.gflops == pytest.approx(gf_target, rel=0.10)
+
+    @pytest.mark.parametrize("name", list(TABLE_II))
+    def test_bandwidth_matches_paper(self, name):
+        _, bw_target = TABLE_II[name]
+        counters = run_solo(name)
+        assert counters.l2_throughput / 1e9 == pytest.approx(bw_target, rel=0.10)
+
+    def test_registry_covers_all_five(self):
+        assert set(BENCHMARKS) == set(TABLE_II)
+
+
+class TestSoloSlateBehaviour:
+    """Paper §V-B: per-kernel Slate vs CUDA solo kernel time."""
+
+    def test_gaussian_gains_about_28_percent(self):
+        cuda = run_solo("GS", ExecutionMode.HARDWARE)
+        slate = run_solo("GS", ExecutionMode.SLATE)
+        speedup = cuda.elapsed / slate.elapsed
+        assert 1.15 <= speedup <= 1.45  # paper: +28%
+
+    def test_gaussian_throttle_disappears_under_slate(self):
+        cuda = run_solo("GS", ExecutionMode.HARDWARE)
+        slate = run_solo("GS", ExecutionMode.SLATE)
+        assert cuda.mem_throttle_fraction > 0.08  # paper: 26.1%
+        assert slate.mem_throttle_fraction == pytest.approx(0.0, abs=1e-6)
+
+    def test_gaussian_bandwidth_rises_under_slate(self):
+        cuda = run_solo("GS", ExecutionMode.HARDWARE)
+        slate = run_solo("GS", ExecutionMode.SLATE)
+        gain = slate.l2_throughput / cuda.l2_throughput
+        assert 1.2 <= gain <= 1.5  # paper: +38%
+
+    def test_blackscholes_loses_at_default_task_size(self):
+        """Direction matches the paper's -5%; our magnitude is softer
+        because the simulated grid is finer-grained than the real BS run
+        (the straggler tail shrinks with wave count)."""
+        cuda = run_solo("BS", ExecutionMode.HARDWARE)
+        slate = run_solo("BS", ExecutionMode.SLATE, task_size=10)
+        ratio = slate.elapsed / cuda.elapsed
+        assert 1.002 <= ratio <= 1.10
+
+    def test_blackscholes_wins_at_task_size_one(self):
+        cuda = run_solo("BS", ExecutionMode.HARDWARE)
+        slate = run_solo("BS", ExecutionMode.SLATE, task_size=1)
+        assert slate.elapsed < cuda.elapsed  # paper: +2%
+
+    @pytest.mark.parametrize("name", ["MM", "RG", "TR"])
+    def test_other_kernels_no_worse_than_cuda(self, name):
+        """Worst case: Slate matches CUDA (paper Fig. 6)."""
+        cuda = run_solo(name, ExecutionMode.HARDWARE)
+        slate = run_solo(name, ExecutionMode.SLATE)
+        assert slate.elapsed <= cuda.elapsed * 1.02
+
+
+class TestFig5TaskSizeSweep:
+    def test_gs_kernel_time_roughly_halves_at_task_10(self):
+        t1 = run_solo("GS", ExecutionMode.SLATE, task_size=1).elapsed
+        t10 = run_solo("GS", ExecutionMode.SLATE, task_size=10).elapsed
+        assert 1.6 <= t1 / t10 <= 2.8  # paper: "almost halves"
+
+    def test_bs_prefers_task_size_one(self):
+        t1 = run_solo("BS", ExecutionMode.SLATE, task_size=1).elapsed
+        t10 = run_solo("BS", ExecutionMode.SLATE, task_size=10).elapsed
+        assert t10 > t1  # paper: size 10 worse than size 1 for BS
+
+    def test_gs_improvement_monotone_then_flat(self):
+        times = {
+            s: run_solo("GS", ExecutionMode.SLATE, task_size=s).elapsed
+            for s in (1, 2, 5, 10)
+        }
+        assert times[1] > times[2] > times[5] > times[10]

@@ -1,0 +1,78 @@
+"""Tests for the extended workload set (HS, PF, KM)."""
+
+import pytest
+
+from repro.kernels import by_name, hotspot, kmeans, pathfinder
+from repro.slate.classify import IntensityClass as C
+from repro.slate.policy import DEFAULT_POLICY
+from repro.slate.profiler import offline_profile
+from repro.workloads.harness import app_for, run_pair, run_solo
+from repro.workloads.app import AppSpec
+
+
+class TestClasses:
+    @pytest.mark.parametrize(
+        "factory,expected",
+        [(hotspot, C.M_M), (pathfinder, C.L_C), (kmeans, C.M_C)],
+    )
+    def test_intended_intensity_class(self, factory, expected):
+        profile = offline_profile(factory())
+        assert profile.intensity is expected
+
+    def test_km_fills_the_empty_class(self):
+        """The paper's suite has no M_C member; KM provides one."""
+        profile = offline_profile(kmeans())
+        assert profile.intensity is C.M_C
+        # And the policy pairs it with low-compute and H_M partners.
+        assert DEFAULT_POLICY.should_corun(C.M_C, C.L_C)
+        assert DEFAULT_POLICY.should_corun(C.M_C, C.H_M)
+
+    def test_registry_resolution(self):
+        for name in ("HS", "PF", "KM"):
+            assert by_name(name).name == name
+
+
+class TestBehaviour:
+    def test_hotspot_gains_from_in_order_execution(self):
+        """HS is order-sensitive like GS: Slate's scheduling helps solo."""
+        from repro.gpu.device import ExecutionMode, SimulatedGPU
+        from repro.config import TITAN_XP, CostModel
+        from repro.sim import Environment
+
+        spec = hotspot()
+        times = {}
+        for mode, kwargs in (
+            (ExecutionMode.HARDWARE, {}),
+            (ExecutionMode.SLATE, {"task_size": 10, "inject_frac": 0.03}),
+        ):
+            env = Environment()
+            gpu = SimulatedGPU(env, TITAN_XP, CostModel())
+            times[mode] = env.run(
+                until=gpu.launch(spec.work(), mode=mode, **kwargs).done
+            ).elapsed
+        assert times[ExecutionMode.HARDWARE] > 1.10 * times[ExecutionMode.SLATE]
+
+    def test_pathfinder_rides_with_hotspot(self):
+        """PF (L_C) co-runs with HS (M_M) under the Table I policy."""
+        _, runtime = run_pair(
+            "Slate",
+            AppSpec(name="HS", kernel=hotspot(), reps=4),
+            AppSpec(name="PF", kernel=pathfinder(), reps=4),
+        )
+        assert runtime.scheduler.corun_launches >= 1
+
+    def test_km_tr_pair_coruns(self):
+        """M_C x H_M is a corun cell: KM pairs with Transpose."""
+        _, runtime = run_pair(
+            "Slate",
+            AppSpec(name="KM", kernel=kmeans(), reps=4),
+            app_for("TR", reps=4),
+        )
+        assert runtime.scheduler.corun_launches >= 1
+
+    def test_all_extras_run_solo_under_every_runtime(self):
+        for bench in ("HS", "PF", "KM"):
+            for runtime in ("CUDA", "MPS", "Slate"):
+                result, _ = run_solo(runtime, app_for(bench, reps=2))
+                assert result.launches == 2
+                assert result.kernel_exec_time > 0

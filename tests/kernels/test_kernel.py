@@ -1,0 +1,90 @@
+"""Tests for grid geometry and KernelSpec."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.gpu.device import KernelWork
+from repro.kernels.kernel import GridDim, KernelSpec
+from repro.kernels import blackscholes, sgemm
+
+
+class TestGridDim:
+    def test_1d_grid(self):
+        g = GridDim(100)
+        assert g.num_blocks == 100
+        assert not g.is_2d
+
+    def test_2d_grid(self):
+        g = GridDim(10, 20)
+        assert g.num_blocks == 200
+        assert g.is_2d
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            GridDim(0)
+        with pytest.raises(ValueError):
+            GridDim(1, 0)
+
+    def test_linear_index_row_major(self):
+        g = GridDim(4, 3)
+        assert g.linear_index(0, 0) == 0
+        assert g.linear_index(3, 0) == 3
+        assert g.linear_index(0, 1) == 4
+        assert g.linear_index(3, 2) == 11
+
+    def test_coords_inverse(self):
+        g = GridDim(4, 3)
+        assert g.coords(0) == (0, 0)
+        assert g.coords(11) == (3, 2)
+
+    def test_out_of_range(self):
+        g = GridDim(4, 3)
+        with pytest.raises(ValueError):
+            g.linear_index(4, 0)
+        with pytest.raises(ValueError):
+            g.coords(12)
+
+    @given(
+        x=st.integers(min_value=1, max_value=200),
+        y=st.integers(min_value=1, max_value=50),
+        data=st.data(),
+    )
+    def test_linearization_roundtrip(self, x, y, data):
+        g = GridDim(x, y)
+        linear = data.draw(st.integers(min_value=0, max_value=g.num_blocks - 1))
+        bx, by = g.coords(linear)
+        assert g.linear_index(bx, by) == linear
+
+    @given(x=st.integers(min_value=1, max_value=100), y=st.integers(min_value=1, max_value=30))
+    def test_linearization_is_bijection(self, x, y):
+        g = GridDim(x, y)
+        seen = {g.linear_index(bx, by) for by in range(y) for bx in range(x)}
+        assert seen == set(range(g.num_blocks))
+
+
+class TestKernelSpec:
+    def test_work_conversion(self):
+        spec = blackscholes()
+        work = spec.work()
+        assert isinstance(work, KernelWork)
+        assert work.num_blocks == spec.grid.num_blocks
+        assert work.flops_per_block == spec.flops_per_block
+
+    def test_2d_spec_flattens_block_count(self):
+        spec = sgemm(tiles=8)
+        assert spec.grid.is_2d
+        assert spec.work().num_blocks == 64
+
+    def test_scaled(self):
+        spec = blackscholes(num_blocks=1000)
+        bigger = spec.scaled(2.0)
+        assert bigger.grid.x == 2000
+        assert bigger.name == spec.name
+        with pytest.raises(ValueError):
+            spec.scaled(0)
+
+    def test_totals(self):
+        spec = blackscholes(num_blocks=10)
+        assert spec.total_flops == pytest.approx(10 * spec.flops_per_block)
+        assert spec.total_bytes == pytest.approx(10 * spec.bytes_per_block)

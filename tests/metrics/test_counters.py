@@ -1,0 +1,78 @@
+"""nvprof-style collector tests."""
+
+import pytest
+
+from repro.config import TITAN_XP
+from repro.gpu.device import ExecutionMode, KernelCounters, SimulatedGPU
+from repro.kernels import gaussian
+from repro.metrics.counters import METRIC_NAMES, NvprofReport, collect
+from repro.sim import Environment
+from repro.config import CostModel
+
+
+def fake_counter(name="K", elapsed=1.0, flops=1e9, bytes_l2=1e9, instr=1e8, ldst=1e7):
+    c = KernelCounters(name=name, start_time=0.0, end_time=elapsed)
+    c.flops = flops
+    c.bytes_l2 = bytes_l2
+    c.bytes_dram = bytes_l2 * 0.8
+    c.instructions = instr
+    c.ldst = ldst
+    c.busy_time = elapsed
+    c.blocks_executed = 100
+    return c
+
+
+class TestCollect:
+    def test_all_metrics_present(self):
+        report = collect([fake_counter()])
+        for metric in METRIC_NAMES:
+            assert metric in report
+
+    def test_rates_computed(self):
+        report = collect([fake_counter(elapsed=2.0, flops=4e9, bytes_l2=8e9)])
+        assert report["flop_count_sp"] == 4e9
+        assert report["gld_gst_throughput_gbps"] == pytest.approx(4.0)
+        assert report["dram_read_write_throughput_gbps"] == pytest.approx(3.2)
+        assert report["launches"] == 1
+
+    def test_aggregation_over_launches(self):
+        counters = [fake_counter() for _ in range(5)]
+        report = collect(counters)
+        assert report["launches"] == 5
+        assert report["flop_count_sp"] == 5e9
+        # Rate unchanged (same per-launch profile).
+        assert report["gld_gst_throughput_gbps"] == pytest.approx(1.0)
+
+    def test_load_store_split(self):
+        report = collect([fake_counter()])
+        total = report["gld_gst_throughput_gbps"]
+        assert report.gld_throughput() + report.gst_throughput() == pytest.approx(total)
+        assert report.gld_throughput() > report.gst_throughput()
+
+    def test_mixed_kernels_rejected(self):
+        with pytest.raises(ValueError, match="different kernels"):
+            collect([fake_counter("A"), fake_counter("B")])
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError, match="no counters"):
+            collect([])
+
+    def test_format_output(self):
+        report = collect([fake_counter()])
+        out = report.format()
+        assert "==PROF==" in out
+        assert "flop_count_sp" in out
+
+    def test_real_run_ipc_consistent_with_table3(self):
+        """Collector's IPC equals the Table III computation."""
+        from repro.experiments.tab3_gaussian import device_ipc
+
+        env = Environment()
+        gpu = SimulatedGPU(env, TITAN_XP, CostModel())
+        handle = gpu.launch(gaussian(num_blocks=96_000).work(), mode=ExecutionMode.HARDWARE)
+        counters = env.run(until=handle.done)
+        report = collect([counters])
+        assert report["ipc"] == pytest.approx(device_ipc(counters, TITAN_XP))
+        assert report["stall_memory_throttle"] == pytest.approx(
+            counters.mem_throttle_fraction
+        )

@@ -1,0 +1,50 @@
+"""Utilization summary tests."""
+
+import pytest
+
+from repro.metrics.utilization import summarize_utilization
+
+
+LOG = [
+    (0.0, {"A": (0, 29)}),        # full device, 1 tenant, for 1 ms
+    (1e-3, {"A": (0, 14), "B": (15, 29)}),  # shared for 2 ms
+    (3e-3, {"B": (15, 29)}),      # half device for 1 ms
+    (4e-3, {}),                   # idle for 1 ms
+]
+
+
+class TestSummary:
+    def test_occupancy_integration(self):
+        s = summarize_utilization(LOG, end_time=5e-3)
+        # (1ms*30 + 2ms*30 + 1ms*15 + 1ms*0) / (5ms*30)
+        assert s.mean_sm_occupancy == pytest.approx((30 + 60 + 15) / 150)
+        assert s.duration == pytest.approx(5e-3)
+
+    def test_tenancy_histogram(self):
+        s = summarize_utilization(LOG, end_time=5e-3)
+        assert s.tenancy[1] == pytest.approx(0.4)  # 1ms + 1ms of single tenant
+        assert s.tenancy[2] == pytest.approx(0.4)
+        assert s.tenancy[0] == pytest.approx(0.2)
+        assert s.idle_fraction == pytest.approx(0.2)
+        assert s.shared_fraction == pytest.approx(0.4)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            summarize_utilization([], 1.0)
+        with pytest.raises(ValueError):
+            summarize_utilization(LOG, end_time=-1.0)
+
+    def test_zero_duration(self):
+        s = summarize_utilization([(0.0, {})], end_time=0.0)
+        assert s.idle_fraction == 1.0
+
+    def test_slate_shares_more_than_it_idles_on_bs_rg(self):
+        """End to end: the BS-RG pairing spends most of its kernel window
+        with two co-resident tenants."""
+        from repro.workloads.harness import app_for, run_pair
+
+        _, runtime = run_pair("Slate", app_for("BS"), app_for("RG"))
+        log = runtime.scheduler.allocation_log
+        summary = summarize_utilization(log, end_time=log[-1][0])
+        assert summary.shared_fraction > 0.5
+        assert summary.mean_sm_occupancy > 0.7

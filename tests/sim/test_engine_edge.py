@@ -1,0 +1,215 @@
+"""Edge-path tests for the DES engine: rarely-hit branches, nasty orders."""
+
+import pytest
+
+from repro.sim import Environment, Event, Interrupt, Resource, Store, Tracer
+from repro.sim.engine import EmptySchedule
+from repro.sim.events import ConditionValue
+from repro.sim.interrupts import SimulationError
+
+
+class TestRunUntilEdges:
+    def test_run_until_already_processed_event_returns_value(self):
+        env = Environment()
+        ev = env.event()
+        ev.succeed("早い")
+        env.run()  # processes ev
+        assert ev.processed
+        assert env.run(until=ev) == "早い"
+
+    def test_run_until_already_processed_failed_event_raises(self):
+        env = Environment()
+        ev = env.event()
+        ev.fail(KeyError("boom"))
+        ev.defuse()
+        env.run()
+        with pytest.raises(KeyError):
+            env.run(until=ev)
+
+    def test_run_until_failing_process_raises_its_exception(self):
+        env = Environment()
+
+        def proc(env):
+            yield env.timeout(1)
+            raise OSError("disk")
+
+        p = env.process(proc(env))
+        with pytest.raises(OSError, match="disk"):
+            env.run(until=p)
+
+    def test_run_until_time_equal_to_now_is_noop(self):
+        env = Environment()
+        env.run(until=0)
+        assert env.now == 0.0
+
+    def test_clock_stops_exactly_at_until_before_events_there(self):
+        env = Environment()
+        fired = []
+
+        def proc(env):
+            yield env.timeout(5)
+            fired.append(env.now)
+
+        env.process(proc(env))
+        env.run(until=5)
+        # simpy semantics: stop *before* processing events at `until`.
+        assert fired == []
+        env.run()
+        assert fired == [5.0]
+
+
+class TestEventEdges:
+    def test_trigger_copies_outcome(self):
+        env = Environment()
+        src, dst = env.event(), env.event()
+        src.succeed(41)
+        dst.trigger(src)
+        env.run()
+        assert dst.value == 41
+
+    def test_condition_value_mapping_interface(self):
+        env = Environment()
+        a, b = env.timeout(1, value="a"), env.timeout(2, value="b")
+
+        def proc(env):
+            result = yield env.all_of([a, b])
+            return result
+
+        p = env.process(proc(env))
+        result: ConditionValue = env.run(until=p)
+        assert a in result and b in result
+        assert result[a] == "a"
+        assert len(result) == 2
+        assert list(result.keys()) == [a, b]
+        assert dict(result.items())[b] == "b"
+        with pytest.raises(KeyError):
+            _ = result[env.event()]
+
+    def test_condition_over_prefailed_event(self):
+        env = Environment()
+        bad = env.event()
+        bad.fail(ValueError("pre"))
+        bad.defuse()
+        env.run()  # bad is processed (and defused)
+
+        def proc(env):
+            try:
+                yield env.all_of([bad, env.timeout(1)])
+            except ValueError:
+                return "caught"
+
+        p = env.process(proc(env))
+        env.run()
+        assert p.value == "caught"
+
+    def test_schedule_negative_delay_rejected(self):
+        env = Environment()
+        ev = env.event()
+        ev._ok = True
+        ev._value = None
+        with pytest.raises(ValueError):
+            env.schedule(ev, delay=-0.5)
+
+
+class TestProcessEdges:
+    def test_process_finishing_instantly(self):
+        env = Environment()
+
+        def proc(env):
+            return 7
+            yield  # pragma: no cover
+
+        p = env.process(proc(env))
+        env.run()
+        assert p.value == 7
+
+    def test_interrupt_queued_before_process_starts(self):
+        """Interrupting a just-created process delivers on first resume."""
+        env = Environment()
+
+        def victim(env):
+            try:
+                yield env.timeout(10)
+                return "slept"
+            except Interrupt as i:
+                return ("early", i.cause)
+
+        p = env.process(victim(env))
+        p.interrupt("now")
+        env.run()
+        assert p.value in (("early", "now"), "slept")
+        # Deterministically: the init event fires first, then the
+        # interrupt lands while the victim waits on its timeout.
+        assert p.value == ("early", "now")
+
+    def test_double_interrupt_delivers_both(self):
+        env = Environment()
+        causes = []
+
+        def victim(env):
+            for _ in range(2):
+                try:
+                    yield env.timeout(10)
+                except Interrupt as i:
+                    causes.append(i.cause)
+            yield env.timeout(0)
+            return causes
+
+        p = env.process(victim(env))
+
+        def attacker(env):
+            yield env.timeout(1)
+            p.interrupt("one")
+            p.interrupt("two")
+
+        env.process(attacker(env))
+        env.run()
+        assert p.value == ["one", "two"]
+
+    def test_target_property(self):
+        env = Environment()
+
+        def proc(env):
+            yield env.timeout(5)
+
+        p = env.process(proc(env))
+        env.run(until=1)
+        assert p.target is not None
+        assert p.is_alive
+
+
+class TestMiscEdges:
+    def test_empty_schedule_step(self):
+        env = Environment()
+        with pytest.raises(EmptySchedule):
+            env.step()
+
+    def test_tracer_limit_trims_oldest(self):
+        tracer = Tracer(limit=10)
+        env = Environment(tracer=tracer)
+        for i in range(25):
+            env.timeout(float(i))
+        env.run()
+        assert len(tracer) <= 10
+        # The survivors are the most recent records.
+        assert tracer.records[-1].time == 24.0
+
+    def test_resource_release_of_unknown_request_is_safe(self):
+        env = Environment()
+        res = Resource(env, capacity=1)
+        other = Resource(env, capacity=1)
+        req = other.request()
+        # Releasing a foreign request neither grants nor corrupts.
+        res.release(req)
+        assert res.count == 0
+
+    def test_store_len(self):
+        env = Environment()
+        store = Store(env)
+
+        def proc(env):
+            yield store.put(1)
+            yield store.put(2)
+
+        env.run(until=env.process(proc(env)))
+        assert len(store) == 2

@@ -1,0 +1,294 @@
+"""Tests for Resource/PriorityResource and the Store family."""
+
+import pytest
+
+from repro.sim import (
+    Environment,
+    FilterStore,
+    PriorityResource,
+    PriorityStore,
+    Resource,
+    Store,
+)
+
+
+class TestResource:
+    def test_capacity_validation(self):
+        env = Environment()
+        with pytest.raises(ValueError):
+            Resource(env, capacity=0)
+
+    def test_exclusive_access_serializes(self):
+        env = Environment()
+        res = Resource(env, capacity=1)
+        log = []
+
+        def user(env, res, name, hold):
+            with res.request() as req:
+                yield req
+                log.append((name, "in", env.now))
+                yield env.timeout(hold)
+                log.append((name, "out", env.now))
+
+        env.process(user(env, res, "a", 3))
+        env.process(user(env, res, "b", 2))
+        env.run()
+        assert log == [
+            ("a", "in", 0.0),
+            ("a", "out", 3.0),
+            ("b", "in", 3.0),
+            ("b", "out", 5.0),
+        ]
+
+    def test_capacity_two_allows_overlap(self):
+        env = Environment()
+        res = Resource(env, capacity=2)
+        entered = []
+
+        def user(env):
+            with res.request() as req:
+                yield req
+                entered.append(env.now)
+                yield env.timeout(5)
+
+        for _ in range(3):
+            env.process(user(env))
+        env.run()
+        assert entered == [0.0, 0.0, 5.0]
+
+    def test_count_and_queue_length(self):
+        env = Environment()
+        res = Resource(env, capacity=1)
+
+        def holder(env):
+            with res.request() as req:
+                yield req
+                yield env.timeout(10)
+
+        def waiter(env):
+            with res.request() as req:
+                yield req
+
+        env.process(holder(env))
+        env.process(waiter(env))
+        env.run(until=1)
+        assert res.count == 1
+        assert res.queue_length == 1
+
+    def test_cancel_pending_request(self):
+        env = Environment()
+        res = Resource(env, capacity=1)
+        got = []
+
+        def holder(env):
+            with res.request() as req:
+                yield req
+                yield env.timeout(10)
+
+        def impatient(env):
+            req = res.request()
+            yield env.timeout(1)
+            req.cancel()  # withdraw before grant
+
+        def patient(env):
+            yield env.timeout(2)
+            with res.request() as req:
+                yield req
+                got.append(env.now)
+
+        env.process(holder(env))
+        env.process(impatient(env))
+        env.process(patient(env))
+        env.run()
+        # Patient acquires right when holder releases; impatient never held.
+        assert got == [10.0]
+
+    def test_fifo_grant_order(self):
+        env = Environment()
+        res = Resource(env, capacity=1)
+        order = []
+
+        def user(env, name, arrive):
+            yield env.timeout(arrive)
+            with res.request() as req:
+                yield req
+                order.append(name)
+                yield env.timeout(1)
+
+        for i, name in enumerate("abcd"):
+            env.process(user(env, name, i * 0.1))
+        env.run()
+        assert order == ["a", "b", "c", "d"]
+
+
+class TestPriorityResource:
+    def test_priority_order(self):
+        env = Environment()
+        res = PriorityResource(env, capacity=1)
+        order = []
+
+        def user(env, name, prio):
+            with res.request(priority=prio) as req:
+                yield req
+                order.append(name)
+                yield env.timeout(1)
+
+        def spawn(env):
+            # Hold the resource, then release with three queued users.
+            with res.request(priority=0) as req:
+                yield req
+                env.process(user(env, "low", 5))
+                env.process(user(env, "high", 1))
+                env.process(user(env, "mid", 3))
+                yield env.timeout(1)
+
+        env.process(spawn(env))
+        env.run()
+        assert order == ["high", "mid", "low"]
+
+
+class TestStore:
+    def test_put_get_fifo(self):
+        env = Environment()
+        store = Store(env)
+        got = []
+
+        def producer(env):
+            for i in range(3):
+                yield store.put(i)
+                yield env.timeout(1)
+
+        def consumer(env):
+            for _ in range(3):
+                item = yield store.get()
+                got.append((item, env.now))
+
+        env.process(producer(env))
+        env.process(consumer(env))
+        env.run()
+        assert [g[0] for g in got] == [0, 1, 2]
+
+    def test_get_blocks_until_put(self):
+        env = Environment()
+        store = Store(env)
+
+        def consumer(env):
+            item = yield store.get()
+            return (item, env.now)
+
+        def producer(env):
+            yield env.timeout(7)
+            yield store.put("late")
+
+        c = env.process(consumer(env))
+        env.process(producer(env))
+        env.run()
+        assert c.value == ("late", 7.0)
+
+    def test_bounded_capacity_blocks_put(self):
+        env = Environment()
+        store = Store(env, capacity=1)
+        log = []
+
+        def producer(env):
+            yield store.put("a")
+            log.append(("a-in", env.now))
+            yield store.put("b")
+            log.append(("b-in", env.now))
+
+        def consumer(env):
+            yield env.timeout(5)
+            item = yield store.get()
+            log.append((item, env.now))
+
+        env.process(producer(env))
+        env.process(consumer(env))
+        env.run()
+        assert ("a-in", 0.0) in log
+        assert ("b-in", 5.0) in log
+
+    def test_capacity_validation(self):
+        with pytest.raises(ValueError):
+            Store(Environment(), capacity=0)
+
+
+class TestFilterStore:
+    def test_filter_selects_matching_item(self):
+        env = Environment()
+        store = FilterStore(env)
+
+        def producer(env):
+            yield store.put({"kind": "x", "n": 1})
+            yield store.put({"kind": "y", "n": 2})
+
+        def consumer(env):
+            item = yield store.get(lambda it: it["kind"] == "y")
+            return item["n"]
+
+        env.process(producer(env))
+        c = env.process(consumer(env))
+        env.run()
+        assert c.value == 2
+        assert len(store.items) == 1
+
+    def test_blocked_filter_does_not_starve_other_getters(self):
+        env = Environment()
+        store = FilterStore(env)
+
+        def never(env):
+            yield store.get(lambda it: it == "never-matches")
+
+        def wants_a(env):
+            item = yield store.get(lambda it: it == "a")
+            return (item, env.now)
+
+        env.process(never(env))
+        w = env.process(wants_a(env))
+
+        def producer(env):
+            yield env.timeout(1)
+            yield store.put("a")
+
+        env.process(producer(env))
+        env.run(until=10)
+        assert w.value == ("a", 1.0)
+
+
+class TestPriorityStore:
+    def test_smallest_first(self):
+        env = Environment()
+        store = PriorityStore(env)
+        got = []
+
+        def producer(env):
+            for v in (5, 1, 3):
+                yield store.put(v)
+
+        def consumer(env):
+            yield env.timeout(1)
+            for _ in range(3):
+                got.append((yield store.get()))
+
+        env.process(producer(env))
+        env.process(consumer(env))
+        env.run()
+        assert got == [1, 3, 5]
+
+    def test_ties_are_fifo_stable(self):
+        env = Environment()
+        store = PriorityStore(env)
+        got = []
+
+        def producer(env):
+            yield store.put((1, "first"))
+            yield store.put((1, "second"))
+
+        def consumer(env):
+            yield env.timeout(1)
+            got.append((yield store.get()))
+            got.append((yield store.get()))
+
+        env.process(producer(env))
+        env.process(consumer(env))
+        env.run()
+        assert got == [(1, "first"), (1, "second")]

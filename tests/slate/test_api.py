@@ -1,0 +1,83 @@
+"""C-header-style API facade tests."""
+
+import pytest
+
+from repro.kernels import quasirandom
+from repro.sim import Environment
+from repro.slate import SlateRuntime
+from repro.slate.api import (
+    SLATE_MEMCPY_DEVICE_TO_HOST,
+    SLATE_MEMCPY_HOST_TO_DEVICE,
+    slate_finalize,
+    slate_free,
+    slate_init,
+    slate_launch_kernel,
+    slate_malloc,
+    slate_memcpy,
+    slate_synchronize,
+)
+
+
+def make_runtime():
+    env = Environment()
+    rt = SlateRuntime(env)
+    rt.preload_profiles([quasirandom()])
+    return env, rt
+
+
+class TestLifecycle:
+    def test_full_c_style_flow(self):
+        env, rt = make_runtime()
+        spec = quasirandom(num_blocks=960)
+
+        def app(env):
+            handle = slate_init(rt, "ported-app")
+            buf = yield from slate_malloc(handle, 1 << 20)
+            yield from slate_memcpy(handle, buf, 1 << 20, SLATE_MEMCPY_HOST_TO_DEVICE)
+            ticket = yield from slate_launch_kernel(handle, spec, args=[buf])
+            yield from slate_synchronize(handle)
+            yield from slate_memcpy(handle, buf, 1 << 20, SLATE_MEMCPY_DEVICE_TO_HOST)
+            yield from slate_free(handle, buf)
+            slate_finalize(handle)
+            return ticket
+
+        ticket = env.run(until=env.process(app(env)))
+        assert ticket.counters.blocks_executed == pytest.approx(960)
+        assert rt.memory.used == 0
+
+    def test_use_after_finalize_rejected(self):
+        env, rt = make_runtime()
+        handle = slate_init(rt, "app")
+        slate_finalize(handle)
+        slate_finalize(handle)  # idempotent
+        with pytest.raises(RuntimeError, match="after slate_finalize"):
+            list(slate_malloc(handle, 1024))
+
+    def test_unknown_memcpy_direction(self):
+        env, rt = make_runtime()
+
+        def app(env):
+            handle = slate_init(rt, "app")
+            buf = yield from slate_malloc(handle, 1024)
+            with pytest.raises(ValueError, match="direction"):
+                yield from slate_memcpy(handle, buf, 1024, 99)
+            slate_finalize(handle)
+
+        env.run(until=env.process(app(env)))
+
+    def test_priority_and_task_size_pass_through(self):
+        env, rt = make_runtime()
+        spec = quasirandom(num_blocks=960)
+
+        def app(env):
+            handle = slate_init(rt, "app")
+            ticket = yield from slate_launch_kernel(
+                handle, spec, task_size=5, priority=3
+            )
+            yield from slate_synchronize(handle)
+            slate_finalize(handle)
+            return ticket
+
+        ticket = env.run(until=env.process(app(env)))
+        assert ticket.task_size == 5
+        assert ticket.priority == 3

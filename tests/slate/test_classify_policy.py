@@ -1,0 +1,146 @@
+"""Classification and Table I policy tests."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.config import TITAN_XP
+from repro.slate.classify import (
+    ClassifierThresholds,
+    IntensityClass as C,
+    Level,
+    classify,
+    classify_levels,
+)
+from repro.slate.policy import DEFAULT_POLICY, PolicyTable
+from repro.slate.profiler import offline_profile
+from repro.kernels import BENCHMARKS
+
+
+class TestClassifyLevels:
+    def test_memory_levels(self):
+        peak = TITAN_XP.dram_bandwidth  # bytes/s
+        assert classify_levels(0, 0.9 * peak)[1] is Level.HIGH
+        assert classify_levels(0, 0.5 * peak)[1] is Level.MED
+        assert classify_levels(0, 0.1 * peak)[1] is Level.LOW
+
+    def test_compute_levels(self):
+        peak_gf = TITAN_XP.device_flops / 1e9
+        assert classify_levels(0.2 * peak_gf, 0)[0] is Level.HIGH
+        assert classify_levels(0.05 * peak_gf, 0)[0] is Level.MED
+        assert classify_levels(0.001 * peak_gf, 0)[0] is Level.LOW
+
+    def test_negative_rates_rejected(self):
+        with pytest.raises(ValueError):
+            classify_levels(-1, 0)
+
+    def test_threshold_validation(self):
+        with pytest.raises(ValueError):
+            ClassifierThresholds(compute_high=0.01, compute_med=0.1)
+
+
+class TestCombinedClass:
+    def test_memory_priority(self):
+        """High compute + medium memory -> M_M (memory wins)."""
+        peak_gf = TITAN_XP.device_flops / 1e9
+        peak_bw = TITAN_XP.dram_bandwidth  # bytes/s
+        assert classify(0.5 * peak_gf, 0.5 * peak_bw) is C.M_M
+        assert classify(0.5 * peak_gf, 0.95 * peak_bw) is C.H_M
+
+    def test_low_memory_uses_compute_class(self):
+        peak_gf = TITAN_XP.device_flops / 1e9
+        assert classify(0.0001 * peak_gf, 0) is C.L_C
+        assert classify(0.05 * peak_gf, 0) is C.M_C
+        assert classify(0.5 * peak_gf, 0) is C.H_C
+
+    @pytest.mark.parametrize(
+        "bench,expected",
+        [("BS", C.M_M), ("GS", C.M_M), ("MM", C.M_M), ("RG", C.L_C), ("TR", C.H_M)],
+    )
+    def test_paper_benchmarks_land_in_published_classes(self, bench, expected):
+        profile = offline_profile(BENCHMARKS[bench]())
+        assert profile.intensity is expected
+
+    @given(gf=st.floats(min_value=0, max_value=1e5), bw=st.floats(min_value=0, max_value=1e12))
+    def test_classification_total(self, gf, bw):
+        assert classify(gf, bw) in list(C)
+
+
+class TestPolicyTable:
+    def test_table_is_complete(self):
+        for a in C:
+            for b in C:
+                assert DEFAULT_POLICY.decision(a, b) in ("corun", "solo")
+
+    def test_paper_rows_verbatim(self):
+        """Spot-check the published matrix, including its asymmetries."""
+        p = DEFAULT_POLICY
+        assert p.should_corun(C.L_C, C.L_C)
+        assert p.should_corun(C.L_C, C.M_M)
+        assert p.should_corun(C.M_M, C.L_C)
+        assert not p.should_corun(C.L_C, C.H_C)
+        assert not p.should_corun(C.H_C, C.L_C)
+        assert not p.should_corun(C.M_M, C.M_M)
+        assert not p.should_corun(C.H_M, C.H_M)
+        assert not p.should_corun(C.M_M, C.H_M)
+        # The published asymmetries, reproduced verbatim:
+        assert not p.should_corun(C.H_C, C.M_M)
+        assert p.should_corun(C.M_M, C.H_C)
+        assert p.should_corun(C.H_C, C.H_M)
+        assert not p.should_corun(C.H_M, C.H_C)
+
+    def test_rg_coruns_with_every_benchmark_class(self):
+        """§V-E: 'Slate concurrently runs RG with all the other kernels'."""
+        for other in (C.M_M, C.H_M, C.L_C):
+            assert DEFAULT_POLICY.should_corun(other, C.L_C)
+            assert DEFAULT_POLICY.should_corun(C.L_C, other)
+
+    def test_memory_pairs_run_solo(self):
+        """Memory-intensive kernels never share (rows M_M/H_M x M_M/H_M)."""
+        for a in (C.M_M, C.H_M):
+            for b in (C.M_M, C.H_M):
+                assert not DEFAULT_POLICY.should_corun(a, b)
+
+    def test_custom_table_validation(self):
+        with pytest.raises(ValueError):
+            PolicyTable(table={(C.L_C, C.L_C): "maybe"})
+
+    def test_corun_pairs_listing(self):
+        pairs = DEFAULT_POLICY.corun_pairs()
+        assert (C.L_C, C.L_C) in pairs
+        assert (C.M_M, C.M_M) not in pairs
+        assert len(pairs) == sum(
+            DEFAULT_POLICY.decision(a, b) == "corun" for a in C for b in C
+        )
+
+
+class TestClassificationBases:
+    def test_unknown_basis_rejected(self):
+        with pytest.raises(ValueError, match="unknown classification basis"):
+            classify_levels(1.0, 1.0, basis="magic")
+
+    def test_bases_agree_on_calibration_device(self):
+        """At 30 SMs the per-SM basis reduces to the device basis."""
+        for bench, factory in BENCHMARKS.items():
+            device_cls = offline_profile(factory(), basis="device").intensity
+            per_sm_cls = offline_profile(factory(), basis="per_sm").intensity
+            assert device_cls is per_sm_cls, bench
+
+    def test_per_sm_basis_is_scale_invariant(self):
+        """Same kernel, compute-scaled device: per-SM class is unchanged,
+        device-basis class drifts (the scaling-experiment finding)."""
+        from repro.config import TITAN_XP
+        from repro.kernels import quasirandom
+
+        dev60 = TITAN_XP.with_sms(60)
+        rg = quasirandom()
+        assert offline_profile(rg, dev60, basis="per_sm").intensity is C.L_C
+        assert offline_profile(rg, dev60, basis="device").intensity is C.M_M
+
+    def test_daemon_accepts_basis(self):
+        from repro.sim import Environment
+        from repro.slate import SlateRuntime
+
+        env = Environment()
+        rt = SlateRuntime(env, classification_basis="per_sm")
+        assert rt.profiles.basis == "per_sm"

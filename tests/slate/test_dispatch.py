@@ -1,0 +1,74 @@
+"""Dispatch-kernel (Listing 3) facade tests."""
+
+import pytest
+
+from repro.config import TITAN_XP, CostModel
+from repro.gpu.device import SimulatedGPU
+from repro.kernels import gaussian, quasirandom
+from repro.sim import Environment
+from repro.slate.dispatch import DispatchKernel
+
+
+def make_dispatch(spec=None, sms=range(0, 30)):
+    env = Environment()
+    gpu = SimulatedGPU(env, TITAN_XP, CostModel())
+    dk = DispatchKernel(gpu, spec or quasirandom(num_blocks=9600), sms)
+    return env, gpu, dk
+
+
+class TestDispatchLoop:
+    def test_initial_launch_recorded(self):
+        env, gpu, dk = make_dispatch(sms=range(0, 12))
+        assert dk.relaunches == 0
+        rec = dk.records[0]
+        assert (rec.sm_low, rec.sm_high) == (0, 11)
+        assert rec.slate_idx == 0.0
+        assert rec.workers == dk.execution.blocks_per_sm * 12
+
+    def test_completion_without_resize(self):
+        env, gpu, dk = make_dispatch()
+        env.run(until=dk.done)
+        assert dk.slate_idx == pytest.approx(dk.slate_max)
+        assert dk.relaunches == 0
+        # All final workers persisted (exit condition 2).
+        assert dk.exit_conditions.persisted == dk.records[-1].workers
+        assert dk.exit_conditions.retreated == 0
+
+    def test_adjust_carries_slate_idx(self):
+        env, gpu, dk = make_dispatch(spec=quasirandom(num_blocks=96_000))
+
+        def adjuster(env):
+            yield env.timeout(1e-3)
+            yield dk.adjust_sm_range(range(0, 10))
+
+        env.process(adjuster(env))
+        env.run(until=dk.done)
+        assert dk.relaunches == 1
+        second = dk.records[1]
+        assert 0 < second.slate_idx < dk.slate_max
+        assert (second.sm_low, second.sm_high) == (0, 9)
+        # Progress conserved.
+        assert dk.execution.counters.blocks_executed == pytest.approx(96_000)
+
+    def test_exit_conditions_tally(self):
+        env, gpu, dk = make_dispatch(spec=quasirandom(num_blocks=96_000), sms=range(0, 20))
+
+        def adjuster(env):
+            yield env.timeout(1e-3)
+            yield dk.adjust_sm_range(range(0, 30))
+
+        env.process(adjuster(env))
+        env.run(until=dk.done)
+        ec = dk.exit_conditions
+        # (1) first launch left 10 SMs' worth of blocks unguarded.
+        assert ec.wrong_sm >= dk.execution.blocks_per_sm * 10
+        # (3) the first worker set retreated; (2) the second persisted.
+        assert ec.retreated == dk.records[0].workers
+        assert ec.persisted == dk.records[1].workers
+
+    def test_adjust_after_done_is_noop(self):
+        env, gpu, dk = make_dispatch()
+        env.run(until=dk.done)
+        ev = dk.adjust_sm_range(range(0, 5))
+        assert ev.triggered
+        assert dk.relaunches == 0

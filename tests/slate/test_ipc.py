@@ -1,0 +1,49 @@
+"""IPC channel unit tests (named pipe + shared buffers)."""
+
+import pytest
+
+from repro.config import CostModel
+from repro.sim import Environment
+from repro.slate.ipc import NamedPipe, SharedBufferChannel
+
+
+class TestNamedPipe:
+    def test_round_trip_cost_and_counters(self):
+        env = Environment()
+        costs = CostModel(pipe_roundtrip=1e-4)
+        pipe = NamedPipe(env, costs)
+
+        def proc(env):
+            for _ in range(3):
+                yield from pipe.command()
+
+        env.run(until=env.process(proc(env)))
+        assert env.now == pytest.approx(3e-4)
+        assert pipe.round_trips == 3
+        assert pipe.total_time == pytest.approx(3e-4)
+
+
+class TestSharedBuffer:
+    def test_cost_independent_of_payload(self):
+        """The whole point of the channel: no per-byte copy cost."""
+        env = Environment()
+        costs = CostModel(shared_buffer_overhead=5e-5)
+        chan = SharedBufferChannel(env, costs)
+        times = []
+
+        def proc(env):
+            for nbytes in (1 << 10, 1 << 30):
+                t0 = env.now
+                yield from chan.handoff(nbytes)
+                times.append(env.now - t0)
+
+        env.run(until=env.process(proc(env)))
+        assert times[0] == pytest.approx(times[1])
+        assert chan.handoffs == 2
+        assert chan.bytes_handled == (1 << 10) + (1 << 30)
+
+    def test_negative_size_rejected(self):
+        env = Environment()
+        chan = SharedBufferChannel(env, CostModel())
+        with pytest.raises(ValueError):
+            list(chan.handoff(-1))

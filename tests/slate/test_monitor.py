@@ -1,0 +1,99 @@
+"""System monitor tests (Fig. 2 step (e))."""
+
+import pytest
+
+from repro.kernels import blackscholes, quasirandom
+from repro.sim import Environment
+from repro.slate import SlateRuntime
+from repro.slate.monitor import SystemMonitor
+
+
+class TestSampling:
+    def test_samples_accumulate_and_report(self):
+        env = Environment()
+        rt = SlateRuntime(env, monitor_interval=0.5e-3)
+        bs = blackscholes()
+        rt.preload_profiles([bs])
+        session = rt.create_session("app")
+
+        def app(env):
+            for _ in range(3):
+                yield from session.launch(bs)
+                yield from session.synchronize()
+
+        env.run(until=env.process(app(env)))
+        rt.monitor.stop()
+        assert len(rt.monitor.samples) >= 5
+        out = rt.monitor.report()
+        assert "mean SM coverage" in out
+        # BS holds the whole device while running solo.
+        busy = [s for s in rt.monitor.samples if s.running == 1]
+        assert busy and all(s.covered_sms == 30 for s in busy)
+
+    def test_interval_validation(self):
+        env = Environment()
+        rt = SlateRuntime(env)
+        with pytest.raises(ValueError):
+            SystemMonitor(env, rt.scheduler, interval=0)
+
+    def test_stop_is_idempotent(self):
+        env = Environment()
+        rt = SlateRuntime(env, monitor_interval=1e-3)
+        env.run(until=5e-3)
+        rt.monitor.stop()
+        rt.monitor.stop()
+        n = len(rt.monitor.samples)
+        env.run(until=20e-3)
+        assert len(rt.monitor.samples) == n  # no more sampling
+
+
+class TestReclamation:
+    def test_monitor_reclaims_when_grow_disabled(self):
+        """The safety net: with the event-driven grow off, the monitor
+        still returns freed SMs to the survivor."""
+        env = Environment()
+        rt = SlateRuntime(env, enable_grow=False, monitor_interval=0.4e-3)
+        bs, rg = blackscholes(), quasirandom(num_blocks=9600)
+        rt.preload_profiles([bs, rg])
+
+        def bs_app(env):
+            session = rt.create_session("bs")
+            ticket = yield from session.launch(bs)
+            yield from session.synchronize()
+            return ticket
+
+        def rg_app(env):
+            session = rt.create_session("rg")
+            yield env.timeout(0.2e-3)
+            yield from session.launch(rg)
+            yield from session.synchronize()
+
+        pb = env.process(bs_app(env))
+        pr = env.process(rg_app(env))
+        env.run(until=pb & pr)
+        assert rt.monitor.reclaims >= 1
+        # BS ended up back on the whole device after RG finished.
+        grew = any(
+            alloc.get("BS") == (0, 29)
+            for t, alloc in rt.scheduler.allocation_log[-5:]
+        )
+        assert grew
+
+    def test_no_reclaim_when_disabled(self):
+        env = Environment()
+        rt = SlateRuntime(env, enable_grow=False)
+        monitor = SystemMonitor(env, rt.scheduler, interval=0.4e-3, reclaim=False)
+        bs, rg = blackscholes(), quasirandom(num_blocks=9600)
+        rt.preload_profiles([bs, rg])
+
+        def app(env, name, spec, delay=0.0):
+            session = rt.create_session(name)
+            yield env.timeout(delay)
+            yield from session.launch(spec)
+            yield from session.synchronize()
+
+        pa = env.process(app(env, "bs", bs))
+        pb = env.process(app(env, "rg", rg, delay=0.2e-3))
+        env.run(until=pa & pb)
+        monitor.stop()
+        assert monitor.reclaims == 0

@@ -1,0 +1,99 @@
+"""N-way co-residency tests (max_corun extension)."""
+
+import pytest
+
+from repro.kernels import blackscholes, pathfinder, quasirandom
+from repro.sim import Environment
+from repro.slate import SlateRuntime
+from repro.workloads.app import AppSpec, run_application
+
+
+def run_trio(max_corun, reps=4):
+    """BS (saturating) + two light riders (RG, PF) arriving in order."""
+    env = Environment()
+    rt = SlateRuntime(env, max_corun=max_corun)
+    apps = [
+        AppSpec(name="bs", kernel=blackscholes(), reps=reps),
+        AppSpec(name="rg", kernel=quasirandom(), reps=reps),
+        AppSpec(name="pf", kernel=pathfinder(), reps=reps),
+    ]
+    rt.preload_profiles([a.kernel for a in apps])
+    procs = []
+    for i, app in enumerate(apps):
+        def staged(env, app=app, delay=i * 5e-4):
+            yield env.timeout(delay)
+            session = rt.create_session(app.name)
+            result = yield from run_application(env, session, app, rt.costs)
+            return result
+
+        procs.append(env.process(staged(env)))
+    env.run(until=env.all_of(procs))
+    return {p.value.name: p.value for p in procs}, rt
+
+
+class TestThreeWay:
+    def test_three_tenants_coresident(self):
+        results, rt = run_trio(max_corun=3)
+        log = rt.scheduler.allocation_log
+        assert any(len(alloc) == 3 for _, alloc in log)
+        # Disjoint SM assignments whenever three are resident.
+        for _, alloc in log:
+            if len(alloc) == 3:
+                ranges = sorted(alloc.values())
+                for (l1, h1), (l2, h2) in zip(ranges, ranges[1:]):
+                    assert h1 < l2
+
+    def test_default_caps_at_two(self):
+        _, rt = run_trio(max_corun=2)
+        assert all(
+            len(alloc) <= 2 for _, alloc in rt.scheduler.allocation_log
+        )
+
+    def test_three_way_helps_light_riders(self):
+        """With two light kernels beside BS, 3-way finishes the trio
+        faster than pair-at-a-time scheduling."""
+        two, _ = run_trio(max_corun=2)
+        three, _ = run_trio(max_corun=3)
+        makespan_two = max(r.end for r in two.values())
+        makespan_three = max(r.end for r in three.values())
+        assert makespan_three < makespan_two * 1.02
+
+    def test_primary_keeps_saturation_share(self):
+        results, rt = run_trio(max_corun=3)
+        # In every 3-tenant snapshot, BS holds >= 10 SMs (its knee).
+        for _, alloc in rt.scheduler.allocation_log:
+            if len(alloc) == 3 and "BS" in alloc:
+                low, high = alloc["BS"]
+                assert high - low + 1 >= 10
+
+    def test_survivors_rebalance_after_completion(self):
+        """When one of three tenants finishes, the remaining two claim
+        the freed SMs (total coverage returns to 30)."""
+        results, rt = run_trio(max_corun=3)
+        log = rt.scheduler.allocation_log
+        saw_three = False
+        rebalanced = False
+        for _, alloc in log:
+            if len(alloc) == 3:
+                saw_three = True
+            if saw_three and len(alloc) == 2:
+                covered = sum(h - l + 1 for l, h in alloc.values())
+                if covered == 30:
+                    rebalanced = True
+        assert rebalanced
+
+    def test_blocks_conserved_across_nway_resizes(self):
+        results, _ = run_trio(max_corun=3)
+        for name, result in results.items():
+            for counters in result.counters:
+                expected = {
+                    "bs": blackscholes().grid.num_blocks,
+                    "rg": quasirandom().grid.num_blocks,
+                    "pf": pathfinder().grid.num_blocks,
+                }[name]
+                assert counters.blocks_executed == pytest.approx(expected)
+
+    def test_validation(self):
+        env = Environment()
+        with pytest.raises(ValueError):
+            SlateRuntime(env, max_corun=0)

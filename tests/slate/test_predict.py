@@ -1,0 +1,66 @@
+"""Tests for the predictive partitioner."""
+
+import pytest
+
+from repro.kernels import blackscholes, gaussian, quasirandom, transpose
+from repro.slate.partition import MIN_SHARE
+from repro.slate.predict import choose_partition_predictive, predict_corun_rates
+
+
+class TestPredictRates:
+    def test_rates_positive(self):
+        ra, rb = predict_corun_rates(blackscholes(), quasirandom(), 12)
+        assert ra > 0 and rb > 0
+
+    def test_invalid_split_rejected(self):
+        with pytest.raises(ValueError):
+            predict_corun_rates(blackscholes(), quasirandom(), 0)
+        with pytest.raises(ValueError):
+            predict_corun_rates(blackscholes(), quasirandom(), 29)
+
+    def test_bs_rate_saturates_beyond_knee(self):
+        """Above ~its saturation count, BS gains nothing from more SMs."""
+        bs, rg = blackscholes(), quasirandom()
+        at_12, _ = predict_corun_rates(bs, rg, 12)
+        at_20, _ = predict_corun_rates(bs, rg, 20)
+        assert at_20 < at_12 * 1.12
+
+    def test_rg_scales_with_its_share(self):
+        bs, rg = blackscholes(), quasirandom()
+        _, rg_small = predict_corun_rates(bs, rg, 26)  # RG gets 4
+        _, rg_big = predict_corun_rates(bs, rg, 10)  # RG gets 20
+        assert rg_big > 3 * rg_small
+
+
+class TestChoosePredictive:
+    def test_split_covers_device(self):
+        split = choose_partition_predictive(blackscholes(), quasirandom())
+        assert split.n_a + split.n_b == 30
+        assert split.n_a >= MIN_SHARE and split.n_b >= MIN_SHARE
+
+    def test_bs_rg_gives_bs_its_saturation_share(self):
+        split = choose_partition_predictive(blackscholes(), quasirandom())
+        # BS saturates around 10-14 SMs; RG should get the majority.
+        assert 8 <= split.n_a <= 16
+        assert split.n_b > split.n_a
+
+    def test_predicted_stp_beats_time_slicing(self):
+        """For a complementary pair, predicted STP must exceed 1.0."""
+        split = choose_partition_predictive(blackscholes(), quasirandom())
+        assert split.predicted_stp > 1.3
+
+    def test_linear_pair_has_flat_stp(self):
+        """Two linearly-scaling kernels: corun STP ~ 1 at any split."""
+        split = choose_partition_predictive(quasirandom(), quasirandom())
+        assert split.predicted_stp == pytest.approx(1.0, abs=0.1)
+
+    def test_partition_object(self):
+        split = choose_partition_predictive(blackscholes(), quasirandom())
+        part = split.partition_for_a_primary()
+        assert len(part.primary_sms) == split.n_a
+        assert set(part.primary_sms) & set(part.secondary_sms) == set()
+
+    def test_memory_pair_low_stp(self):
+        """Two memory hogs predict poorly (the policy's solo rationale)."""
+        split = choose_partition_predictive(gaussian(), transpose())
+        assert split.predicted_stp < 1.15

@@ -1,0 +1,109 @@
+"""Priority / preemption (QoS extension) tests."""
+
+import pytest
+
+from repro.kernels import blackscholes, gaussian, quasirandom, transpose
+from repro.sim import Environment
+from repro.slate import SlateRuntime
+from repro.workloads.harness import app_for, run_solo
+
+
+def launch_app(env, rt, name, spec, reps=1, priority=0, delay=0.0):
+    session = rt.create_session(name)
+
+    def app(env):
+        if delay:
+            yield env.timeout(delay)
+        tickets = []
+        for _ in range(reps):
+            ticket = yield from session.launch(spec, priority=priority)
+            yield from session.synchronize()
+            tickets.append(ticket)
+        session.close()
+        return tickets
+
+    return env.process(app(env))
+
+
+class TestPreemption:
+    def test_vip_preempts_incompatible_tenant(self):
+        """A high-priority BS arrival preempts a running TR (both memory
+        intensive, policy says no corun); TR resumes and completes."""
+        env = Environment()
+        rt = SlateRuntime(env, enable_preemption=True)
+        tr, bs = transpose(num_blocks=3_360_000), blackscholes()
+        rt.preload_profiles([tr, bs])
+        p_tr = launch_app(env, rt, "batch", tr)
+        p_bs = launch_app(env, rt, "vip", bs, priority=10, delay=2e-3)
+        env.run(until=p_tr & p_bs)
+        assert rt.scheduler.preemptions == 1
+        (tr_ticket,) = p_tr.value
+        (bs_ticket,) = p_bs.value
+        assert tr_ticket.preemptions == 1
+        # All TR blocks still executed exactly once.
+        assert tr_ticket.counters.blocks_executed == pytest.approx(3_360_000)
+        # The VIP ran promptly instead of waiting for the long TR.
+        assert bs_ticket.counters.end_time < tr_ticket.counters.end_time
+
+    def test_vip_latency_near_solo(self):
+        """Preemption keeps the VIP's turnaround close to its solo time."""
+        solo, _ = run_solo("Slate", app_for("BS", reps=1))
+        solo_kernel = solo.kernel_exec_time
+
+        env = Environment()
+        rt = SlateRuntime(env, enable_preemption=True)
+        tr, bs = transpose(num_blocks=3_360_000), blackscholes()
+        rt.preload_profiles([tr, bs])
+        launch_app(env, rt, "batch", tr)
+        p_bs = launch_app(env, rt, "vip", bs, priority=5, delay=2e-3)
+        env.run(until=p_bs)
+        (ticket,) = p_bs.value
+        assert ticket.counters.elapsed < 1.25 * solo_kernel
+
+    def test_compatible_vip_coruns_instead_of_preempting(self):
+        """A VIP that complements the tenant shares instead of evicting."""
+        env = Environment()
+        rt = SlateRuntime(env, enable_preemption=True)
+        bs, rg = blackscholes(num_blocks=240_000), quasirandom()
+        rt.preload_profiles([bs, rg])
+        launch_app(env, rt, "batch", bs)
+        p_rg = launch_app(env, rt, "vip", rg, priority=10, delay=2e-3)
+        env.run(until=p_rg)
+        assert rt.scheduler.preemptions == 0
+        assert rt.scheduler.corun_launches == 1
+
+    def test_equal_priority_never_preempts(self):
+        env = Environment()
+        rt = SlateRuntime(env, enable_preemption=True)
+        tr, bs = transpose(), blackscholes()
+        rt.preload_profiles([tr, bs])
+        p1 = launch_app(env, rt, "a", tr)
+        p2 = launch_app(env, rt, "b", bs, delay=1e-3)
+        env.run(until=p1 & p2)
+        assert rt.scheduler.preemptions == 0
+
+    def test_preemption_off_by_default(self):
+        env = Environment()
+        rt = SlateRuntime(env)
+        tr, bs = transpose(), blackscholes()
+        rt.preload_profiles([tr, bs])
+        p1 = launch_app(env, rt, "a", tr)
+        p2 = launch_app(env, rt, "b", bs, priority=99, delay=1e-3)
+        env.run(until=p1 & p2)
+        assert rt.scheduler.preemptions == 0
+
+    def test_priority_orders_waiting_queue(self):
+        """Among waiting tickets, higher priority launches first."""
+        env = Environment()
+        rt = SlateRuntime(env)  # no preemption: queueing only
+        tr = transpose()
+        gs = gaussian()
+        bs = blackscholes()
+        rt.preload_profiles([tr, gs, bs])
+        launch_app(env, rt, "tenant", tr)
+        p_low = launch_app(env, rt, "low", gs, priority=1, delay=1e-3)
+        p_high = launch_app(env, rt, "high", bs, priority=9, delay=1.2e-3)
+        env.run(until=p_low & p_high)
+        (low_ticket,) = p_low.value
+        (high_ticket,) = p_high.value
+        assert high_ticket.started_at < low_ticket.started_at

@@ -1,0 +1,71 @@
+"""Adaptive profile refresh tests (profile_refresh extension)."""
+
+import pytest
+from dataclasses import replace
+
+from repro.kernels import quasirandom, transpose
+from repro.sim import Environment
+from repro.slate import SlateRuntime
+from repro.slate.classify import IntensityClass as C
+
+
+def drifting_kernel(heavy: bool):
+    """The 'same' kernel whose behaviour depends on its input data:
+    light quasirandom work, or a memory-heavy variant under one name."""
+    spec = quasirandom(num_blocks=48_000) if not heavy else transpose(num_blocks=336_000)
+    return replace(spec, name="DRIFTY")
+
+
+def run_phases(refresh: float):
+    env = Environment()
+    rt = SlateRuntime(env, profile_refresh=refresh)
+    session = rt.create_session("app")
+    classes = []
+
+    def app(env):
+        # Phase 1: light behaviour — profiled as L_C on first run.
+        for _ in range(2):
+            yield from session.launch(drifting_kernel(heavy=False))
+            yield from session.synchronize()
+        classes.append(rt.profiles.get("DRIFTY").intensity)
+        # Phase 2: the input changes; the kernel turns memory-heavy.
+        for _ in range(6):
+            yield from session.launch(drifting_kernel(heavy=True))
+            yield from session.synchronize()
+        classes.append(rt.profiles.get("DRIFTY").intensity)
+
+    env.run(until=env.process(app(env)))
+    return classes, rt
+
+
+class TestProfileRefresh:
+    def test_paper_behaviour_keeps_first_profile(self):
+        classes, rt = run_phases(refresh=0.0)
+        assert classes == [C.L_C, C.L_C]
+        assert rt.scheduler.profile_refreshes == 0
+
+    def test_refresh_tracks_behaviour_drift(self):
+        classes, rt = run_phases(refresh=0.5)
+        assert classes[0] is C.L_C
+        assert classes[1] is C.H_M  # converged to the heavy behaviour
+        assert rt.scheduler.profile_refreshes >= 5
+
+    def test_validation(self):
+        env = Environment()
+        with pytest.raises(ValueError):
+            SlateRuntime(env, profile_refresh=1.5)
+
+    def test_corun_counters_never_pollute_profiles(self):
+        """Only solo full-device runs refresh; corun windows are skewed."""
+        from repro.kernels import blackscholes, quasirandom
+        from repro.workloads.harness import app_for, run_pair
+
+        results, rt = run_pair(
+            "Slate", app_for("BS"), app_for("RG"), profile_refresh=0.5
+        )
+        bs = rt.profiles.get("BS")
+        # BS's profile still reflects solo behaviour: M_M with its
+        # saturation point intact (corun runs on 14 SMs would have halved
+        # the observed bandwidth and broken this).
+        assert bs.intensity is C.M_M
+        assert 10 <= bs.saturation_sms() <= 16

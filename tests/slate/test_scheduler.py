@@ -1,0 +1,206 @@
+"""Scheduler behaviour: selection, partitioning, dynamic resizing."""
+
+import pytest
+
+from repro.config import CostModel, TITAN_XP
+from repro.gpu.device import SimulatedGPU
+from repro.kernels import blackscholes, gaussian, quasirandom, transpose
+from repro.sim import Environment
+from repro.slate.profiler import offline_profile
+from repro.slate.scheduler import SlateScheduler, SlateTicket
+
+
+def make_scheduler(preload=()):
+    env = Environment()
+    gpu = SimulatedGPU(env, TITAN_XP, CostModel())
+    sched = SlateScheduler(env, gpu, TITAN_XP, CostModel())
+    for spec in preload:
+        sched.profiles.put(spec.name, offline_profile(spec))
+    return env, sched
+
+
+def ticket(env, spec):
+    return SlateTicket(
+        spec=spec, profile_key=spec.name, done=env.event(), enqueued_at=env.now
+    )
+
+
+class TestSoloAndProfiling:
+    def test_unknown_kernel_runs_solo_and_gets_profiled(self):
+        env, sched = make_scheduler()
+        spec = quasirandom(num_blocks=960)
+        t = ticket(env, spec)
+        sched.submit(t)
+        env.run(until=t.done)
+        assert t.profiling_run
+        assert sched.solo_launches == 1
+        assert "RG" in sched.profiles
+
+    def test_idle_device_launches_on_all_sms(self):
+        env, sched = make_scheduler(preload=[quasirandom()])
+        t = ticket(env, quasirandom(num_blocks=960))
+        sched.submit(t)
+        assert sched.running_sms()["RG"] == tuple(range(30))
+        env.run(until=t.done)
+
+
+class TestCorunDecision:
+    def test_complementary_pair_coruns_on_disjoint_sms(self):
+        bs, rg = blackscholes(), quasirandom()
+        env, sched = make_scheduler(preload=[bs, rg])
+        t1, t2 = ticket(env, bs), ticket(env, rg)
+        sched.submit(t1)
+        env.run(until=1e-4)
+        sched.submit(t2)
+        sms = sched.running_sms()
+        assert set(sms["BS"]) & set(sms["RG"]) == set()
+        assert len(sms["BS"]) + len(sms["RG"]) == 30
+        assert sched.corun_launches == 1
+        env.run(until=t1.done & t2.done)
+
+    def test_interfering_pair_waits(self):
+        """Two memory-intensive kernels (M_M x H_M) serialize."""
+        bs, tr = blackscholes(), transpose()
+        env, sched = make_scheduler(preload=[bs, tr])
+        t1, t2 = ticket(env, bs), ticket(env, tr)
+        sched.submit(t1)
+        env.run(until=1e-4)
+        sched.submit(t2)
+        assert sched.running_count == 1
+        assert sched.waiting_count == 1
+        env.run(until=t1.done & t2.done)
+        assert sched.corun_launches == 0
+        assert sched.solo_launches == 2
+
+    def test_unprofiled_candidate_waits(self):
+        bs = blackscholes()
+        rg = quasirandom()
+        env, sched = make_scheduler(preload=[bs])  # RG profile unknown
+        t1, t2 = ticket(env, bs), ticket(env, rg)
+        sched.submit(t1)
+        env.run(until=1e-4)
+        sched.submit(t2)
+        assert sched.running_count == 1  # no corun without a profile
+        env.run(until=t1.done & t2.done)
+
+
+class TestDynamicResizing:
+    def test_running_kernel_shrinks_on_corun_arrival(self):
+        bs, rg = blackscholes(), quasirandom()
+        env, sched = make_scheduler(preload=[bs, rg])
+        t1 = ticket(env, bs)
+        sched.submit(t1)
+        assert len(sched.running_sms()["BS"]) == 30
+        env.run(until=1e-4)
+        t2 = ticket(env, rg)
+        sched.submit(t2)
+        assert len(sched.running_sms()["BS"]) < 30
+        assert sched.resizes >= 1
+        env.run(until=t1.done & t2.done)
+
+    def test_survivor_grows_after_grace(self):
+        bs, rg = blackscholes(), quasirandom(num_blocks=4800)
+        env, sched = make_scheduler(preload=[bs, rg])
+        t1, t2 = ticket(env, bs), ticket(env, rg)
+        sched.submit(t1)
+        env.run(until=1e-4)
+        sched.submit(t2)
+        env.run(until=t2.done)  # RG (smaller) finishes first
+        assert len(sched.running_sms()["BS"]) < 30
+        grace = sched.costs.grow_grace
+        env.run(until=env.now + grace + 1e-4)
+        assert sched.running_sms()["BS"] == tuple(range(30))
+        env.run(until=t1.done)
+
+    def test_grow_skipped_if_partner_returns_within_grace(self):
+        bs, rg = blackscholes(), quasirandom(num_blocks=4800)
+        env, sched = make_scheduler(preload=[bs, rg])
+        t1, t2 = ticket(env, bs), ticket(env, rg)
+        sched.submit(t1)
+        env.run(until=1e-4)
+        sched.submit(t2)
+        resizes_before = sched.resizes
+        env.run(until=t2.done)
+        # Partner relaunches immediately (within the grace window).
+        t3 = ticket(env, quasirandom(num_blocks=4800))
+        sched.submit(t3)
+        env.run(until=t3.done)
+        # Only the initial shrink happened; no grow-then-shrink churn.
+        assert sched.resizes == resizes_before
+        env.run(until=t1.done)
+
+    def test_total_blocks_conserved_across_resizes(self):
+        bs, rg = blackscholes(), quasirandom()
+        env, sched = make_scheduler(preload=[bs, rg])
+        t1, t2 = ticket(env, bs), ticket(env, rg)
+        sched.submit(t1)
+        env.run(until=1e-4)
+        sched.submit(t2)
+        env.run(until=t1.done & t2.done)
+        assert t1.counters.blocks_executed == pytest.approx(bs.grid.num_blocks)
+        assert t2.counters.blocks_executed == pytest.approx(rg.grid.num_blocks)
+
+
+class TestDecisionAccounting:
+    def test_decisions_are_recorded(self):
+        bs, rg = blackscholes(), quasirandom()
+        env, sched = make_scheduler(preload=[bs, rg])
+        t1, t2 = ticket(env, bs), ticket(env, rg)
+        sched.submit(t1)
+        env.run(until=1e-4)
+        sched.submit(t2)
+        env.run(until=t1.done & t2.done)
+        kinds = [d for _, d in sched.decisions]
+        assert kinds.count("solo") == 1
+        assert kinds.count("corun") == 1
+
+    def test_gs_gs_runs_consecutively(self):
+        """§V-E: GS-GS is M_M x M_M -> solo, yet gains from scheduling."""
+        gs = gaussian(num_blocks=96_000)
+        env, sched = make_scheduler(preload=[gs])
+        t1, t2 = ticket(env, gs), ticket(env, gs)
+        sched.submit(t1)
+        env.run(until=1e-5)
+        sched.submit(t2)
+        env.run(until=t1.done & t2.done)
+        assert sched.corun_launches == 0
+        assert t2.started_at is not None
+        assert t2.started_at >= t1.counters.end_time
+
+
+class TestDecisionLog:
+    def test_structured_decisions(self):
+        bs, rg = blackscholes(), quasirandom()
+        env, sched = make_scheduler(preload=[bs, rg])
+        t1, t2 = ticket(env, bs), ticket(env, rg)
+        sched.submit(t1)
+        env.run(until=1e-4)
+        sched.submit(t2)
+        env.run(until=t1.done & t2.done)
+        kinds = [d.kind for d in sched.decision_log]
+        assert kinds == ["solo", "corun"]
+        solo, corun = sched.decision_log
+        assert solo.kernel == "BS" and solo.sms == 30
+        assert solo.reason == "device idle"
+        assert corun.kernel == "RG"
+        assert set(corun.classes) == {"L_C", "M_M"}
+        assert 0 < corun.sms < 30
+        assert "Table I corun with BS" in corun.reason
+
+    def test_explain_renders(self):
+        bs, rg = blackscholes(), quasirandom()
+        env, sched = make_scheduler(preload=[bs, rg])
+        t1, t2 = ticket(env, bs), ticket(env, rg)
+        sched.submit(t1)
+        env.run(until=1e-4)
+        sched.submit(t2)
+        env.run(until=t1.done & t2.done)
+        out = sched.explain()
+        assert "corun" in out and "SMs" in out and "ms" in out
+
+    def test_profiling_run_reason(self):
+        env, sched = make_scheduler()  # no preloaded profiles
+        t = ticket(env, quasirandom(num_blocks=960))
+        sched.submit(t)
+        env.run(until=t.done)
+        assert sched.decision_log[0].reason == "first-run profiling"

@@ -1,0 +1,178 @@
+"""Semantic-preservation tests for the grid transformation (§III-A).
+
+The invariant: under ANY grid, task size, worker count, and resize
+schedule, the persistent workers execute exactly the user's blocks, each
+once, in queue order — with 2D coordinates reconstructed by the
+increment/rollover arithmetic of Listing 2.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.kernels.kernel import GridDim
+from repro.slate.taskqueue import SlateQueue
+from repro.slate.transform import GridTransform, simulate_workers
+
+
+class TestSlateQueue:
+    def test_pull_sequence(self):
+        q = SlateQueue(num_blocks=25, task_size=10)
+        assert q.pull().block_range == range(0, 10)
+        assert q.pull().block_range == range(10, 20)
+        last = q.pull()
+        assert last.start == 20 and last.count == 5  # clamped (Listing 2)
+        assert q.pull() is None
+        assert q.pulls == 3
+
+    def test_remaining_accounting(self):
+        q = SlateQueue(num_blocks=25, task_size=10)
+        assert q.remaining_blocks == 25 and q.remaining_tasks == 3
+        q.pull()
+        assert q.remaining_blocks == 15 and q.remaining_tasks == 2
+
+    def test_retreat_flag(self):
+        q = SlateQueue(10, 2)
+        q.signal_retreat()
+        assert q.retreat
+        q.clear_retreat()
+        assert not q.retreat
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SlateQueue(0, 1)
+        with pytest.raises(ValueError):
+            SlateQueue(10, 0)
+
+
+class TestGridTransform:
+    def test_1d_task_coords(self):
+        t = GridTransform(GridDim(100))
+        q = SlateQueue(100, 7)
+        coords = t.task_block_coords(q.pull())
+        assert coords == [(i, 0) for i in range(7)]
+
+    def test_2d_rollover_mid_task(self):
+        t = GridTransform(GridDim(4, 3))
+        q = SlateQueue(12, 5)
+        first = t.task_block_coords(q.pull())
+        # Blocks 0..4: row 0 then rolls into row 1.
+        assert first == [(0, 0), (1, 0), (2, 0), (3, 0), (0, 1)]
+        second = t.task_block_coords(q.pull())
+        assert second == [(1, 1), (2, 1), (3, 1), (0, 2), (1, 2)]
+
+    def test_enumeration_matches_grid(self):
+        t = GridTransform(GridDim(5, 4))
+        assert t.enumerate_all() == [(i % 5, i // 5) for i in range(20)]
+
+
+class TestSimulateWorkers:
+    def test_single_epoch_covers_grid_in_order(self):
+        traces = simulate_workers(GridDim(6, 3), task_size=4, worker_schedule=[2])
+        blocks = [b for tr in traces for b in tr.blocks]
+        assert sorted(blocks) == sorted(GridTransform(GridDim(6, 3)).enumerate_all())
+
+    def test_resize_carries_progress_exactly(self):
+        traces = simulate_workers(GridDim(10, 10), task_size=3, worker_schedule=[4, 7, 2])
+        blocks = [b for tr in traces for b in tr.blocks]
+        assert len(blocks) == 100
+        assert set(blocks) == set(GridTransform(GridDim(10, 10)).enumerate_all())
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            simulate_workers(GridDim(4), 1, [])
+        with pytest.raises(ValueError):
+            simulate_workers(GridDim(4), 1, [0])
+
+
+@st.composite
+def grid_and_schedule(draw):
+    gx = draw(st.integers(min_value=1, max_value=40))
+    gy = draw(st.integers(min_value=1, max_value=20))
+    task = draw(st.integers(min_value=1, max_value=17))
+    epochs = draw(
+        st.lists(st.integers(min_value=1, max_value=12), min_size=1, max_size=5)
+    )
+    return GridDim(gx, gy), task, epochs
+
+
+@given(args=grid_and_schedule())
+@settings(max_examples=200)
+def test_every_block_executed_exactly_once(args):
+    """THE paper invariant: semantics preserved across resizing."""
+    grid, task_size, schedule = args
+    traces = simulate_workers(grid, task_size, schedule)
+    blocks = [b for tr in traces for b in tr.blocks]
+    expected = GridTransform(grid).enumerate_all()
+    assert len(blocks) == grid.num_blocks  # no duplicates, no losses
+    assert set(blocks) == set(expected)
+
+
+@given(args=grid_and_schedule())
+@settings(max_examples=100)
+def test_blocks_execute_in_global_queue_order(args):
+    """Tasks are claimed in order; concatenating per-pull coords in pull
+    order must equal the row-major enumeration (the locality property)."""
+    grid, task_size, _ = args
+    t = GridTransform(grid)
+    q = SlateQueue(grid.num_blocks, task_size)
+    in_pull_order = []
+    while (task := q.pull()) is not None:
+        in_pull_order.extend(t.task_block_coords(task))
+    assert in_pull_order == t.enumerate_all()
+
+
+@given(
+    gx=st.integers(min_value=1, max_value=50),
+    gy=st.integers(min_value=1, max_value=20),
+    task=st.integers(min_value=1, max_value=25),
+)
+def test_reconstruction_avoids_per_block_division(gx, gy, task):
+    """The rollover arithmetic equals div/mod reconstruction everywhere."""
+    grid = GridDim(gx, gy)
+    t = GridTransform(grid)
+    q = SlateQueue(grid.num_blocks, task)
+    while (tk := q.pull()) is not None:
+        coords = t.task_block_coords(tk)
+        for offset, (bx, by) in enumerate(coords):
+            linear = tk.start + offset
+            assert (bx, by) == (linear % gx, linear // gx)
+
+
+@given(args=grid_and_schedule())
+@settings(max_examples=100)
+def test_epoch_progress_is_contiguous(args):
+    """Each epoch resumes exactly where the previous stopped: sorting all
+    executed blocks by (epoch, pull order) yields the row-major sequence."""
+    grid, task_size, schedule = args
+    traces = simulate_workers(grid, task_size, schedule)
+    transform = GridTransform(grid)
+    # Interleave per-epoch worker traces in round-robin pull order: within
+    # one epoch, workers pulled tasks in worker-id order each round.
+    ordered: list[tuple[int, int]] = []
+    for epoch in range(len(schedule)):
+        epoch_traces = [t for t in traces if t.epoch == epoch]
+        cursors = [0] * len(epoch_traces)
+        progressed = True
+        while progressed:
+            progressed = False
+            for i, tr in enumerate(epoch_traces):
+                chunk = tr.blocks[cursors[i] : cursors[i] + task_size]
+                if chunk:
+                    ordered.extend(chunk)
+                    cursors[i] += len(chunk)
+                    progressed = True
+    assert ordered == transform.enumerate_all()
+
+
+@given(
+    gx=st.integers(min_value=1, max_value=30),
+    gy=st.integers(min_value=1, max_value=10),
+    task=st.integers(min_value=1, max_value=12),
+)
+@settings(max_examples=80)
+def test_single_worker_executes_strictly_in_order(gx, gy, task):
+    """One persistent worker is a serial queue: perfect row-major order."""
+    grid = GridDim(gx, gy)
+    traces = simulate_workers(grid, task, worker_schedule=[1])
+    assert traces[0].blocks == GridTransform(grid).enumerate_all()

@@ -1,0 +1,132 @@
+"""CLI smoke tests (python -m repro)."""
+
+import pytest
+
+from repro.__main__ import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_known_commands(self):
+        parser = build_parser()
+        for cmd, extra in [
+            ("experiments", []),
+            ("ablations", []),
+            ("profile", ["BS"]),
+            ("transform", ["-"]),
+            ("pair", ["BS", "RG"]),
+        ]:
+            args = parser.parse_args([cmd, *extra])
+            assert callable(args.func)
+
+
+class TestCommands:
+    def test_profile_command(self, capsys):
+        assert main(["profile", "RG", "--launches", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "==PROF==" in out
+        assert "intensity class: L_C" in out
+
+    def test_profile_slate_mode(self, capsys):
+        assert main(["profile", "GS", "--slate", "--launches", "1"]) == 0
+        assert "M_M" in capsys.readouterr().out
+
+    def test_transform_command(self, capsys, monkeypatch, tmp_path):
+        src = tmp_path / "k.cu"
+        src.write_text("__global__ void k(float* p) { p[blockIdx.x] = 1.f; }\n")
+        assert main(["transform", str(src)]) == 0
+        out = capsys.readouterr().out
+        assert "k_slate" in out
+        assert "atomicAdd(&slateIdx, SLATE_ITERS)" in out
+
+    def test_transform_no_kernels(self, capsys, tmp_path):
+        src = tmp_path / "host.c"
+        src.write_text("int main() { return 0; }\n")
+        assert main(["transform", str(src)]) == 1
+
+    def test_pair_command(self, capsys):
+        assert main(["pair", "rg", "rg"]) == 0
+        out = capsys.readouterr().out
+        assert "CUDA" in out and "Slate" in out and "ANTT" in out
+
+    def test_experiments_selected_key(self, capsys):
+        assert main(["experiments", "fig1"]) == 0
+        out = capsys.readouterr().out
+        assert "knee" in out
+        assert "Figure 1" in out
+
+
+class TestOccupancyCommand:
+    def test_occupancy_report(self, capsys):
+        from repro.__main__ import main
+
+        assert main(["occupancy", "256", "--regs", "64", "--smem", "16384"]) == 0
+        out = capsys.readouterr().out
+        assert "limited by registers" in out
+        assert "block-size sweep" in out
+
+    def test_occupancy_v100(self, capsys):
+        from repro.__main__ import main
+
+        assert main(["occupancy", "128", "--device", "v100"]) == 0
+        assert "V100" in capsys.readouterr().out
+
+
+class TestReportCommand:
+    def test_report_writes_selected_experiments(self, capsys, tmp_path):
+        from repro.__main__ import main
+
+        out_path = tmp_path / "report.md"
+        assert main(["report", "--output", str(out_path), "fig1", "fig3"]) == 0
+        text = out_path.read_text()
+        assert "# Slate reproduction" in text
+        assert "Figure 1" in text and "knee" in text
+        assert "Figure 3" in text and "isomorphic" in text
+        assert "Figure 7" not in text  # not selected
+
+
+class TestTraceAndTune:
+    def test_tune_command(self, capsys):
+        from repro.__main__ import main
+
+        assert main(["tune", "GS"]) == 0
+        out = capsys.readouterr().out
+        assert "<-- best" in out
+        assert "vs the paper's fixed 10" in out
+
+    def test_trace_command_with_chrome_export(self, capsys, tmp_path):
+        import json
+
+        from repro.__main__ import main
+
+        chrome = tmp_path / "trace.json"
+        assert (
+            main(
+                [
+                    "trace",
+                    "--apps",
+                    "4",
+                    "--pattern",
+                    "bursty",
+                    "--seed",
+                    "2",
+                    "--chrome",
+                    str(chrome),
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "SM allocation timeline" in out
+        assert "utilization" in out
+        events = json.loads(chrome.read_text())
+        assert events and all(e["ph"] == "X" for e in events)
+
+    def test_trace_under_cuda(self, capsys):
+        from repro.__main__ import main
+
+        assert main(["trace", "--runtime", "CUDA", "--apps", "3"]) == 0
+        assert "makespan" in capsys.readouterr().out

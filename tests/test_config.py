@@ -1,0 +1,79 @@
+"""Device/host/cost configuration tests."""
+
+import dataclasses
+
+import pytest
+
+from repro.config import TESLA_V100, TITAN_XP, CostModel, DeviceConfig, HostConfig
+
+
+class TestTitanXp:
+    def test_paper_testbed_values(self):
+        assert TITAN_XP.num_sms == 30
+        assert TITAN_XP.dram_capacity == 12 * 1024**3
+        assert TITAN_XP.dram_bandwidth == pytest.approx(547.6e9)
+        # 3840 CUDA cores at ~1.58 GHz with FMA: ~12.15 TFLOP/s.
+        assert TITAN_XP.device_flops == pytest.approx(12.15e12, rel=0.01)
+
+    def test_fig1_knee_built_in(self):
+        """sm_bw_limit is calibrated so 9 SMs saturate DRAM."""
+        sms_to_saturate = TITAN_XP.dram_bandwidth / TITAN_XP.sm_bw_limit
+        assert 8.9 <= sms_to_saturate <= 9.1
+
+    def test_with_sms(self):
+        half = TITAN_XP.with_sms(15)
+        assert half.num_sms == 15
+        assert half.dram_bandwidth == TITAN_XP.dram_bandwidth
+        assert TITAN_XP.num_sms == 30  # original untouched (frozen)
+
+    def test_frozen(self):
+        with pytest.raises(dataclasses.FrozenInstanceError):
+            TITAN_XP.num_sms = 10  # type: ignore[misc]
+
+    def test_sm_flops_derived(self):
+        explicit = DeviceConfig(sm_flops=1e12)
+        assert explicit.sm_flops == 1e12
+        derived = DeviceConfig()
+        assert derived.sm_flops == pytest.approx(
+            derived.cores_per_sm * 2 * derived.clock_hz
+        )
+
+
+class TestV100:
+    def test_bigger_in_every_dimension(self):
+        assert TESLA_V100.num_sms > TITAN_XP.num_sms
+        assert TESLA_V100.dram_bandwidth > TITAN_XP.dram_bandwidth
+        assert TESLA_V100.dram_capacity > TITAN_XP.dram_capacity
+        assert TESLA_V100.l2_capacity > TITAN_XP.l2_capacity
+
+    def test_hbm2_saturation_point(self):
+        sms = TESLA_V100.dram_bandwidth / TESLA_V100.sm_bw_limit
+        assert 14 <= sms <= 18  # ~16 SMs of streaming demand
+
+
+class TestCostModel:
+    def test_all_costs_non_negative(self):
+        costs = CostModel()
+        for field in dataclasses.fields(costs):
+            assert getattr(costs, field.name) >= 0, field.name
+
+    def test_overridable(self):
+        costs = CostModel(pipe_roundtrip=1e-3)
+        assert costs.pipe_roundtrip == 1e-3
+        assert CostModel().pipe_roundtrip != 1e-3
+
+    def test_atomic_latency_exceeds_service_time(self):
+        """Round-trip latency must dominate the serialized service slot."""
+        costs = CostModel()
+        assert costs.atomic_latency > costs.atomic_service_time
+
+    def test_interference_penalty_in_range(self):
+        assert 0 <= CostModel().dram_interference_penalty < 1
+
+
+class TestHost:
+    def test_pcie_parameters(self):
+        host = HostConfig()
+        assert host.pcie_bandwidth > 0
+        assert host.pcie_latency >= 0
+        assert host.num_cores == 20  # the paper's Xeon E5-2670 node

@@ -1,0 +1,87 @@
+"""Smoke tests: every example script runs end-to-end and says what it should.
+
+Examples are documentation that executes; these tests keep them honest.
+"""
+
+import runpy
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).parent.parent / "examples"
+
+
+def run_example(name: str, capsys, argv=()):
+    old_argv = sys.argv
+    sys.argv = [name, *argv]
+    try:
+        runpy.run_path(str(EXAMPLES / name), run_name="__main__")
+    finally:
+        sys.argv = old_argv
+    return capsys.readouterr().out
+
+
+class TestExamples:
+    def test_quickstart(self, capsys):
+        out = run_example("quickstart.py", capsys)
+        assert "Solo baselines" in out
+        assert "Slate" in out and "ANTT" in out
+        # Slate's ANTT line reports the best (lowest) figure.
+        antts = {}
+        for line in out.splitlines():
+            for rt in ("CUDA", "MPS", "Slate"):
+                if line.strip().startswith(rt) and "ANTT" in line:
+                    antts[rt] = float(line.split("ANTT")[1].split()[0])
+        assert antts["Slate"] < antts["MPS"] < antts["CUDA"]
+
+    def test_dynamic_resizing(self, capsys):
+        out = run_example("dynamic_resizing.py", capsys)
+        assert "GS shrinks" in out
+        assert "GS grows" in out
+        assert "progress carried over exactly" in out
+
+    def test_kernel_transformation(self, capsys):
+        out = run_example("kernel_transformation.py", capsys)
+        assert "every user block executed exactly once" in out
+        assert "stencil2d" in out
+
+    def test_policy_explorer(self, capsys):
+        out = run_example("policy_explorer.py", capsys)
+        assert "corun" in out and "consecutive execution" in out
+        assert "M_M" in out
+
+    def test_multiprocess_sharing(self, capsys):
+        out = run_example("multiprocess_sharing.py", capsys)
+        assert "ANTT" in out and "STP" in out
+        assert "Slate" in out
+
+    def test_trace_replay(self, capsys):
+        out = run_example("trace_replay.py", capsys, argv=["7"])
+        assert "Arrival trace" in out
+        assert "SM allocation timeline" in out
+
+    def test_multi_gpu_cluster(self, capsys):
+        out = run_example("multi_gpu_cluster.py", capsys)
+        assert "class-aware" in out
+        assert "GPU 0 tenants" in out
+
+    def test_priority_preemption(self, capsys):
+        out = run_example("priority_preemption.py", capsys)
+        assert "priority preemption" in out
+        assert "VIP latency" in out
+
+    def test_every_example_has_a_smoke_test(self):
+        """New examples must be added to this file."""
+        scripts = {p.name for p in EXAMPLES.glob("*.py")}
+        covered = {
+            "quickstart.py",
+            "dynamic_resizing.py",
+            "kernel_transformation.py",
+            "policy_explorer.py",
+            "multiprocess_sharing.py",
+            "trace_replay.py",
+            "multi_gpu_cluster.py",
+            "priority_preemption.py",
+        }
+        assert scripts == covered

@@ -1,0 +1,148 @@
+"""Workload harness tests: solo/pair scenarios across the runtimes."""
+
+import pytest
+
+from repro.workloads import (
+    AppSpec,
+    all_pairings,
+    app_for,
+    make_runtime,
+    pairing_label,
+    run_pair,
+    run_solo,
+)
+from repro.sim import Environment
+
+
+class TestPairings:
+    def test_fifteen_pairings(self):
+        pairs = all_pairings()
+        assert len(pairs) == 15
+        assert ("BS", "BS") in pairs  # self pairings included
+        assert ("BS", "TR") in pairs
+        assert len(set(pairs)) == 15
+
+    def test_labels(self):
+        assert pairing_label(("BS", "RG")) == "BS-RG"
+
+
+class TestRuntimeFactory:
+    def test_known_runtimes(self):
+        env = Environment()
+        for name in ("CUDA", "MPS", "Slate"):
+            rt = make_runtime(name, env)
+            assert rt.name == name
+
+    def test_unknown_runtime(self):
+        with pytest.raises(KeyError, match="unknown runtime"):
+            make_runtime("XLA", Environment())
+
+    def test_app_for(self):
+        app = app_for("BS", reps=3)
+        assert app.kernel.name == "BS"
+        assert app.effective_reps == 3
+        default = app_for("BS")
+        assert default.effective_reps == default.kernel.default_reps
+
+
+class TestRunSolo:
+    @pytest.mark.parametrize("runtime", ["CUDA", "MPS", "Slate"])
+    def test_solo_produces_complete_result(self, runtime):
+        result, rt = run_solo(runtime, app_for("RG", reps=3))
+        assert result.launches == 3
+        assert len(result.counters) == 3
+        assert result.app_time > result.kernel_wall_time > 0
+        assert result.kernel_exec_time > 0
+        assert result.setup_time > 0
+        assert result.h2d_time > 0 and result.d2h_time > 0
+
+    def test_memory_freed_after_run(self):
+        result, rt = run_solo("CUDA", app_for("BS", reps=1))
+        assert rt.memory.used == 0
+
+    def test_slate_breakdown_fields(self):
+        result, rt = run_solo("Slate", app_for("GS", reps=2))
+        assert result.comm_time > 0
+        assert result.compile_time > 0
+        # Comm is a few percent of app time (paper: ~4%).
+        assert result.comm_time < 0.15 * result.app_time
+
+    def test_transfers_can_be_disabled(self):
+        app = AppSpec(name="RG", kernel=app_for("RG").kernel, reps=1, include_transfers=False)
+        result, _ = run_solo("CUDA", app)
+        assert result.h2d_time == 0.0 and result.d2h_time == 0.0
+
+
+class TestRunPair:
+    def test_duplicate_names_rejected(self):
+        with pytest.raises(ValueError, match="distinct names"):
+            run_pair("CUDA", app_for("BS"), app_for("BS"))
+
+    @pytest.mark.parametrize("runtime", ["CUDA", "MPS", "Slate"])
+    def test_pair_returns_both_results(self, runtime):
+        results, _ = run_pair(runtime, app_for("RG", reps=2), app_for("GS", name="GS", reps=2))
+        assert set(results) == {"RG", "GS"}
+        for r in results.values():
+            assert r.launches == 2
+
+    def test_pair_slower_than_solo(self):
+        solo, _ = run_solo("CUDA", app_for("BS", reps=4))
+        results, _ = run_pair(
+            "CUDA", app_for("BS", reps=4), app_for("TR", name="TR", reps=4)
+        )
+        assert results["BS"].app_time > solo.app_time
+
+    def test_slate_beats_mps_on_complementary_pair(self):
+        """The headline: BS-RG under Slate vs MPS (paper: +30.55%)."""
+        mps, _ = run_pair("MPS", app_for("BS"), app_for("RG"))
+        slate, _ = run_pair("Slate", app_for("BS"), app_for("RG"))
+        mps_total = sum(r.app_time for r in mps.values())
+        slate_total = sum(r.app_time for r in slate.values())
+        assert slate_total < 0.85 * mps_total
+
+    def test_slate_runs_memory_pair_consecutively(self):
+        _, rt = run_pair("Slate", app_for("BS"), app_for("TR"))
+        assert rt.scheduler.corun_launches == 0
+
+    def test_deterministic_repeat(self):
+        r1, _ = run_pair("Slate", app_for("BS", reps=3), app_for("RG", reps=3))
+        r2, _ = run_pair("Slate", app_for("BS", reps=3), app_for("RG", reps=3))
+        assert r1["BS"].app_time == r2["BS"].app_time
+        assert r1["RG"].app_time == r2["RG"].app_time
+
+
+class TestRunMany:
+    def test_three_apps_with_arrivals(self):
+        from repro.workloads import run_many
+
+        apps = [
+            app_for("BS", name="bs", reps=3),
+            app_for("RG", name="rg", reps=3),
+            app_for("GS", name="gs", reps=3),
+        ]
+        results, runtime = run_many(
+            "Slate", apps, arrivals=[0.0, 1e-3, 2e-3]
+        )
+        assert set(results) == {"bs", "rg", "gs"}
+        assert results["rg"].start >= 1e-3
+        assert results["gs"].start >= 2e-3
+        assert runtime.scheduler.corun_launches >= 1
+
+    def test_duplicate_names_rejected(self):
+        from repro.workloads import run_many
+
+        with pytest.raises(ValueError, match="unique"):
+            run_many("CUDA", [app_for("BS"), app_for("BS")])
+
+    def test_arrival_length_mismatch(self):
+        from repro.workloads import run_many
+
+        with pytest.raises(ValueError, match="arrivals"):
+            run_many("CUDA", [app_for("BS")], arrivals=[0.0, 1.0])
+
+    def test_single_app_equals_run_solo(self):
+        from repro.workloads import run_many
+
+        many, _ = run_many("CUDA", [app_for("RG", reps=2)])
+        solo, _ = run_solo("CUDA", app_for("RG", reps=2))
+        assert many["RG"].app_time == pytest.approx(solo.app_time)
