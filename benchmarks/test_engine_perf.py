@@ -82,3 +82,69 @@ def test_full_pairing_scenario_cost(benchmark):
 
     results = benchmark(scenario)
     assert set(results) == {"BS", "RG"}
+
+
+# The heavier half of the battery: enough serial work (~2.5 s) that
+# sharding across workers must visibly win despite pool start-up cost.
+_PARALLEL_KEYS = ["fig7", "abl-policy", "abl-partition", "validate", "scaling", "gen"]
+
+
+def test_parallel_runner_beats_serial(benchmark, monkeypatch):
+    """--jobs 4 must measurably beat --jobs 1 on the same (uncached) work."""
+    import os
+    import time
+
+    import pytest
+
+    from repro.experiments.runner import run_battery
+
+    # Disable the result caches so both sides do the full simulation work
+    # (workers inherit the environment through fork).
+    monkeypatch.setenv("REPRO_NO_CACHE", "1")
+
+    start = time.perf_counter()
+    serial = run_battery(_PARALLEL_KEYS, jobs=1)
+    serial_elapsed = time.perf_counter() - start
+
+    timing = {}
+
+    def parallel():
+        start = time.perf_counter()
+        runs = run_battery(_PARALLEL_KEYS, jobs=4)
+        timing["parallel"] = time.perf_counter() - start
+        return runs
+
+    parallel_runs = benchmark.pedantic(parallel, rounds=1, iterations=1)
+    parallel_elapsed = timing["parallel"]
+
+    # Deterministic ordering and byte-identical output always hold...
+    assert [r.key for r in parallel_runs] == [r.key for r in serial]
+    for s, p in zip(serial, parallel_runs):
+        assert s.formatted == p.formatted
+    # ... the wall-clock win needs actual cores to shard across.
+    cores = os.cpu_count() or 1
+    if cores < 2:
+        pytest.skip(
+            f"only {cores} CPU core(s): process sharding cannot beat serial "
+            f"(jobs=4 {parallel_elapsed:.2f}s vs jobs=1 {serial_elapsed:.2f}s)"
+        )
+    assert parallel_elapsed < serial_elapsed * 0.75, (
+        f"jobs=4 took {parallel_elapsed:.2f}s vs jobs=1 {serial_elapsed:.2f}s"
+    )
+
+
+def test_warm_profile_cache_skips_all_simulations(tmp_path, monkeypatch):
+    """Second battery over a warm cache does zero offline_profile sims."""
+    from repro.experiments.runner import run_all
+    from repro.slate import profiler
+
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+    monkeypatch.delenv("REPRO_NO_CACHE", raising=False)
+    profiler.configure_profile_cache(root=tmp_path)
+    try:
+        run_all(["tab1", "tab5", "fig7"], jobs=1)  # cold
+        profiler.PROFILE_SIMULATIONS.reset()
+        run_all(["tab1", "tab5", "fig7"], jobs=1)  # warm
+        assert profiler.PROFILE_SIMULATIONS.value == 0
+    finally:
+        profiler.reset_profile_cache()

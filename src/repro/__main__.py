@@ -22,7 +22,10 @@ import sys
 def _cmd_experiments(args: argparse.Namespace) -> int:
     from repro.experiments.runner import main as runner_main
 
-    return runner_main(args.keys or None)
+    argv = list(args.keys or [])
+    if args.jobs != 1:
+        argv += ["--jobs", str(args.jobs)]
+    return runner_main(argv)
 
 
 def _cmd_ablations(_args: argparse.Namespace) -> int:
@@ -158,7 +161,7 @@ def _cmd_tune(args: argparse.Namespace) -> int:
 
 
 def _cmd_report(args: argparse.Namespace) -> int:
-    from repro.experiments.runner import EXPERIMENTS
+    from repro.experiments.runner import UnknownExperimentError, iter_battery
 
     lines = [
         "# Slate reproduction — full experiment report",
@@ -166,12 +169,13 @@ def _cmd_report(args: argparse.Namespace) -> int:
         "Generated by `python -m repro report`.",
         "",
     ]
-    for experiment in EXPERIMENTS:
-        if args.keys and experiment.key not in args.keys:
-            continue
-        print(f"running {experiment.key}: {experiment.title} ...")
-        result = experiment.run()
-        lines += [f"## {experiment.title}", "", "```", experiment.format(result), "```", ""]
+    try:
+        for run in iter_battery(args.keys or None, jobs=args.jobs):
+            print(f"ran {run.key}: {run.title} [{run.elapsed:.2f}s]")
+            lines += [f"## {run.title}", "", "```", run.formatted, "```", ""]
+    except UnknownExperimentError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
     text = "\n".join(lines)
     with open(args.output, "w") as fh:
         fh.write(text)
@@ -210,6 +214,10 @@ def build_parser() -> argparse.ArgumentParser:
 
     p = sub.add_parser("experiments", help="reproduce paper tables/figures")
     p.add_argument("keys", nargs="*", help="e.g. fig1 tab3 fig7 (default: all)")
+    p.add_argument(
+        "--jobs", "-j", type=int, default=1,
+        help="worker processes to shard experiments across (default: 1)",
+    )
     p.set_defaults(func=_cmd_experiments)
 
     p = sub.add_parser("ablations", help="run the ablation battery")
@@ -247,6 +255,10 @@ def build_parser() -> argparse.ArgumentParser:
 
     p = sub.add_parser("report", help="write a consolidated experiment report")
     p.add_argument("--output", default="REPORT.md")
+    p.add_argument(
+        "--jobs", "-j", type=int, default=1,
+        help="worker processes to shard experiments across (default: 1)",
+    )
     p.add_argument("keys", nargs="*", help="experiment keys (default: all)")
     p.set_defaults(func=_cmd_report)
 

@@ -7,14 +7,101 @@ The default device mirrors the paper's testbed: an NVIDIA Titan Xp
 The per-SM memory issue limit (``sm_bw_limit``) is calibrated so that a
 purely memory-bound kernel saturates device bandwidth at ~9 SMs, matching
 the paper's Figure 1 (Stream read bandwidth flattens from 9 SMs onward).
+
+This module also owns the persistent-cache settings shared by the profiler
+and the experiment layer (see :mod:`repro.cache`): where cached results
+live, whether caching is enabled, and the :func:`fingerprint` function that
+turns device/cost-model/kernel configurations into stable cache keys so a
+changed configuration can never be served a stale result.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
-from typing import Optional
+import enum
+import hashlib
+import json
+import os
+from dataclasses import dataclass, field, fields, is_dataclass, replace
+from pathlib import Path
+from typing import Any, Optional
 
-__all__ = ["DeviceConfig", "HostConfig", "CostModel", "TITAN_XP", "default_device"]
+__all__ = [
+    "DeviceConfig",
+    "HostConfig",
+    "CostModel",
+    "TITAN_XP",
+    "default_device",
+    "CACHE_DIR_ENV",
+    "CACHE_DISABLE_ENV",
+    "cache_dir",
+    "cache_enabled",
+    "fingerprint",
+]
+
+#: Environment variable overriding where cached profiles/results are kept.
+CACHE_DIR_ENV = "REPRO_CACHE_DIR"
+#: Set to ``1``/``true``/``yes`` to disable all persistent caching.
+CACHE_DISABLE_ENV = "REPRO_NO_CACHE"
+
+
+def cache_enabled() -> bool:
+    """Whether persistent caching is enabled (default: yes)."""
+    return os.environ.get(CACHE_DISABLE_ENV, "").strip().lower() not in (
+        "1",
+        "true",
+        "yes",
+    )
+
+
+def cache_dir() -> Path:
+    """Root directory for persistent caches.
+
+    ``$REPRO_CACHE_DIR`` wins; otherwise ``$XDG_CACHE_HOME/repro-slate``
+    (falling back to ``~/.cache/repro-slate``).
+    """
+    override = os.environ.get(CACHE_DIR_ENV)
+    if override:
+        return Path(override)
+    xdg = os.environ.get("XDG_CACHE_HOME")
+    base = Path(xdg) if xdg else Path.home() / ".cache"
+    return base / "repro-slate"
+
+
+def _canonical(obj: Any) -> Any:
+    """A JSON-serializable, order-stable rendering of ``obj`` for hashing.
+
+    Dataclasses are tagged with their class name so two configs with equal
+    field values but different types (e.g. a DeviceConfig and a look-alike)
+    fingerprint differently.
+    """
+    if is_dataclass(obj) and not isinstance(obj, type):
+        return {
+            "__class__": type(obj).__name__,
+            **{f.name: _canonical(getattr(obj, f.name)) for f in fields(obj)},
+        }
+    if isinstance(obj, enum.Enum):
+        return [type(obj).__name__, obj.value]
+    if isinstance(obj, dict):
+        return {str(k): _canonical(v) for k, v in obj.items()}
+    if isinstance(obj, (list, tuple, set, frozenset, range)):
+        items = sorted(obj) if isinstance(obj, (set, frozenset)) else obj
+        return [_canonical(v) for v in items]
+    if obj is None or isinstance(obj, (bool, int, float, str)):
+        return obj
+    return repr(obj)
+
+
+def fingerprint(*parts: Any) -> str:
+    """Stable hex digest of a sequence of configuration objects.
+
+    Accepts (nested) dataclasses, enums, containers and scalars.  Floats
+    round-trip through JSON's shortest-repr encoding, so any numeric change
+    — however small — yields a different fingerprint.
+    """
+    payload = json.dumps(
+        [_canonical(p) for p in parts], sort_keys=True, separators=(",", ":")
+    )
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()[:24]
 
 GIGA = 1e9
 MEGA = 1e6

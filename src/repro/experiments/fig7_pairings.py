@@ -10,7 +10,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.config import DeviceConfig, TITAN_XP
+from repro.cache import JsonCache
+from repro.config import CostModel, DeviceConfig, TITAN_XP
 from repro.kernels.registry import SHORT_NAMES
 from repro.metrics.antt import antt
 from repro.metrics.report import format_table
@@ -60,21 +61,56 @@ class Fig7Result:
         return sum(r.gain(over) > 0 for r in self.rows)
 
 
+def _solo_time(
+    bench: str, device: DeviceConfig, costs: CostModel, cache: JsonCache
+) -> float:
+    app = app_for(bench)
+    cache_key = ("fig7-solo", "CUDA", app, device, costs)
+    hit = cache.get(*cache_key)
+    if hit is not None:
+        return float(hit["app_time"])
+    app_time = run_solo("CUDA", app, device=device)[0].app_time
+    cache.put({"app_time": app_time}, *cache_key)
+    return app_time
+
+
+def _pair_times(
+    runtime: str,
+    a: str,
+    b: str,
+    na: str,
+    nb: str,
+    device: DeviceConfig,
+    costs: CostModel,
+    cache: JsonCache,
+) -> dict[str, float]:
+    app_a, app_b = app_for(a, name=na), app_for(b, name=nb)
+    cache_key = ("fig7-pair", runtime, app_a, app_b, device, costs)
+    hit = cache.get(*cache_key)
+    if hit is not None:
+        return {na: float(hit["times"][na]), nb: float(hit["times"][nb])}
+    results, _ = run_pair(runtime, app_a, app_b, device=device)
+    times = {na: results[na].app_time, nb: results[nb].app_time}
+    cache.put({"times": times}, *cache_key)
+    return times
+
+
 def run(device: DeviceConfig = TITAN_XP) -> Fig7Result:
-    """Run every pairing under every runtime; normalize to solo CUDA."""
-    solo = {
-        bench: run_solo("CUDA", app_for(bench), device=device)[0].app_time
-        for bench in SHORT_NAMES
-    }
+    """Run every pairing under every runtime; normalize to solo CUDA.
+
+    Each of the 45 pairing cells (and the 5 solo baselines) is a
+    deterministic simulation, cached on disk keyed by the apps, runtime
+    and device/cost-model fingerprint (see :mod:`repro.cache`).
+    """
+    costs = CostModel()
+    cache = JsonCache("fig7")
+    solo = {bench: _solo_time(bench, device, costs, cache) for bench in SHORT_NAMES}
     rows = []
     for a, b in all_pairings():
         na, nb = (a, b) if a != b else (a, f"{b}#2")
         per_runtime = {}
         for runtime in RUNTIME_ORDER:
-            results, _ = run_pair(
-                runtime, app_for(a, name=na), app_for(b, name=nb), device=device
-            )
-            shared = {na: results[na].app_time, nb: results[nb].app_time}
+            shared = _pair_times(runtime, a, b, na, nb, device, costs, cache)
             baseline = {na: solo[a], nb: solo[b]}
             per_runtime[runtime] = antt(shared, baseline)
         rows.append(PairingRow(pair=(a, b), antt_by_runtime=per_runtime))

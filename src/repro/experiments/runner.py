@@ -2,12 +2,21 @@
 
 ``python -m repro.experiments.runner`` reproduces every table and figure
 and prints paper-vs-measured summaries (the source for EXPERIMENTS.md).
+
+Each experiment builds its own :class:`~repro.sim.Environment`, so the
+battery is embarrassingly parallel: ``--jobs N`` shards the experiment
+table across a :class:`~concurrent.futures.ProcessPoolExecutor`.  Results
+are reported in table order regardless of completion order and every
+emitted number is bit-identical to the serial path (the simulations are
+deterministic and workers return the same picklable result objects).
 """
 
 from __future__ import annotations
 
+import time
+from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass
-from typing import Any, Callable
+from typing import Any, Callable, Iterable, Iterator, Sequence
 
 from repro.experiments import (
     ablations,
@@ -29,7 +38,18 @@ from repro.experiments import (
     tab5_operations,
 )
 
-__all__ = ["EXPERIMENTS", "run_all", "main"]
+__all__ = [
+    "EXPERIMENTS",
+    "Experiment",
+    "ExperimentRun",
+    "UnknownExperimentError",
+    "experiment_keys",
+    "select_keys",
+    "iter_battery",
+    "run_battery",
+    "run_all",
+    "main",
+]
 
 
 @dataclass(frozen=True)
@@ -116,32 +136,132 @@ EXPERIMENTS: tuple[Experiment, ...] = (
 )
 
 
-def run_all(keys: list[str] | None = None) -> dict[str, Any]:
+_BY_KEY: dict[str, Experiment] = {e.key: e for e in EXPERIMENTS}
+
+
+@dataclass(frozen=True)
+class ExperimentRun:
+    """One completed experiment: its result plus wall-clock timing."""
+
+    key: str
+    title: str
+    result: Any
+    elapsed: float
+
+    @property
+    def formatted(self) -> str:
+        return _BY_KEY[self.key].format(self.result)
+
+
+class UnknownExperimentError(ValueError):
+    """Raised when a requested experiment key is not in the registry."""
+
+    def __init__(self, unknown: Sequence[str]) -> None:
+        self.unknown = tuple(unknown)
+        valid = ", ".join(experiment_keys())
+        noun = "key" if len(self.unknown) == 1 else "keys"
+        super().__init__(
+            f"unknown experiment {noun} {', '.join(map(repr, self.unknown))}; "
+            f"valid keys: {valid}"
+        )
+
+
+def experiment_keys() -> tuple[str, ...]:
+    """All registered experiment keys, in battery order."""
+    return tuple(e.key for e in EXPERIMENTS)
+
+
+def select_keys(keys: Iterable[str] | None) -> list[str]:
+    """Validate ``keys`` and return them in battery order (None = all).
+
+    Raises :class:`UnknownExperimentError` on any unregistered key instead
+    of silently running nothing.
+    """
+    if keys is None:
+        return list(experiment_keys())
+    requested = list(keys)
+    unknown = sorted({k for k in requested if k not in _BY_KEY})
+    if unknown:
+        raise UnknownExperimentError(unknown)
+    wanted = set(requested)
+    return [e.key for e in EXPERIMENTS if e.key in wanted]
+
+
+def _run_one(key: str) -> tuple[str, Any, float]:
+    """Execute one experiment by key (top-level, so pool workers can pickle it)."""
+    experiment = _BY_KEY[key]
+    start = time.perf_counter()
+    result = experiment.run()
+    return key, result, time.perf_counter() - start
+
+
+def iter_battery(
+    keys: Iterable[str] | None = None, jobs: int = 1
+) -> Iterator[ExperimentRun]:
+    """Yield :class:`ExperimentRun`\\ s in deterministic battery order.
+
+    ``jobs > 1`` shards experiments across worker processes; results are
+    still yielded in table order (a straggling early experiment delays
+    later, already-finished ones, never reorders them).
+    """
+    selected = select_keys(keys)
+    if jobs <= 1 or len(selected) <= 1:
+        rows: Iterable[tuple[str, Any, float]] = map(_run_one, selected)
+        for key, result, elapsed in rows:
+            yield ExperimentRun(key, _BY_KEY[key].title, result, elapsed)
+        return
+    with ProcessPoolExecutor(max_workers=min(jobs, len(selected))) as pool:
+        for key, result, elapsed in pool.map(_run_one, selected):
+            yield ExperimentRun(key, _BY_KEY[key].title, result, elapsed)
+
+
+def run_battery(
+    keys: Iterable[str] | None = None, jobs: int = 1
+) -> list[ExperimentRun]:
+    """Execute experiments (all by default) with timing; battery order."""
+    return list(iter_battery(keys, jobs=jobs))
+
+
+def run_all(keys: list[str] | None = None, jobs: int = 1) -> dict[str, Any]:
     """Execute experiments (all by default); returns results by key."""
-    results = {}
-    for experiment in EXPERIMENTS:
-        if keys is not None and experiment.key not in keys:
-            continue
-        results[experiment.key] = experiment.run()
-    return results
+    return {run.key: run.result for run in iter_battery(keys, jobs=jobs)}
 
 
 def main(argv: list[str] | None = None) -> int:
     import argparse
+    import sys
 
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument(
         "keys",
         nargs="*",
-        help=f"experiments to run (default: all of {[e.key for e in EXPERIMENTS]})",
+        help=f"experiments to run (default: all of {list(experiment_keys())})",
+    )
+    parser.add_argument(
+        "--jobs",
+        "-j",
+        type=int,
+        default=1,
+        help="worker processes to shard experiments across (default: 1)",
     )
     args = parser.parse_args(argv)
     keys = args.keys or None
-    for experiment in EXPERIMENTS:
-        if keys is not None and experiment.key not in keys:
-            continue
-        print(f"\n{'#' * 72}\n# {experiment.title}\n{'#' * 72}")
-        print(experiment.format(experiment.run()))
+    try:
+        select_keys(keys)
+    except UnknownExperimentError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    battery_start = time.perf_counter()
+    count = 0
+    for run in iter_battery(keys, jobs=args.jobs):
+        count += 1
+        print(f"\n{'#' * 72}\n# {run.title}  [{run.elapsed:.2f}s]\n{'#' * 72}")
+        print(run.formatted)
+    total = time.perf_counter() - battery_start
+    print(
+        f"\n{count} experiment{'s' if count != 1 else ''} "
+        f"in {total:.2f}s wall clock (jobs={max(1, args.jobs)})"
+    )
     return 0
 
 

@@ -26,7 +26,15 @@ from repro.slate.monitor import MonitorSample, SystemMonitor
 from repro.slate.dispatch import DispatchKernel
 from repro.slate.daemon import SlateRuntime, SlateSession
 from repro.slate.policy import PolicyTable, DEFAULT_POLICY
-from repro.slate.profiler import KernelProfile, ProfileTable, offline_profile
+from repro.slate.profiler import (
+    KernelProfile,
+    ProfileCache,
+    ProfileTable,
+    configure_profile_cache,
+    default_profile_cache,
+    offline_profile,
+    reset_profile_cache,
+)
 from repro.slate.partition import choose_partition
 from repro.slate.predict import choose_partition_predictive, predict_corun_rates
 from repro.slate.source import KernelSource, inject, scan_kernels
@@ -42,7 +50,11 @@ __all__ = [
     "KernelProfile",
     "KernelSource",
     "PolicyTable",
+    "ProfileCache",
     "ProfileTable",
+    "configure_profile_cache",
+    "default_profile_cache",
+    "reset_profile_cache",
     "SlateQueue",
     "SlateCluster",
     "SlateRuntime",

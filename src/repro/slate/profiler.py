@@ -16,6 +16,7 @@ import math
 from dataclasses import dataclass
 from typing import Hashable, Optional
 
+from repro.cache import JsonCache
 from repro.config import CostModel, DeviceConfig, TITAN_XP
 from repro.gpu.device import ExecutionMode, KernelCounters, SimulatedGPU
 from repro.kernels.kernel import KernelSpec
@@ -24,7 +25,12 @@ from repro.sim import Environment
 
 __all__ = [
     "KernelProfile",
+    "ProfileCache",
     "ProfileTable",
+    "PROFILE_SIMULATIONS",
+    "configure_profile_cache",
+    "default_profile_cache",
+    "reset_profile_cache",
     "load_profiles",
     "offline_profile",
     "profile_from_counters",
@@ -73,25 +79,185 @@ def profile_from_counters(
     )
 
 
+class _SimulationCounter:
+    """Counts how many profiling *simulations* actually ran.
+
+    Cache hits do not increment it, so a warm-cache battery can assert it
+    performed zero offline-profiling work.
+    """
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value = 0
+
+    def reset(self) -> int:
+        """Zero the counter; returns the value it held."""
+        held, self.value = self.value, 0
+        return held
+
+
+#: Global count of offline-profiling simulations executed in this process.
+PROFILE_SIMULATIONS = _SimulationCounter()
+
+
+def _profile_to_payload(profile: KernelProfile) -> dict:
+    return {
+        "name": profile.name,
+        "gflops": profile.gflops,
+        "mem_bw": profile.mem_bw,
+        "throttle_fraction": profile.throttle_fraction,
+        "intensity": profile.intensity.value,
+        "elapsed": profile.elapsed,
+    }
+
+
+def _profile_from_payload(raw: dict) -> KernelProfile:
+    return KernelProfile(
+        name=raw["name"],
+        gflops=float(raw["gflops"]),
+        mem_bw=float(raw["mem_bw"]),
+        throttle_fraction=float(raw["throttle_fraction"]),
+        intensity=IntensityClass(raw["intensity"]),
+        elapsed=float(raw["elapsed"]),
+    )
+
+
+class ProfileCache:
+    """On-disk, cross-process version of the daemon's profile table.
+
+    Where :class:`ProfileTable` lives inside one daemon, this cache
+    persists offline profiles across experiments and pytest sessions, the
+    way the paper's daemon keeps profiles "obtained from its previous
+    runs".  Entries are keyed by the *full* kernel spec plus the device
+    and cost-model fingerprints, so a recalibrated device or a kernel
+    whose behaviour drifts (same name, different spec) never reuses a
+    stale profile.
+    """
+
+    def __init__(
+        self, root=None, enabled: Optional[bool] = None, namespace: str = "profiles"
+    ) -> None:
+        self._store = JsonCache(namespace, root=root, enabled=enabled)
+
+    @property
+    def enabled(self) -> bool:
+        return self._store.enabled
+
+    @property
+    def directory(self):
+        return self._store.directory
+
+    @property
+    def hits(self) -> int:
+        return self._store.hits
+
+    @property
+    def misses(self) -> int:
+        return self._store.misses
+
+    @staticmethod
+    def _key(spec, device, costs, task_size, basis):
+        return ("offline_profile", spec, device, costs, task_size, basis)
+
+    def get(
+        self,
+        spec: KernelSpec,
+        device: DeviceConfig,
+        costs: CostModel,
+        task_size: int,
+        basis: str,
+    ) -> Optional[KernelProfile]:
+        payload = self._store.get(*self._key(spec, device, costs, task_size, basis))
+        if payload is None:
+            return None
+        try:
+            return _profile_from_payload(payload)
+        except (KeyError, ValueError, TypeError):
+            return None
+
+    def put(
+        self,
+        profile: KernelProfile,
+        spec: KernelSpec,
+        device: DeviceConfig,
+        costs: CostModel,
+        task_size: int,
+        basis: str,
+    ) -> None:
+        self._store.put(
+            _profile_to_payload(profile),
+            *self._key(spec, device, costs, task_size, basis),
+        )
+
+    def clear(self) -> int:
+        return self._store.clear()
+
+    def __len__(self) -> int:
+        return len(self._store)
+
+
+_default_cache: Optional[ProfileCache] = None
+
+
+def default_profile_cache() -> ProfileCache:
+    """The process-wide profile cache used by :func:`offline_profile`."""
+    global _default_cache
+    if _default_cache is None:
+        _default_cache = ProfileCache()
+    return _default_cache
+
+
+def configure_profile_cache(root=None, enabled: Optional[bool] = None) -> ProfileCache:
+    """Replace the default profile cache (tests, custom cache locations)."""
+    global _default_cache
+    _default_cache = ProfileCache(root=root, enabled=enabled)
+    return _default_cache
+
+
+def reset_profile_cache() -> None:
+    """Forget the default cache; the next use rebuilds it from the environment.
+
+    Unlike :func:`configure_profile_cache`, this defers reading
+    ``$REPRO_CACHE_DIR``/``$REPRO_NO_CACHE`` until the cache is next
+    needed — the right teardown for tests that patch those variables.
+    """
+    global _default_cache
+    _default_cache = None
+
+
 def offline_profile(
     spec: KernelSpec,
     device: DeviceConfig = TITAN_XP,
     costs: CostModel = CostModel(),
     task_size: int = 10,
     basis: str = "device",
+    cache: Optional[ProfileCache] = None,
 ) -> KernelProfile:
     """Profile ``spec`` by a solo Slate-scheduled run on a private device.
 
     This is the paper's "offline profiling" path: a dedicated simulation
-    runs the kernel alone on all SMs and records its counters.
+    runs the kernel alone on all SMs and records its counters.  The
+    simulation is deterministic, so its result is cached on disk (keyed by
+    the kernel/device/cost-model fingerprint) and reused across runs;
+    pass ``cache`` to use a specific :class:`ProfileCache`, or set
+    ``REPRO_NO_CACHE=1`` to always re-simulate.
     """
+    if cache is None:
+        cache = default_profile_cache()
+    cached = cache.get(spec, device, costs, task_size, basis)
+    if cached is not None:
+        return cached
+    PROFILE_SIMULATIONS.value += 1
     env = Environment()
     gpu = SimulatedGPU(env, device, costs)
     handle = gpu.launch(
         spec.work(), mode=ExecutionMode.SLATE, task_size=task_size, inject_frac=0.03
     )
     counters = env.run(until=handle.done)
-    return profile_from_counters(counters, device, basis=basis)
+    profile = profile_from_counters(counters, device, basis=basis)
+    cache.put(profile, spec, device, costs, task_size, basis)
+    return profile
 
 
 class ProfileTable:
@@ -131,17 +297,7 @@ def save_profiles(table: ProfileTable, path) -> None:
     """Persist a profile table to JSON (the paper's across-run profiles)."""
     import json
 
-    payload = {
-        str(key): {
-            "name": p.name,
-            "gflops": p.gflops,
-            "mem_bw": p.mem_bw,
-            "throttle_fraction": p.throttle_fraction,
-            "intensity": p.intensity.value,
-            "elapsed": p.elapsed,
-        }
-        for key, p in table._profiles.items()
-    }
+    payload = {str(key): _profile_to_payload(p) for key, p in table._profiles.items()}
     with open(path, "w") as fh:
         json.dump(payload, fh, indent=2, sort_keys=True)
 
@@ -154,15 +310,5 @@ def load_profiles(path, device: DeviceConfig = TITAN_XP) -> ProfileTable:
         payload = json.load(fh)
     table = ProfileTable(device)
     for key, raw in payload.items():
-        table.put(
-            key,
-            KernelProfile(
-                name=raw["name"],
-                gflops=float(raw["gflops"]),
-                mem_bw=float(raw["mem_bw"]),
-                throttle_fraction=float(raw["throttle_fraction"]),
-                intensity=IntensityClass(raw["intensity"]),
-                elapsed=float(raw["elapsed"]),
-            ),
-        )
+        table.put(key, _profile_from_payload(raw))
     return table

