@@ -25,6 +25,8 @@ def _cmd_experiments(args: argparse.Namespace) -> int:
     argv = list(args.keys or [])
     if args.jobs != 1:
         argv += ["--jobs", str(args.jobs)]
+    if args.profile:
+        argv.append("--profile")
     return runner_main(argv)
 
 
@@ -217,6 +219,10 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument(
         "--jobs", "-j", type=int, default=1,
         help="worker processes to shard experiments across (default: 1)",
+    )
+    p.add_argument(
+        "--profile", action="store_true",
+        help="print per-experiment engine counters (events, recomputes, wall-clock)",
     )
     p.set_defaults(func=_cmd_experiments)
 

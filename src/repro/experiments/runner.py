@@ -48,6 +48,7 @@ __all__ = [
     "iter_battery",
     "run_battery",
     "run_all",
+    "format_profile_table",
     "main",
 ]
 
@@ -141,12 +142,20 @@ _BY_KEY: dict[str, Experiment] = {e.key: e for e in EXPERIMENTS}
 
 @dataclass(frozen=True)
 class ExperimentRun:
-    """One completed experiment: its result plus wall-clock timing."""
+    """One completed experiment: its result plus wall-clock timing.
+
+    ``stats`` is populated only when profiling: a snapshot of the
+    process-wide :func:`repro.sim.aggregate_stats` counters accumulated
+    while this experiment ran (each profiled run resets the aggregate
+    first, so snapshots do not bleed into each other — including across
+    pool workers, whose aggregates are per-process).
+    """
 
     key: str
     title: str
     result: Any
     elapsed: float
+    stats: dict[str, int] | None = None
 
     @property
     def formatted(self) -> str:
@@ -187,39 +196,93 @@ def select_keys(keys: Iterable[str] | None) -> list[str]:
     return [e.key for e in EXPERIMENTS if e.key in wanted]
 
 
-def _run_one(key: str) -> tuple[str, Any, float]:
+def _run_one(key: str) -> tuple[str, Any, float, None]:
     """Execute one experiment by key (top-level, so pool workers can pickle it)."""
     experiment = _BY_KEY[key]
     start = time.perf_counter()
     result = experiment.run()
-    return key, result, time.perf_counter() - start
+    return key, result, time.perf_counter() - start, None
+
+
+def _run_one_profiled(key: str) -> tuple[str, Any, float, dict[str, int]]:
+    """Like :func:`_run_one`, also capturing engine counters for the run.
+
+    The process-wide aggregate is reset before the experiment so the
+    snapshot afterwards is exactly this experiment's engine work.  Valid
+    under ``--jobs``: pool workers each own a per-process aggregate and run
+    one experiment at a time.
+    """
+    from repro.sim import aggregate_stats, reset_aggregate_stats
+
+    reset_aggregate_stats()
+    key, result, elapsed, _ = _run_one(key)
+    return key, result, elapsed, aggregate_stats().snapshot()
 
 
 def iter_battery(
-    keys: Iterable[str] | None = None, jobs: int = 1
+    keys: Iterable[str] | None = None, jobs: int = 1, profile: bool = False
 ) -> Iterator[ExperimentRun]:
     """Yield :class:`ExperimentRun`\\ s in deterministic battery order.
 
     ``jobs > 1`` shards experiments across worker processes; results are
     still yielded in table order (a straggling early experiment delays
-    later, already-finished ones, never reorders them).
+    later, already-finished ones, never reorders them).  ``profile``
+    attaches per-experiment engine counters to each run.
     """
     selected = select_keys(keys)
+    run_one = _run_one_profiled if profile else _run_one
     if jobs <= 1 or len(selected) <= 1:
-        rows: Iterable[tuple[str, Any, float]] = map(_run_one, selected)
-        for key, result, elapsed in rows:
-            yield ExperimentRun(key, _BY_KEY[key].title, result, elapsed)
+        rows: Iterable[tuple[str, Any, float, Any]] = map(run_one, selected)
+        for key, result, elapsed, stats in rows:
+            yield ExperimentRun(key, _BY_KEY[key].title, result, elapsed, stats)
         return
     with ProcessPoolExecutor(max_workers=min(jobs, len(selected))) as pool:
-        for key, result, elapsed in pool.map(_run_one, selected):
-            yield ExperimentRun(key, _BY_KEY[key].title, result, elapsed)
+        for key, result, elapsed, stats in pool.map(run_one, selected):
+            yield ExperimentRun(key, _BY_KEY[key].title, result, elapsed, stats)
 
 
 def run_battery(
-    keys: Iterable[str] | None = None, jobs: int = 1
+    keys: Iterable[str] | None = None, jobs: int = 1, profile: bool = False
 ) -> list[ExperimentRun]:
     """Execute experiments (all by default) with timing; battery order."""
-    return list(iter_battery(keys, jobs=jobs))
+    return list(iter_battery(keys, jobs=jobs, profile=profile))
+
+
+def format_profile_table(runs: Sequence[ExperimentRun]) -> str:
+    """Tabulate per-experiment engine counters (the ``--profile`` output)."""
+    header = (
+        f"{'experiment':<14}{'events':>12}{'heap pk':>9}{'t/o reused':>12}"
+        f"{'recomp':>8}{'skip':>7}{'wfill':>7}{'hits':>7}{'wall s':>9}"
+    )
+    lines = [header, "-" * len(header)]
+    totals = {"events": 0, "reused": 0, "recomp": 0, "skip": 0, "wfill": 0, "hits": 0}
+    wall = 0.0
+    for run in runs:
+        s = run.stats or {}
+        lines.append(
+            f"{run.key:<14}{s.get('events_processed', 0):>12,}"
+            f"{s.get('heap_peak', 0):>9,}"
+            f"{s.get('timeouts_reused', 0):>12,}"
+            f"{s.get('rate_recomputes', 0):>8,}"
+            f"{s.get('rate_recomputes_skipped', 0):>7,}"
+            f"{s.get('waterfill_calls', 0):>7,}"
+            f"{s.get('waterfill_cache_hits', 0):>7,}"
+            f"{run.elapsed:>9.2f}"
+        )
+        totals["events"] += s.get("events_processed", 0)
+        totals["reused"] += s.get("timeouts_reused", 0)
+        totals["recomp"] += s.get("rate_recomputes", 0)
+        totals["skip"] += s.get("rate_recomputes_skipped", 0)
+        totals["wfill"] += s.get("waterfill_calls", 0)
+        totals["hits"] += s.get("waterfill_cache_hits", 0)
+        wall += run.elapsed
+    lines.append("-" * len(header))
+    lines.append(
+        f"{'total':<14}{totals['events']:>12,}{'':>9}{totals['reused']:>12,}"
+        f"{totals['recomp']:>8,}{totals['skip']:>7,}{totals['wfill']:>7,}"
+        f"{totals['hits']:>7,}{wall:>9.2f}"
+    )
+    return "\n".join(lines)
 
 
 def run_all(keys: list[str] | None = None, jobs: int = 1) -> dict[str, Any]:
@@ -244,6 +307,16 @@ def main(argv: list[str] | None = None) -> int:
         default=1,
         help="worker processes to shard experiments across (default: 1)",
     )
+    parser.add_argument(
+        "--profile",
+        action="store_true",
+        help=(
+            "print per-experiment engine counters (events processed, rate "
+            "recomputes, wall-clock); experiments served from the on-disk "
+            "result cache show little engine work — set REPRO_NO_CACHE=1 "
+            "to force fresh simulations"
+        ),
+    )
     args = parser.parse_args(argv)
     keys = args.keys or None
     try:
@@ -252,14 +325,16 @@ def main(argv: list[str] | None = None) -> int:
         print(f"error: {exc}", file=sys.stderr)
         return 2
     battery_start = time.perf_counter()
-    count = 0
-    for run in iter_battery(keys, jobs=args.jobs):
-        count += 1
+    runs: list[ExperimentRun] = []
+    for run in iter_battery(keys, jobs=args.jobs, profile=args.profile):
+        runs.append(run)
         print(f"\n{'#' * 72}\n# {run.title}  [{run.elapsed:.2f}s]\n{'#' * 72}")
         print(run.formatted)
     total = time.perf_counter() - battery_start
+    if args.profile:
+        print(f"\nEngine profile (per experiment):\n{format_profile_table(runs)}")
     print(
-        f"\n{count} experiment{'s' if count != 1 else ''} "
+        f"\n{len(runs)} experiment{'s' if len(runs) != 1 else ''} "
         f"in {total:.2f}s wall clock (jobs={max(1, args.jobs)})"
     )
     return 0

@@ -1,11 +1,19 @@
 """Per-block discrete-event executor (validation reference).
 
 The epoch-fluid executor in :mod:`repro.gpu.device` is fast but analytic.
-This module executes a kernel *block by block* on the DES engine, with an
-explicit gigathread dispatcher (hardware mode) or persistent workers pulling
-from an atomically-managed task queue (Slate mode).  It exists to validate
-the fluid model: tests cross-check both executors on small grids and require
-agreement within a few percent.
+This module executes a kernel *block by block*, with an explicit gigathread
+dispatcher (hardware mode) or persistent workers pulling from an
+atomically-managed task queue (Slate mode).  It exists to validate the fluid
+model: tests cross-check both executors on small grids and require agreement
+within a few percent.
+
+Implementation note: earlier versions drove one generator process per block
+(hardware) or per worker (Slate) on the generic DES engine.  The executors
+below replicate that event flow with specialized schedulers — a finish-time
+heap for the gigathread dispatcher, a serialized-pull loop for Slate's
+atomic unit — performing *the same floating-point operations in the same
+order*, so results are bit-identical to the process-based version while
+per-block service times are sampled and batched with numpy.
 
 ``run_detailed`` covers solo kernels; ``run_detailed_corun`` executes two
 Slate kernels on disjoint SM partitions with phase-dependent service times,
@@ -16,6 +24,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
+from heapq import heapify, heappop, heappush
 
 import numpy as np
 
@@ -23,7 +32,6 @@ from repro.config import CostModel, DeviceConfig, TITAN_XP
 from repro.gpu.cache import ORDER_FACTORS, dram_fraction
 from repro.gpu.device import ExecutionMode, KernelWork
 from repro.gpu.occupancy import occupancy
-from repro.sim import Environment, Resource
 
 __all__ = ["DetailedResult", "run_detailed", "run_detailed_corun"]
 
@@ -97,7 +105,6 @@ def run_detailed(
     if task_size < 1:
         raise ValueError("task_size must be >= 1")
 
-    env = Environment()
     rng = np.random.default_rng(seed)
     occ = occupancy(device, work.block).blocks_per_sm
     slots = occ * sm_count
@@ -110,48 +117,59 @@ def run_detailed(
     if mode is ExecutionMode.HARDWARE:
         # Gigathread engine: `slots` service positions; blocks dispatched in
         # id order as slots free up, each paying the dispatch overhead.
-        slot_pool = Resource(env, capacity=slots)
+        # List scheduling on a finish-time heap: block b starts at the
+        # earliest finish among running blocks once all slots are occupied.
+        n = work.num_blocks
+        durations = costs.block_launch_overhead + times
+        if n <= slots:
+            elapsed = float(durations.max())
+        else:
+            running = durations[:slots].tolist()
+            heapify(running)
+            for b in range(slots, n):
+                heappush(running, heappop(running) + durations[b])
+            elapsed = float(max(running))
+        return DetailedResult(elapsed=elapsed, blocks_executed=n, queue_pulls=0)
 
-        def block_proc(env, duration):
-            with slot_pool.request() as req:
-                yield req
-                yield env.timeout(costs.block_launch_overhead + duration)
+    # Slate mode: persistent workers pulling grouped tasks from a queue
+    # guarded by a serialized atomic unit.  A pull occupies the unit for
+    # ``atomic_service_time``; the pulling worker then sleeps out the rest of
+    # the observed atomic round-trip latency and executes its blocks
+    # back-to-back.  Grants are FIFO in request-arrival order, which the
+    # ready-event heap reproduces (ties broken by scheduling sequence, the
+    # DES event-id order).
+    n = work.num_blocks
+    n_workers = min(slots, math.ceil(n / task_size))
+    service = costs.atomic_service_time
+    gap = max(0.0, costs.atomic_latency - costs.atomic_service_time)
+    times_list = times.tolist()
 
-        for b in range(work.num_blocks):
-            env.process(block_proc(env, float(times[b])))
-        env.run()
-        return DetailedResult(elapsed=env.now, blocks_executed=work.num_blocks, queue_pulls=0)
-
-    # Slate mode: persistent workers pulling grouped tasks from the queue.
-    queue = {"next": 0}
-    atomic_unit = Resource(env, capacity=1)
-    n_workers = min(slots, math.ceil(work.num_blocks / task_size))
-    state = {"pulls": 0}
-
-    def worker(env):
-        # Worker block launch happens once.
-        yield env.timeout(costs.block_launch_overhead)
-        while True:
-            # Atomic pull: serialized service + observed round-trip latency.
-            with atomic_unit.request() as req:
-                yield req
-                yield env.timeout(costs.atomic_service_time)
-                start = queue["next"]
-                if start >= work.num_blocks:
-                    return
-                queue["next"] = start + task_size
-                state["pulls"] += 1
-            yield env.timeout(max(0.0, costs.atomic_latency - costs.atomic_service_time))
-            end = min(start + task_size, work.num_blocks)
-            for b in range(start, end):
-                yield env.timeout(float(times[b]))
-
-    for _ in range(n_workers):
-        env.process(worker(env))
-    env.run()
-    return DetailedResult(
-        elapsed=env.now, blocks_executed=work.num_blocks, queue_pulls=state["pulls"]
-    )
+    # (ready_time, seq): worker identity does not matter beyond tie-order.
+    ready = [(costs.block_launch_overhead, w) for w in range(n_workers)]
+    seq = n_workers
+    unit_free = 0.0
+    next_block = 0
+    pulls = 0
+    elapsed = 0.0
+    while ready:
+        when, _ = heappop(ready)
+        grant = when if when >= unit_free else unit_free
+        done = grant + service
+        unit_free = done
+        if next_block >= n:
+            # Empty pull: the worker terminates after its serialized read.
+            if done > elapsed:
+                elapsed = done
+            continue
+        start = next_block
+        next_block = start + task_size
+        pulls += 1
+        t = done + gap
+        for b in range(start, min(start + task_size, n)):
+            t = t + times_list[b]
+        heappush(ready, (t, seq))
+        seq += 1
+    return DetailedResult(elapsed=elapsed, blocks_executed=n, queue_pulls=pulls)
 
 
 def run_detailed_corun(
@@ -169,8 +187,17 @@ def run_detailed_corun(
     Cross-validation reference for the fluid executor's contention model:
     block service times come from :func:`repro.gpu.rates.derive_rates` for
     the *current* co-residency phase (both kernels, then the survivor solo)
-    and the workers execute block-by-block on the DES engine.  Quasi-static:
-    a block keeps the service time it started with across a phase change.
+    and workers execute block-by-block.  Quasi-static: a block keeps the
+    service time it started with across a phase change.
+
+    The per-phase rate derivation is cached — rates depend only on the set
+    of active kernels, so one :func:`derive_rates` call per phase replaces
+    the per-block calls of the process-based version with identical floats.
+    The two kernels interact *only* through the phase change at the first
+    finisher's completion, so the co-run is computed in two passes: both
+    kernels under the two-kernel phase (which exactly times the first
+    finisher), then the survivor re-simulated with the phase switch at that
+    instant.
     """
     from repro.gpu.occupancy import occupancy as occ_fn
     from repro.gpu.rates import RateInput, SchedulingMode, derive_rates
@@ -178,7 +205,6 @@ def run_detailed_corun(
     if sms_a < 1 or sms_b < 1 or sms_a + sms_b > device.num_sms:
         raise ValueError(f"invalid partition {sms_a}+{sms_b} on {device.num_sms} SMs")
 
-    env = Environment()
     rng = np.random.default_rng(seed)
 
     def rate_input(key, work, n_sms):
@@ -205,50 +231,81 @@ def run_detailed_corun(
     }
     works = {"a": work_a, "b": work_b}
     sm_counts = {"a": sms_a, "b": sms_b}
-    active = {"a", "b"}
+    lat = costs.atomic_latency
 
-    def phase_block_time(key):
-        phase_inputs = [inputs[k] for k in sorted(active)]
-        return derive_rates(phase_inputs, device, costs)[key].block_time
+    both = derive_rates([inputs["a"], inputs["b"]], device, costs)
+    base_both = {k: both[k].block_time - lat / task_size for k in ("a", "b")}
 
-    results: dict[str, DetailedResult] = {}
-
-    def kernel_proc(env, key):
-        work = works[key]
-        occ = occ_fn(device, work.block).blocks_per_sm
-        workers = min(occ * sm_counts[key], -(-work.num_blocks // task_size))
-        queue = {"next": 0, "pulls": 0}
+    def lognormal_factors(work):
         sigma = (
             math.sqrt(math.log(1.0 + work.time_cv**2)) if work.time_cv > 0 else 0.0
         )
         mu = -0.5 * sigma * sigma
-        factors = (
-            rng.lognormal(mean=mu, sigma=sigma, size=work.num_blocks)
-            if sigma
-            else np.ones(work.num_blocks)
+        if sigma:
+            return rng.lognormal(mean=mu, sigma=sigma, size=work.num_blocks).tolist()
+        return [1.0] * work.num_blocks
+
+    # Drawn in kernel start order (a, then b) to keep the rng stream intact.
+    factors = {"a": lognormal_factors(work_a), "b": lognormal_factors(work_b)}
+
+    def simulate(key, switch_at=None, base_solo=0.0):
+        """Run one kernel's workers; phase flips to solo at ``switch_at``.
+
+        Returns (finish_time, queue_pulls).  Workers read the task queue at
+        their ready instants (chronological, creation order at t=0), sleep
+        out the atomic latency, then execute their blocks back-to-back; each
+        block's service time is fixed by the phase at its start.
+        """
+        work = works[key]
+        n = work.num_blocks
+        occ = occ_fn(device, work.block).blocks_per_sm
+        n_workers = min(occ * sm_counts[key], -(-n // task_size))
+        base = base_both[key]
+        fac = factors[key]
+        ready = [(0.0, w) for w in range(n_workers)]
+        seq = n_workers
+        next_block = 0
+        pulls = 0
+        finish = 0.0
+        while ready:
+            when, _ = heappop(ready)
+            if next_block >= n:
+                if when > finish:
+                    finish = when
+                continue
+            start = next_block
+            next_block = start + task_size
+            pulls += 1
+            t = when + lat
+            for b in range(start, min(start + task_size, n)):
+                bt = base if switch_at is None or t < switch_at else base_solo
+                t = t + max(0.0, bt * fac[b])
+            heappush(ready, (t, seq))
+            seq += 1
+        return finish, pulls
+
+    # Pass 1: both kernels under the shared phase.  The earlier finisher
+    # never observes a phase change, so its timing is final.
+    fin = {}
+    pulls = {}
+    for key in ("a", "b"):
+        fin[key], pulls[key] = simulate(key)
+    first = "a" if fin["a"] <= fin["b"] else "b"
+    second = "b" if first == "a" else "a"
+
+    # Pass 2: the survivor speeds up once the first finisher drains.
+    solo = derive_rates([inputs[second]], device, costs)
+    base_solo = solo[second].block_time - lat / task_size
+    fin[second], pulls[second] = simulate(
+        second, switch_at=fin[first], base_solo=base_solo
+    )
+
+    results = {
+        k: DetailedResult(
+            elapsed=fin[k],
+            blocks_executed=works[k].num_blocks,
+            queue_pulls=pulls[k],
         )
-
-        def worker(env):
-            while True:
-                start = queue["next"]
-                if start >= work.num_blocks:
-                    return
-                queue["next"] = start + task_size
-                queue["pulls"] += 1
-                yield env.timeout(costs.atomic_latency)
-                end = min(start + task_size, work.num_blocks)
-                for b in range(start, end):
-                    base = phase_block_time(key) - costs.atomic_latency / task_size
-                    yield env.timeout(max(0.0, base * float(factors[b])))
-
-        procs = [env.process(worker(env)) for _ in range(workers)]
-        yield env.all_of(procs)
-        active.discard(key)
-        results[key] = DetailedResult(
-            elapsed=env.now, blocks_executed=work.num_blocks, queue_pulls=queue["pulls"]
-        )
-
-    pa = env.process(kernel_proc(env, "a"))
-    pb = env.process(kernel_proc(env, "b"))
-    env.run(until=pa & pb)
+        for k in ("a", "b")
+    }
     return results["a"], results["b"]

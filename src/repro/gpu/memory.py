@@ -97,20 +97,33 @@ class BandwidthArbiter:
     set or a demand changes; exposes per-flow achieved bandwidth and the
     throttle fraction used for the "memory throttle stall" counter
     (Table III reports 26.1% for Gaussian under CUDA and 0% under Slate).
+
+    The allocation is cached: re-registering a flow at its current demand is
+    a no-op, so callers may publish demands every epoch without forcing a
+    water-fill per call.  ``stats`` (optional) is an
+    :class:`repro.sim.engine.EnvironmentStats` whose ``waterfill_calls`` /
+    ``waterfill_cache_hits`` counters record recomputations vs. skips.
     """
 
-    def __init__(self, capacity: float) -> None:
+    def __init__(self, capacity: float, stats=None) -> None:
         if capacity <= 0:
             raise ValueError(f"capacity must be positive, got {capacity}")
         self.capacity = capacity
+        self.stats = stats
         self._demands: dict[object, float] = {}
         self._alloc: dict[object, float] = {}
 
     def set_demand(self, key: object, demand: float) -> None:
-        """Register or update a flow's demand and recompute allocations."""
+        """Register or update a flow's demand, recomputing only on change."""
         if demand < 0:
             raise ValueError(f"negative demand {demand}")
-        self._demands[key] = demand
+        demands = self._demands
+        if key in demands and demands[key] == demand:
+            # Unchanged input: the cached allocation is still exact.
+            if self.stats is not None:
+                self.stats.waterfill_cache_hits += 1
+            return
+        demands[key] = demand
         self._recompute()
 
     def remove(self, key: object) -> None:
@@ -119,6 +132,8 @@ class BandwidthArbiter:
             self._recompute()
 
     def _recompute(self) -> None:
+        if self.stats is not None:
+            self.stats.waterfill_calls += 1
         flows = [FlowDemand(k, d) for k, d in self._demands.items()]
         self._alloc = waterfill(flows, self.capacity)
 

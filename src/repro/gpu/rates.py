@@ -88,8 +88,16 @@ def derive_rates(
     inputs: list[RateInput],
     device: DeviceConfig,
     costs: CostModel,
+    stats=None,
 ) -> dict[object, RateOutput]:
-    """Derive every kernel's rate given the full co-residency picture."""
+    """Derive every kernel's rate given the full co-residency picture.
+
+    ``stats`` (optional) is an :class:`repro.sim.engine.EnvironmentStats`;
+    when given, the two water-filling passes below are counted in its
+    ``waterfill_calls`` field.
+    """
+    if stats is not None:
+        stats.waterfill_calls += 2
     total_footprint = sum(i.locality.footprint for i in inputs)
 
     bt0: dict[object, float] = {}

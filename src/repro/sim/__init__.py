@@ -20,7 +20,13 @@ Design notes
   simultaneous events are processed deterministically in scheduling order.
 """
 
-from repro.sim.engine import Environment, StopSimulation
+from repro.sim.engine import (
+    Environment,
+    EnvironmentStats,
+    StopSimulation,
+    aggregate_stats,
+    reset_aggregate_stats,
+)
 from repro.sim.events import (
     AllOf,
     AnyOf,
@@ -38,8 +44,11 @@ __all__ = [
     "AllOf",
     "AnyOf",
     "Environment",
+    "EnvironmentStats",
     "Event",
     "EventPriority",
+    "aggregate_stats",
+    "reset_aggregate_stats",
     "FilterStore",
     "Interrupt",
     "PriorityResource",

@@ -13,18 +13,56 @@ familiar idioms::
     p = env.process(proc(env))
     env.run()
     assert env.now == 5 and p.value == "done"
+
+Performance notes
+-----------------
+Every paper experiment is thousands of simulations, so the per-event cost
+here multiplies into the whole evaluation's wall-clock.  Three fast paths
+keep it low (see ``docs/api.md`` for the full contract):
+
+* :meth:`Environment.run` inlines the hot loop — no per-event method call,
+  no per-event exception control flow, and heap/stat references hoisted to
+  locals.  The loop drains same-timestamp batches exactly like repeated
+  :meth:`step` calls would (ordering is carried by the heap key), just
+  without re-entering the interpreter's call machinery per event.
+* :meth:`Environment.timeout` recycles :class:`Timeout` instances through a
+  free list.  A timeout is only pooled when the engine holds the *sole*
+  remaining reference after its callbacks ran (refcount-gated), so user code
+  that keeps a handle to a timeout always observes ordinary event semantics.
+* Scheduling never resets the monotonically increasing event id: pooled and
+  fresh events share the same ``_eid`` sequence, which is a plain Python int
+  and therefore cannot overflow or collide regardless of how many events are
+  recycled.
+
+:attr:`Environment.stats` counts events processed, the queue's peak size,
+and pooling activity so speedups (and regressions) are measurable.
 """
 
 from __future__ import annotations
 
-import heapq
+import sys
+from heapq import heappop, heappush
 from typing import Any, Generator, Iterable, Optional
 
 from repro.sim.events import AllOf, AnyOf, Event, EventPriority, Timeout
 from repro.sim.interrupts import SimulationError
 from repro.sim.process import Process
 
-__all__ = ["Environment", "StopSimulation", "EmptySchedule"]
+__all__ = [
+    "Environment",
+    "EnvironmentStats",
+    "StopSimulation",
+    "EmptySchedule",
+    "aggregate_stats",
+    "reset_aggregate_stats",
+]
+
+_NORMAL = int(EventPriority.NORMAL)
+#: CPython exposes refcounts; other interpreters may not, in which case the
+#: timeout free list is simply never fed (correct, just slower).
+_getrefcount = getattr(sys, "getrefcount", None)
+#: Upper bound on pooled Timeout instances kept per environment.
+_TIMEOUT_POOL_MAX = 1024
 
 
 class StopSimulation(Exception):
@@ -33,6 +71,100 @@ class StopSimulation(Exception):
 
 class EmptySchedule(Exception):
     """Raised by :meth:`Environment.step` when no events remain."""
+
+
+class EnvironmentStats:
+    """Engine observability counters.
+
+    Attributes
+    ----------
+    events_processed:
+        Events whose callbacks have been invoked.
+    heap_peak:
+        Largest number of simultaneously pending events observed.
+    timeouts_pooled:
+        Timeout instances returned to the free list after processing.
+    timeouts_reused:
+        ``Environment.timeout`` calls served from the free list.
+    rate_recomputes:
+        Full rate re-derivations performed by :class:`~repro.gpu.device.SimulatedGPU`.
+    rate_recomputes_skipped:
+        Epoch boundaries where the rate inputs were unchanged and the
+        re-derivation was skipped (incremental-recompute fast path).
+    waterfill_calls / waterfill_cache_hits:
+        :class:`~repro.gpu.memory.BandwidthArbiter` recomputations vs.
+        allocations served from its demand-keyed cache.
+    """
+
+    __slots__ = (
+        "events_processed",
+        "heap_peak",
+        "timeouts_pooled",
+        "timeouts_reused",
+        "rate_recomputes",
+        "rate_recomputes_skipped",
+        "waterfill_calls",
+        "waterfill_cache_hits",
+    )
+
+    _FIELDS = (
+        "events_processed",
+        "heap_peak",
+        "timeouts_pooled",
+        "timeouts_reused",
+        "rate_recomputes",
+        "rate_recomputes_skipped",
+        "waterfill_calls",
+        "waterfill_cache_hits",
+    )
+
+    def __init__(self) -> None:
+        for field in self._FIELDS:
+            setattr(self, field, 0)
+
+    def reset(self) -> None:
+        """Zero every counter."""
+        for field in self._FIELDS:
+            setattr(self, field, 0)
+
+    def snapshot(self) -> dict[str, int]:
+        """Copy of the counters as a plain dict."""
+        return {field: getattr(self, field) for field in self._FIELDS}
+
+    def accumulate(self, before: dict[str, int], after: dict[str, int]) -> None:
+        """Fold the delta between two snapshots into this instance.
+
+        Monotonic counters add; ``heap_peak`` (a high-water mark) takes the
+        max instead.
+        """
+        for field in self._FIELDS:
+            delta = after[field] - before[field]
+            if field == "heap_peak":
+                if after[field] > self.heap_peak:
+                    self.heap_peak = after[field]
+            elif delta:
+                setattr(self, field, getattr(self, field) + delta)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        body = ", ".join(f"{f}={getattr(self, f)}" for f in self._FIELDS)
+        return f"EnvironmentStats({body})"
+
+
+#: Process-wide accumulator: every Environment folds its counter deltas in
+#: here when ``run()`` returns, so callers that never see the individual
+#: environments (e.g. ``python -m repro experiments --profile``) can still
+#: attribute engine work to wall-clock phases.
+_AGGREGATE = EnvironmentStats()
+
+
+def aggregate_stats() -> EnvironmentStats:
+    """The process-wide stats accumulator (see ``--profile``)."""
+    return _AGGREGATE
+
+
+def reset_aggregate_stats() -> None:
+    """Zero the process-wide accumulator."""
+    _AGGREGATE.reset()
 
 
 class Environment:
@@ -45,14 +177,24 @@ class Environment:
         throughout this project).
     tracer:
         Optional :class:`repro.sim.tracing.Tracer` recording every processed
-        event for debugging and test assertions.
+        event for debugging and test assertions.  A tracer may retain event
+        references, so the Timeout free list is not fed while tracing (the
+        refcount gate would reject pooled candidates anyway).
     """
+
+    __slots__ = ("_now", "_queue", "_eid", "tracer", "stats", "_timeout_pool", "_flushed")
 
     def __init__(self, initial_time: float = 0.0, tracer: Any = None) -> None:
         self._now = float(initial_time)
         self._queue: list[tuple[float, int, int, Event]] = []
+        #: Monotonic event sequence number.  A plain Python int: it grows
+        #: without bound (no overflow) and is never reset — recycled Timeout
+        #: instances draw fresh ids, so heap ordering stays total.
         self._eid = 0
         self.tracer = tracer
+        self.stats = EnvironmentStats()
+        self._timeout_pool: list[Timeout] = []
+        self._flushed = self.stats.snapshot()
 
     # -- clock & queue ---------------------------------------------------
 
@@ -69,9 +211,9 @@ class Environment:
     ) -> None:
         """Place a triggered event on the queue ``delay`` into the future."""
         if delay < 0:
-            raise ValueError(f"negative delay {delay}")
+            raise ValueError(f"negative delay {delay} while scheduling {event!r}")
         self._eid += 1
-        heapq.heappush(self._queue, (self._now + delay, int(priority), self._eid, event))
+        heappush(self._queue, (self._now + delay, priority, self._eid, event))
 
     def peek(self) -> float:
         """Time of the next scheduled event, or ``inf`` if none."""
@@ -79,17 +221,20 @@ class Environment:
 
     def step(self) -> None:
         """Process the next event.  Raises :class:`EmptySchedule` if none."""
+        queue = self._queue
+        stats = self.stats
+        if len(queue) > stats.heap_peak:
+            stats.heap_peak = len(queue)
         try:
-            when, _, _, event = heapq.heappop(self._queue)
+            when, _, _, event = heappop(queue)
         except IndexError:
             raise EmptySchedule() from None
-        if when < self._now:  # pragma: no cover - guarded by schedule()
-            raise SimulationError("event scheduled in the past")
         self._now = when
+        stats.events_processed += 1
 
         callbacks, event.callbacks = event.callbacks, None
         if self.tracer is not None:
-            self.tracer.record(self._now, event)
+            self.tracer.record(when, event)
         for callback in callbacks:
             callback(event)
 
@@ -130,9 +275,67 @@ class Environment:
                 self.schedule(stop, delay=at - self._now, priority=EventPriority.URGENT)
                 stop.callbacks.append(self._stop_simulation)
 
+        stats = self.stats
+        queue = self._queue
+        pool = self._timeout_pool
+        # No getrefcount (e.g. PyPy): use a stub that can never equal 2, so
+        # the pooling branch below is dead without a per-event None check.
+        getref = _getrefcount if _getrefcount is not None else (lambda _obj: 0)
+        timeout_cls = Timeout
+        pop = heappop
+        events = 0
+        pooled = 0
+        peak = stats.heap_peak
         try:
-            while True:
-                self.step()
+            if self.tracer is not None:
+                # Tracing path: per-event bookkeeping lives in step().
+                while True:
+                    self.step()
+            pending = len(queue)
+            while pending:
+                if pending > peak:
+                    peak = pending
+                when, _, _, event = pop(queue)
+                self._now = when
+                events += 1
+                callbacks = event.callbacks
+                event.callbacks = None
+                for callback in callbacks:
+                    callback(event)
+                if not event._ok and not event._defused:
+                    value = event._value
+                    if isinstance(value, BaseException):
+                        raise value
+                    raise SimulationError(
+                        f"event failed with non-exception {value!r}"
+                    )
+                # Free-list a drained Timeout iff the loop holds the sole
+                # remaining reference (local + getrefcount argument == 2):
+                # then no user code can observe the recycled instance.  The
+                # spent callbacks list rides along (cleared) so reuse does
+                # not allocate a fresh one.
+                if (
+                    type(event) is timeout_cls
+                    and len(pool) < _TIMEOUT_POOL_MAX
+                    and getref(event) == 2
+                ):
+                    event._value = None
+                    callbacks.clear()
+                    event.callbacks = callbacks
+                    pool.append(event)
+                    pooled += 1
+                pending = len(queue)
+            if stop is not None and not stop.triggered and isinstance(until, Event):
+                raise SimulationError(
+                    "simulation ended before the awaited event triggered"
+                )
+            return None
+        except EmptySchedule:
+            if stop is not None and not stop.triggered and isinstance(until, Event):
+                raise SimulationError(
+                    "simulation ended before the awaited event triggered"
+                ) from None
+            return None
         except StopSimulation as exc:
             event = exc.args[0]
             if event is stop and not isinstance(until, Event):
@@ -140,13 +343,22 @@ class Environment:
             if event._ok:
                 return event._value
             raise event._value from None
-        except EmptySchedule:
-            if stop is not None and not stop.triggered:
-                if isinstance(until, Event):
-                    raise SimulationError(
-                        "simulation ended before the awaited event triggered"
-                    ) from None
-            return None
+        finally:
+            stats.events_processed += events
+            stats.timeouts_pooled += pooled
+            if peak > stats.heap_peak:
+                stats.heap_peak = peak
+            self._flush_stats()
+
+    def _flush_stats(self) -> None:
+        """Fold counter growth since the last flush into the global aggregate."""
+        # timeouts_reused is derived, not counted inline (the increment would
+        # sit on the hottest allocation path): every pooled timeout that is
+        # no longer in the free list has been handed back out exactly once.
+        self.stats.timeouts_reused = self.stats.timeouts_pooled - len(self._timeout_pool)
+        after = self.stats.snapshot()
+        _AGGREGATE.accumulate(self._flushed, after)
+        self._flushed = after
 
     @staticmethod
     def _stop_simulation(event: Event) -> None:
@@ -161,7 +373,29 @@ class Environment:
         return Event(self)
 
     def timeout(self, delay: float, value: Any = None) -> Timeout:
-        """Create an event firing ``delay`` time units from now."""
+        """Create an event firing ``delay`` time units from now.
+
+        Serves recycled instances from the free list when available; a
+        pooled timeout is indistinguishable from a fresh one (fresh
+        callbacks list, fresh event id, validated delay).
+        """
+        pool = self._timeout_pool
+        if pool:
+            timeout = pool.pop()
+            timeout.delay = delay
+            if delay < 0:
+                # Same diagnostic contract as a fresh Timeout: the message
+                # names the event being scheduled.  The instance goes back to
+                # the free list untouched beyond its delay field.
+                pool.append(timeout)
+                raise ValueError(f"negative delay {delay} while scheduling {timeout!r}")
+            timeout._value = value
+            # _ok/_defused are still True/False from the previous life: a
+            # Timeout can never fail, so it can never have been defused, and
+            # its recycled callbacks list was cleared when it was pooled.
+            self._eid += 1
+            heappush(self._queue, (self._now + delay, _NORMAL, self._eid, timeout))
+            return timeout
         return Timeout(self, delay, value)
 
     def process(self, generator: Generator) -> Process:

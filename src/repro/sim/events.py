@@ -10,6 +10,7 @@ events and are resumed from event callbacks.
 from __future__ import annotations
 
 import enum
+from heapq import heappush
 from typing import TYPE_CHECKING, Any, Callable, Iterable, Optional
 
 from repro.sim.interrupts import SimulationError
@@ -32,6 +33,10 @@ class EventPriority(enum.IntEnum):
     URGENT = 0
     NORMAL = 1
 
+
+#: Plain-int mirror of EventPriority.NORMAL for the inlined scheduling fast
+#: paths below (heap entries compare ints, not enum members, on time ties).
+_NORMAL = int(EventPriority.NORMAL)
 
 _PENDING = object()
 
@@ -89,11 +94,16 @@ class Event:
 
     def succeed(self, value: Any = None) -> "Event":
         """Trigger the event successfully with ``value``."""
-        if self.triggered:
+        if self._value is not _PENDING:
             raise SimulationError(f"{self!r} already triggered")
         self._ok = True
         self._value = value
-        self.env.schedule(self)
+        # Inlined Environment.schedule(self) — succeed() is the hottest
+        # trigger path (every resource grant and store operation), and the
+        # delay is always 0 so no validation is needed.
+        env = self.env
+        env._eid += 1
+        heappush(env._queue, (env._now, _NORMAL, env._eid, self))
         return self
 
     def fail(self, exception: BaseException) -> "Event":
@@ -133,18 +143,29 @@ class Event:
 
 
 class Timeout(Event):
-    """An event that fires after a fixed simulated delay."""
+    """An event that fires after a fixed simulated delay.
+
+    Timeouts are the dominant event species in every simulation, so the
+    constructor bypasses both ``Event.__init__`` and
+    ``Environment.schedule`` and pushes itself onto the queue directly.
+    Instances may additionally be recycled through the environment's free
+    list (see :meth:`Environment.timeout`); the pooling contract is that a
+    timeout is only reused once the engine holds the sole reference to it.
+    """
 
     __slots__ = ("delay",)
 
     def __init__(self, env: "Environment", delay: float, value: Any = None) -> None:
-        if delay < 0:
-            raise ValueError(f"negative delay {delay}")
-        super().__init__(env)
-        self.delay = delay
-        self._ok = True
+        self.env = env
+        self.callbacks = []
         self._value = value
-        env.schedule(self, delay=delay)
+        self._ok = True
+        self._defused = False
+        self.delay = delay
+        if delay < 0:
+            raise ValueError(f"negative delay {delay} while scheduling {self!r}")
+        env._eid += 1
+        heappush(env._queue, (env._now + delay, _NORMAL, env._eid, self))
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"<Timeout delay={self.delay}>"

@@ -28,13 +28,17 @@ class Process(Event):
     with any uncaught exception the generator raises.
     """
 
-    __slots__ = ("_generator", "_target", "_started")
+    __slots__ = ("_generator", "_send", "_throw", "_target", "_started")
 
     def __init__(self, env: "Environment", generator: Generator) -> None:
         if not isinstance(generator, GeneratorType):
             raise TypeError(f"{generator!r} is not a generator")
         super().__init__(env)
         self._generator = generator
+        # Bound methods cached once: _resume runs once per processed event,
+        # so the attribute lookups add up across millions of events.
+        self._send = generator.send
+        self._throw = generator.throw
         # The event this process currently waits for (None => being resumed
         # right now or not yet started).
         self._target: Event | None = None
@@ -85,16 +89,16 @@ class Process(Event):
         """Advance the generator with the outcome of ``event``."""
         self._target = None
         self._started = True
+        send = self._send
         while True:
             try:
                 if event._ok:
-                    next_event = self._generator.send(event._value)
+                    next_event = send(event._value)
                 else:
                     # The caused exception is considered handled by
                     # delivering it into the process.
-                    event.defuse()
-                    exc = event._value
-                    next_event = self._generator.throw(exc)
+                    event._defused = True
+                    next_event = self._throw(event._value)
             except StopIteration as stop:
                 if not self.triggered:
                     self._ok = True
@@ -109,16 +113,21 @@ class Process(Event):
                     return
                 raise
 
-            if not isinstance(next_event, Event):
+            # Fetch callbacks straight away: the attribute access doubles as
+            # the event type check (anything without ``callbacks`` is not an
+            # event), replacing isinstance + access on the per-yield hot path.
+            try:
+                callbacks = next_event.callbacks
+            except AttributeError:
                 exc = SimulationError(
                     f"process yielded a non-event: {next_event!r}"
                 )
                 event = _failed_stub(self.env, exc)
                 continue
 
-            if next_event.callbacks is not None:
+            if callbacks is not None:
                 # Event not yet processed: subscribe and suspend.
-                next_event.callbacks.append(self._resume)
+                callbacks.append(self._resume)
                 self._target = next_event
                 return
 

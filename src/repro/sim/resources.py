@@ -9,16 +9,20 @@ are events; a process acquires a slot with::
         ...  # holding a slot
 
 or manages the request/release pair explicitly.
+
+Invariant (load-bearing for the fast paths below): the waiting queue is only
+non-empty while every slot is held.  ``request`` therefore grants immediately
+whenever a slot is free — no heap traffic — and ``release`` only needs to
+re-grant when an actual holder departs.
 """
 
 from __future__ import annotations
 
-import heapq
 import itertools
+from heapq import heapify, heappop, heappush
 from typing import TYPE_CHECKING, Optional
 
-from repro.sim.events import Event
-from repro.sim.interrupts import SimulationError
+from repro.sim.events import Event, _PENDING
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.sim.engine import Environment
@@ -35,8 +39,12 @@ class Request(Event):
 
     __slots__ = ("resource", "key")
 
-    def __init__(self, resource: "Resource", key: tuple) -> None:
-        super().__init__(resource.env)
+    def __init__(self, resource: "Resource", key) -> None:
+        self.env = resource.env
+        self.callbacks = []
+        self._value = _PENDING
+        self._ok = True
+        self._defused = False
         self.resource = resource
         self.key = key
 
@@ -52,9 +60,21 @@ class Request(Event):
 
 
 class Release(Event):
-    """Event that fires once a release has been applied (always immediate)."""
+    """Event that fires once a release has been applied (always immediate).
+
+    Releases apply synchronously, so the event is created already processed
+    (``callbacks is None``) instead of taking a round trip through the event
+    queue; waiting on it resumes without consuming a simulation step.
+    """
 
     __slots__ = ()
+
+    def __init__(self, env: "Environment") -> None:
+        self.env = env
+        self.callbacks = None
+        self._value = None
+        self._ok = True
+        self._defused = False
 
 
 class Resource:
@@ -75,7 +95,7 @@ class Resource:
         self._capacity = capacity
         self._counter = itertools.count()
         # Min-heap of pending requests keyed by (priority..., seq).
-        self._waiting: list[tuple[tuple, Request]] = []
+        self._waiting: list[tuple] = []
         self._users: set[Request] = set()
 
     # -- introspection ---------------------------------------------------
@@ -96,39 +116,46 @@ class Resource:
 
     # -- operations ---------------------------------------------------------
 
-    def _make_key(self, seq: int) -> tuple:
-        return (seq,)
+    def _make_key(self, seq: int):
+        return seq
 
     def request(self) -> Request:
         """Claim a slot; the returned event fires once the slot is granted."""
-        req = Request(self, self._make_key(next(self._counter)))
-        heapq.heappush(self._waiting, (req.key, req))
-        self._grant()
+        req = Request(self, next(self._counter))
+        if len(self._users) < self._capacity:
+            # A free slot implies nobody is waiting (see module invariant):
+            # grant without touching the heap.
+            self._users.add(req)
+            req.succeed(req)
+        else:
+            heappush(self._waiting, (req.key, req))
         return req
 
     def release(self, request: Request) -> Release:
         """Return a slot to the pool (or withdraw an ungranted request)."""
-        if request in self._users:
-            self._users.discard(request)
+        users = self._users
+        if request in users:
+            users.discard(request)
+            self._grant()
         else:
-            # Withdraw from the waiting queue if still pending.
-            for i, (_, pending) in enumerate(self._waiting):
+            # Withdraw from the waiting queue if still pending.  No re-grant
+            # is needed: removing a waiter frees no slot.
+            waiting = self._waiting
+            for i, (_, pending) in enumerate(waiting):
                 if pending is request:
-                    self._waiting[i] = self._waiting[-1]
-                    self._waiting.pop()
-                    heapq.heapify(self._waiting)
+                    waiting[i] = waiting[-1]
+                    waiting.pop()
+                    heapify(waiting)
                     break
-        rel = Release(self.env)
-        rel.succeed()
-        self._grant()
-        return rel
+        return Release(self.env)
 
     def _grant(self) -> None:
-        while self._waiting and len(self._users) < self._capacity:
-            _, req = heapq.heappop(self._waiting)
-            if req.triggered:  # pragma: no cover - defensive
-                raise SimulationError("request granted twice")
-            self._users.add(req)
+        waiting = self._waiting
+        users = self._users
+        capacity = self._capacity
+        while waiting and len(users) < capacity:
+            req = heappop(waiting)[1]
+            users.add(req)
             req.succeed(req)
 
 
@@ -144,6 +171,9 @@ class PriorityResource(Resource):
 
     def request(self, priority: float = 0.0) -> Request:  # type: ignore[override]
         req = Request(self, (priority, next(self._counter)))
-        heapq.heappush(self._waiting, (req.key, req))
-        self._grant()
+        if len(self._users) < self._capacity:
+            self._users.add(req)
+            req.succeed(req)
+        else:
+            heappush(self._waiting, (req.key, req))
         return req

@@ -11,7 +11,7 @@ import heapq
 import itertools
 from typing import TYPE_CHECKING, Any, Callable, Optional
 
-from repro.sim.events import Event
+from repro.sim.events import Event, _PENDING
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.sim.engine import Environment
@@ -25,7 +25,11 @@ class StorePut(Event):
     __slots__ = ("item",)
 
     def __init__(self, env: "Environment", item: Any) -> None:
-        super().__init__(env)
+        self.env = env
+        self.callbacks = []
+        self._value = _PENDING
+        self._ok = True
+        self._defused = False
         self.item = item
 
 
@@ -35,7 +39,11 @@ class StoreGet(Event):
     __slots__ = ("filter",)
 
     def __init__(self, env: "Environment", filter: Optional[Callable[[Any], bool]] = None) -> None:
-        super().__init__(env)
+        self.env = env
+        self.callbacks = []
+        self._value = _PENDING
+        self._ok = True
+        self._defused = False
         self.filter = filter
 
 
@@ -57,15 +65,31 @@ class Store:
     def put(self, item: Any) -> StorePut:
         """Insert ``item``; the event fires when the store has room."""
         event = StorePut(self.env, item)
-        self._putters.append(event)
-        self._dispatch()
+        # Fast path: nobody queued ahead and room available — accept the
+        # item directly; only fall into the dispatch loop when a blocked
+        # getter may now be servable.
+        if not self._putters and len(self.items) < self.capacity:
+            self._insert(item)
+            event.succeed()
+            if self._getters:
+                self._dispatch()
+        else:
+            self._putters.append(event)
+            self._dispatch()
         return event
 
     def get(self) -> StoreGet:
         """Remove and return the next item (as the event's value)."""
         event = StoreGet(self.env)
-        self._getters.append(event)
-        self._dispatch()
+        # Fast path mirror of put(): items on hand and no getter queued
+        # ahead — serve immediately, then unblock putters if space freed.
+        if not self._getters and self.items:
+            event.succeed(self._extract(event))
+            if self._putters:
+                self._dispatch()
+        else:
+            self._getters.append(event)
+            self._dispatch()
         return event
 
     # -- internals ---------------------------------------------------------

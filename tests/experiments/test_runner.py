@@ -115,3 +115,42 @@ class TestBattery:
         assert runner.main(["fig3"]) == 0
         out = capsys.readouterr().out
         assert "[" in out and "s]" in out  # "...  [0.01s]" in the header
+
+
+class TestProfile:
+    def test_run_battery_without_profile_has_no_stats(self):
+        (run,) = runner.run_battery(["fig3"], jobs=1)
+        assert run.stats is None
+
+    def test_run_battery_profile_attaches_engine_counters(self):
+        (run,) = runner.run_battery(["fig1"], jobs=1, profile=True)
+        assert run.stats is not None
+        # fig1 has no result cache, so it always simulates: the engine
+        # counters are non-trivial and the incremental recompute engages.
+        assert run.stats["events_processed"] > 0
+        assert run.stats["rate_recomputes"] > 0
+
+    def test_profile_counters_isolated_per_experiment(self):
+        runs = runner.run_battery(["fig1", "tab3"], jobs=1, profile=True)
+        by_key = {r.key: r.stats for r in runs}
+        # tab3 is far smaller than fig1; bleed-through would equalize them.
+        assert by_key["tab3"]["events_processed"] < by_key["fig1"]["events_processed"]
+
+    def test_profile_works_across_pool_workers(self):
+        serial = runner.run_battery(["fig1", "fig3"], jobs=1, profile=True)
+        parallel = runner.run_battery(["fig1", "fig3"], jobs=2, profile=True)
+        assert [r.stats for r in parallel] == [r.stats for r in serial]
+
+    def test_format_profile_table_shape(self):
+        runs = runner.run_battery(["fig1", "fig3"], jobs=1, profile=True)
+        table = runner.format_profile_table(runs)
+        lines = table.splitlines()
+        assert lines[0].startswith("experiment")
+        assert any(line.startswith("fig1") for line in lines)
+        assert lines[-1].startswith("total")
+
+    def test_main_profile_flag_prints_table(self, capsys):
+        assert runner.main(["fig3", "--profile"]) == 0
+        out = capsys.readouterr().out
+        assert "Engine profile (per experiment):" in out
+        assert "experiment" in out and "recomp" in out

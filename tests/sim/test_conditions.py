@@ -1,0 +1,206 @@
+"""Condition-event (AnyOf/AllOf) edge cases.
+
+Covers the constructor-time evaluation paths: empty iterables, members that
+are already triggered or already processed at creation time, and failed
+members (which the condition must defuse before propagating the failure).
+"""
+
+import pytest
+
+from repro.sim import Environment
+from repro.sim.events import ConditionValue
+
+
+class TestEmptyConditions:
+    def test_empty_any_of_triggers_immediately(self):
+        env = Environment()
+
+        def proc(env):
+            return (yield env.any_of([]))
+
+        p = env.process(proc(env))
+        env.run()
+        assert isinstance(p.value, ConditionValue)
+        assert len(p.value) == 0
+        assert env.now == 0.0
+
+    def test_empty_all_of_triggers_immediately(self):
+        env = Environment()
+
+        def proc(env):
+            return (yield env.all_of([]))
+
+        p = env.process(proc(env))
+        env.run()
+        assert len(p.value) == 0
+        assert env.now == 0.0
+
+    def test_empty_condition_from_generator_argument(self):
+        env = Environment()
+        cond = env.any_of(iter([]))
+        assert cond.triggered
+        env.run()
+        assert cond.processed
+
+
+class TestAlreadyTriggeredMembers:
+    def test_any_of_with_processed_member_fires_without_waiting(self):
+        env = Environment()
+        done = env.event()
+        done.succeed("ready")
+        env.run()  # process `done`
+        assert done.processed
+
+        def proc(env):
+            result = yield env.any_of([done, env.timeout(100)])
+            return result
+
+        p = env.process(proc(env))
+        env.run()
+        assert p.value[done] == "ready"
+        # The condition fired off the already-processed member, so the
+        # clock never had to reach the long timeout... but the queue still
+        # drains it.  The *decision* was made at t=0.
+        assert done in p.value
+
+    def test_triggered_but_unprocessed_member_does_not_count_early(self):
+        """A Timeout is triggered at creation yet must not satisfy AnyOf
+        before it is actually processed."""
+        env = Environment()
+        late = env.timeout(5, value="late")
+        early = env.timeout(1, value="early")
+        cond = env.any_of([late, early])
+        assert late.triggered and not late.processed
+        assert not cond.triggered
+
+        def proc(env):
+            return (yield cond)
+
+        p = env.process(proc(env))
+        env.run()
+        assert early in p.value and late not in p.value
+        assert p.value[early] == "early"
+
+    def test_all_of_mixing_processed_and_pending_members(self):
+        env = Environment()
+        first = env.event()
+        first.succeed(1)
+        env.run()
+
+        def proc(env):
+            return (yield env.all_of([first, env.timeout(3, value=2)]))
+
+        p = env.process(proc(env))
+        env.run()
+        assert env.now == 3.0
+        assert p.value.values() == [1, 2]
+
+    def test_condition_value_preserves_member_order(self):
+        env = Environment()
+        b = env.timeout(2, value="b")
+        a = env.timeout(1, value="a")
+
+        def proc(env):
+            return (yield env.all_of([b, a]))
+
+        p = env.process(proc(env))
+        env.run()
+        # Order follows the iterable passed in, not completion order.
+        assert p.value.keys() == [b, a]
+
+
+class TestFailedMembers:
+    def test_any_of_failed_member_propagates_and_defuses(self):
+        env = Environment()
+        bad = env.event()
+
+        def failer(env):
+            yield env.timeout(1)
+            bad.fail(RuntimeError("member down"))
+
+        env.process(failer(env))
+
+        def waiter(env):
+            try:
+                yield env.any_of([bad, env.timeout(10)])
+            except RuntimeError as exc:
+                return ("caught", str(exc))
+
+        p = env.process(waiter(env))
+        env.run()  # must not re-raise: the condition defused the member
+        assert p.value == ("caught", "member down")
+
+    def test_all_of_fails_fast_on_first_member_failure(self):
+        env = Environment()
+        bad = env.event()
+
+        def failer(env):
+            yield env.timeout(1)
+            bad.fail(ValueError("early failure"))
+
+        env.process(failer(env))
+
+        def waiter(env):
+            try:
+                yield env.all_of([env.timeout(5, value="slow"), bad])
+            except ValueError:
+                return env.now
+
+        p = env.process(waiter(env))
+        env.run()
+        # AllOf failed at t=1, without waiting for the slow member.
+        assert p.value == 1.0
+
+    def test_prefailed_defused_member_fails_condition_at_creation(self):
+        env = Environment()
+        bad = env.event()
+        bad.fail(KeyError("pre"))
+        bad.defuse()
+        env.run()
+        assert bad.processed
+
+        def waiter(env):
+            try:
+                yield env.any_of([bad, env.timeout(1)])
+            except KeyError:
+                return "caught"
+
+        p = env.process(waiter(env))
+        env.run()
+        assert p.value == "caught"
+
+    def test_member_failing_after_condition_fired_needs_own_defuse(self):
+        """A late failure is outside the condition's responsibility."""
+        env = Environment()
+        slow_bad = env.event()
+
+        def failer(env):
+            yield env.timeout(5)
+            slow_bad.fail(RuntimeError("late"))
+            slow_bad.defuse()  # nobody is listening anymore
+
+        env.process(failer(env))
+
+        def waiter(env):
+            return (yield env.any_of([env.timeout(1, value="fast"), slow_bad]))
+
+        p = env.process(waiter(env))
+        env.run()
+        assert "fast" in p.value.values()
+
+    def test_operator_composition_matches_constructors(self):
+        env = Environment()
+        a = env.timeout(1, value="a")
+        b = env.timeout(2, value="b")
+
+        def proc(env):
+            return (yield a | b)
+
+        def proc_all(env):
+            return (yield env.timeout(1, value="c") & env.timeout(2, value="d"))
+
+        p1 = env.process(proc(env))
+        p2 = env.process(proc_all(env))
+        env.run()
+        assert "a" in p1.value.values()
+        assert p2.value.values() == ["c", "d"]

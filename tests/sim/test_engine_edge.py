@@ -179,6 +179,103 @@ class TestEventEdges:
             env.schedule(ev, delay=-0.5)
 
 
+class TestTimeoutPooling:
+    """The Timeout free list must be invisible to user-observable behavior."""
+
+    def _churn(self, env, reps=50):
+        def proc(env):
+            for _ in range(reps):
+                yield env.timeout(1.0)
+
+        env.process(proc(env))
+        env.run()
+
+    def test_pool_is_fed_and_reused(self):
+        env = Environment()
+        self._churn(env)
+        assert env.stats.timeouts_pooled > 0
+        assert env.stats.timeouts_reused > 0
+
+    def test_event_ids_monotonic_across_pool_reuse(self):
+        """Recycled timeouts draw fresh eids; the sequence never resets."""
+        env = Environment()
+        observed = []
+
+        def proc(env):
+            for _ in range(200):
+                observed.append(env._eid)
+                yield env.timeout(1.0)
+
+        env.process(proc(env))
+        env.run()
+        assert env.stats.timeouts_reused > 0
+        assert observed == sorted(observed)
+        assert len(set(observed)) == len(observed)
+        # ids keep growing (plain int: no overflow, no wraparound)
+        assert env._eid >= 200
+
+    def test_pooled_timeout_carries_fresh_value(self):
+        env = Environment()
+        values = []
+
+        def proc(env):
+            for i in range(30):
+                values.append((yield env.timeout(1.0, value=i)))
+
+        env.process(proc(env))
+        env.run()
+        assert values == list(range(30))
+
+    def test_user_held_timeouts_never_recycled(self):
+        """A live reference keeps the instance out of the free list."""
+        env = Environment()
+        held = []
+
+        def proc(env):
+            for i in range(20):
+                t = env.timeout(1.0, value=i)
+                held.append(t)
+                yield t
+
+        env.process(proc(env))
+        env.run()
+        assert env.stats.timeouts_pooled == 0
+        assert [t.value for t in held] == list(range(20))
+
+    def test_peek_reports_pooled_timeout_schedule(self):
+        env = Environment()
+        self._churn(env, reps=5)
+        assert env.peek() == float("inf")
+        t = env.timeout(2.5)
+        # Whether or not t came from the pool, it is queued at now + delay.
+        assert env.peek() == env.now + 2.5
+        env.run()
+        assert t.processed
+
+    def test_negative_delay_fresh_timeout_names_event(self):
+        env = Environment()
+        with pytest.raises(ValueError, match=r"while scheduling <Timeout delay=-1\.5>"):
+            env.timeout(-1.5)
+
+    def test_negative_delay_pooled_timeout_names_event(self):
+        env = Environment()
+        self._churn(env)
+        assert env._timeout_pool
+        pool_size = len(env._timeout_pool)
+        with pytest.raises(ValueError, match=r"while scheduling <Timeout delay=-2\.0>"):
+            env.timeout(-2.0)
+        # The popped instance went back to the free list.
+        assert len(env._timeout_pool) == pool_size
+
+    def test_schedule_negative_delay_names_event(self):
+        env = Environment()
+        ev = env.event()
+        ev._ok = True
+        ev._value = None
+        with pytest.raises(ValueError, match=r"while scheduling <Event"):
+            env.schedule(ev, delay=-0.5)
+
+
 class TestProcessEdges:
     def test_process_finishing_instantly(self):
         env = Environment()
