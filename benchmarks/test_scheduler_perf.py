@@ -1,0 +1,182 @@
+"""Performance benchmarks for the Slate daemon's scheduling stack.
+
+Not a paper experiment — engineering guardrails for the trace→daemon→
+cluster path: per-launch scheduling cost is what bounds how long an
+arrival trace the evaluation can afford, so the waiting-queue, the
+rate-derivation memo, and the bounded-log knobs all get measured here.
+
+Two benches emit ``benchmarks/BENCH_scheduler.json`` (launches/sec and
+decisions/sec at 1k/10k/100k launches, plus cache hit rates), mirroring
+``BENCH_engine.json``; CI uploads it as a per-PR artifact.  Before/after
+numbers live in ``benchmarks/README.md``.
+"""
+
+from __future__ import annotations
+
+import json
+import random
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.config import CostModel, TITAN_XP
+from repro.gpu.device import SimulatedGPU
+from repro.gpu.occupancy import occupancy_cache_info, reset_occupancy_cache
+from repro.gpu.rates import rates_cache_info, reset_rates_cache
+from repro.kernels.registry import by_name
+from repro.sim import Environment
+from repro.slate.profiler import ProfileTable, offline_profile
+from repro.slate.scheduler import SlateScheduler, SlateTicket, WaitingQueue
+
+BENCH_JSON = Path(__file__).parent / "BENCH_scheduler.json"
+
+#: Complementary pair (compute-heavy + light) so corun decisions happen.
+BENCH_SPECS = ("BS", "RG")
+
+#: Arrival burst: enough standing queue to stress ordering, small enough
+#: that the pre-PR sort-on-submit baseline was still measurable at 100k.
+BURST = 2048
+
+
+def _queue_churn(n_tickets: int) -> float:
+    """Raw WaitingQueue ops/sec: push a random-priority stream, drain it."""
+    spec = by_name(BENCH_SPECS[0])
+    env = Environment()
+    rng = random.Random(1234)
+    tickets = [
+        SlateTicket(
+            spec=spec,
+            profile_key=spec.name,
+            done=env.event(),
+            enqueued_at=0.0,
+            priority=rng.randrange(8),
+        )
+        for _ in range(n_tickets)
+    ]
+    queue = WaitingQueue()
+    start = time.perf_counter()
+    for t in tickets:
+        queue.push(t)
+    while queue:
+        queue.pop()
+    return time.perf_counter() - start
+
+
+def _scheduler_churn(n_launches: int, burst: int = BURST):
+    """Drive the scheduler with a bursty launch stream until drained.
+
+    Submits ``burst`` tickets at a time (alternating a compute-heavy and a
+    light kernel, profiles preloaded so the Table-I corun path engages),
+    waits for the burst to drain, repeats.  Logs are bounded the way a
+    long-trace deployment would run (``log_limit=64``).
+    """
+    env = Environment()
+    costs = CostModel()
+    gpu = SimulatedGPU(env, TITAN_XP, costs, rate_trace_limit=64)
+    profiles = ProfileTable(TITAN_XP)
+    specs = [by_name(s) for s in BENCH_SPECS]
+    for spec in specs:
+        profiles.put(spec.name, offline_profile(spec, TITAN_XP, costs))
+    sched = SlateScheduler(
+        env, gpu, TITAN_XP, costs, profiles=profiles, log_limit=64
+    )
+
+    def submitter(env):
+        submitted = 0
+        while submitted < n_launches:
+            k = min(burst, n_launches - submitted)
+            last = None
+            for i in range(k):
+                spec = specs[(submitted + i) % len(specs)]
+                last = SlateTicket(
+                    spec=spec,
+                    profile_key=spec.name,
+                    done=env.event(),
+                    enqueued_at=env.now,
+                )
+                sched.submit(last)
+            submitted += k
+            yield last.done
+
+    env.process(submitter(env))
+    start = time.perf_counter()
+    env.run()
+    elapsed = time.perf_counter() - start
+    return env, sched, elapsed
+
+
+@pytest.fixture(scope="session")
+def scheduler_bench_json():
+    """Collect per-point records; write ``BENCH_scheduler.json`` at exit."""
+    records: dict[str, dict] = {}
+    yield records
+    if records:
+        BENCH_JSON.write_text(json.dumps(records, indent=2, sort_keys=True) + "\n")
+        print(f"\nscheduler throughput written to {BENCH_JSON}")
+
+
+def _record_point(records: dict, n: int, env, sched, elapsed: float) -> None:
+    stats = env.stats
+    memo = rates_cache_info()
+    occ = occupancy_cache_info()
+    records[f"scheduler_churn_{n}"] = {
+        "launches": n,
+        "seconds": round(elapsed, 4),
+        "launches_per_sec": round(n / elapsed),
+        "decisions": sched.decisions_total,
+        "decisions_per_sec": round(sched.decisions_total / elapsed),
+        "us_per_launch": round(elapsed / n * 1e6, 2),
+        "events": stats.events_processed,
+        "rate_memo_hits": stats.rate_memo_hits,
+        "rate_memo_misses": stats.rate_memo_misses,
+        "rate_memo_hit_rate": round(
+            memo["hits"] / max(1, memo["hits"] + memo["misses"]), 4
+        ),
+        "occupancy_cache_hits": occ["hits"],
+    }
+
+
+@pytest.mark.parametrize("n", [1_000, 10_000, 100_000])
+def test_scheduler_launch_throughput(n, scheduler_bench_json):
+    reset_rates_cache()
+    reset_occupancy_cache()
+    env, sched, elapsed = _scheduler_churn(n)
+    assert sched.solo_launches + sched.corun_launches == n
+    assert sched.waiting_count == 0 and sched.running_count == 0
+    assert sched.decisions_total >= n
+    # Bounded logs actually stay bounded.
+    assert len(sched.decision_log) <= 64 and len(sched.gpu.rate_trace) <= 64
+    # The repeated two-kernel mix should be carried by the rate memo.
+    memo = rates_cache_info()
+    assert memo["hits"] > memo["misses"]
+    _record_point(scheduler_bench_json, n, env, sched, elapsed)
+
+
+def test_per_launch_cost_subadditive(scheduler_bench_json):
+    """Per-launch cost must not grow with trace length (near-constant)."""
+    points = {
+        n: scheduler_bench_json.get(f"scheduler_churn_{n}") for n in (1_000, 100_000)
+    }
+    if not all(points.values()):
+        pytest.skip("throughput points did not run")
+    small, large = points[1_000], points[100_000]
+    # Sub-linear growth: 100x the launches must cost well under 100x the
+    # wall-clock of the 1k point (the pre-PR scheduler grew per-launch cost
+    # ~40% over this range; allow generous CI noise, catch regressions to
+    # quadratic behaviour).
+    assert large["seconds"] < 100 * small["seconds"] * 2.0
+    assert large["us_per_launch"] < small["us_per_launch"] * 2.0
+
+
+def test_queue_churn_throughput(scheduler_bench_json):
+    for n in (10_000, 100_000):
+        seconds = _queue_churn(n)
+        ops = 2 * n  # push + pop
+        scheduler_bench_json[f"queue_churn_{n}"] = {
+            "tickets": n,
+            "seconds": round(seconds, 4),
+            "ops_per_sec": round(ops / seconds),
+        }
+        # 100k push+pop in under a second even on slow CI runners.
+        assert seconds < (1.0 if n == 100_000 else 0.5)

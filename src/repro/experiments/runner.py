@@ -208,15 +208,25 @@ def _run_one_profiled(key: str) -> tuple[str, Any, float, dict[str, int]]:
     """Like :func:`_run_one`, also capturing engine counters for the run.
 
     The process-wide aggregate is reset before the experiment so the
-    snapshot afterwards is exactly this experiment's engine work.  Valid
-    under ``--jobs``: pool workers each own a per-process aggregate and run
-    one experiment at a time.
+    snapshot afterwards is exactly this experiment's engine work.  The
+    rate-derivation memo and occupancy caches are also cleared, so each
+    experiment's hit rates start cold and serial/parallel runs report
+    identical counters.  Valid under ``--jobs``: pool workers each own a
+    per-process aggregate and run one experiment at a time.
     """
+    from repro.gpu.occupancy import occupancy_cache_info, reset_occupancy_cache
+    from repro.gpu.rates import reset_rates_cache
     from repro.sim import aggregate_stats, reset_aggregate_stats
 
     reset_aggregate_stats()
+    reset_rates_cache()
+    reset_occupancy_cache()
     key, result, elapsed, _ = _run_one(key)
-    return key, result, elapsed, aggregate_stats().snapshot()
+    stats = aggregate_stats().snapshot()
+    occ = occupancy_cache_info()
+    stats["occupancy_cache_hits"] = occ["hits"]
+    stats["occupancy_cache_misses"] = occ["misses"]
+    return key, result, elapsed, stats
 
 
 def iter_battery(
@@ -248,17 +258,34 @@ def run_battery(
     return list(iter_battery(keys, jobs=jobs, profile=profile))
 
 
+def _hit_rate(hits: int, misses: int) -> str:
+    total = hits + misses
+    return f"{100.0 * hits / total:.0f}%" if total else "-"
+
+
 def format_profile_table(runs: Sequence[ExperimentRun]) -> str:
-    """Tabulate per-experiment engine counters (the ``--profile`` output)."""
+    """Tabulate per-experiment engine counters (the ``--profile`` output).
+
+    ``rmemo``/``rm%`` are the :func:`repro.gpu.rates.derive_rates` memo
+    hits and hit rate; ``occ%`` the occupancy-cache hit rate.
+    """
     header = (
         f"{'experiment':<14}{'events':>12}{'heap pk':>9}{'t/o reused':>12}"
-        f"{'recomp':>8}{'skip':>7}{'wfill':>7}{'hits':>7}{'wall s':>9}"
+        f"{'recomp':>8}{'skip':>7}{'wfill':>7}{'hits':>7}"
+        f"{'rmemo':>8}{'rm%':>6}{'occ%':>6}{'wall s':>9}"
     )
     lines = [header, "-" * len(header)]
-    totals = {"events": 0, "reused": 0, "recomp": 0, "skip": 0, "wfill": 0, "hits": 0}
+    totals = {
+        "events": 0, "reused": 0, "recomp": 0, "skip": 0, "wfill": 0,
+        "hits": 0, "rhits": 0, "rmiss": 0, "ohits": 0, "omiss": 0,
+    }
     wall = 0.0
     for run in runs:
         s = run.stats or {}
+        rhits = s.get("rate_memo_hits", 0)
+        rmiss = s.get("rate_memo_misses", 0)
+        ohits = s.get("occupancy_cache_hits", 0)
+        omiss = s.get("occupancy_cache_misses", 0)
         lines.append(
             f"{run.key:<14}{s.get('events_processed', 0):>12,}"
             f"{s.get('heap_peak', 0):>9,}"
@@ -267,6 +294,9 @@ def format_profile_table(runs: Sequence[ExperimentRun]) -> str:
             f"{s.get('rate_recomputes_skipped', 0):>7,}"
             f"{s.get('waterfill_calls', 0):>7,}"
             f"{s.get('waterfill_cache_hits', 0):>7,}"
+            f"{rhits:>8,}"
+            f"{_hit_rate(rhits, rmiss):>6}"
+            f"{_hit_rate(ohits, omiss):>6}"
             f"{run.elapsed:>9.2f}"
         )
         totals["events"] += s.get("events_processed", 0)
@@ -275,12 +305,18 @@ def format_profile_table(runs: Sequence[ExperimentRun]) -> str:
         totals["skip"] += s.get("rate_recomputes_skipped", 0)
         totals["wfill"] += s.get("waterfill_calls", 0)
         totals["hits"] += s.get("waterfill_cache_hits", 0)
+        totals["rhits"] += rhits
+        totals["rmiss"] += rmiss
+        totals["ohits"] += ohits
+        totals["omiss"] += omiss
         wall += run.elapsed
     lines.append("-" * len(header))
     lines.append(
         f"{'total':<14}{totals['events']:>12,}{'':>9}{totals['reused']:>12,}"
         f"{totals['recomp']:>8,}{totals['skip']:>7,}{totals['wfill']:>7,}"
-        f"{totals['hits']:>7,}{wall:>9.2f}"
+        f"{totals['hits']:>7,}{totals['rhits']:>8,}"
+        f"{_hit_rate(totals['rhits'], totals['rmiss']):>6}"
+        f"{_hit_rate(totals['ohits'], totals['omiss']):>6}{wall:>9.2f}"
     )
     return "\n".join(lines)
 

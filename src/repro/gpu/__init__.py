@@ -17,9 +17,23 @@ Two executors are provided:
   cross-validate the fluid model on small grids.
 """
 
-from repro.gpu.occupancy import BlockResources, OccupancyResult, occupancy
+from repro.gpu.occupancy import (
+    BlockResources,
+    OccupancyResult,
+    occupancy,
+    occupancy_cache_info,
+    reset_occupancy_cache,
+)
 from repro.gpu.memory import BandwidthArbiter, FlowDemand, waterfill
-from repro.gpu.rates import RateInput, RateOutput, SchedulingMode, derive_rates
+from repro.gpu.rates import (
+    RateInput,
+    RateOutput,
+    SchedulingMode,
+    configure_rates_cache,
+    derive_rates,
+    rates_cache_info,
+    reset_rates_cache,
+)
 from repro.gpu.cache import LocalityModel, dram_fraction, l2_pressure
 from repro.gpu.device import (
     ExecutionMode,
@@ -41,9 +55,14 @@ __all__ = [
     "RateOutput",
     "SchedulingMode",
     "SimulatedGPU",
+    "configure_rates_cache",
     "derive_rates",
     "dram_fraction",
     "l2_pressure",
     "occupancy",
+    "occupancy_cache_info",
+    "rates_cache_info",
+    "reset_occupancy_cache",
+    "reset_rates_cache",
     "waterfill",
 ]

@@ -35,13 +35,19 @@ from __future__ import annotations
 import enum
 import itertools
 import math
+from collections import deque as _deque
 from dataclasses import dataclass
 from typing import Optional, Sequence
 
 from repro.config import CostModel, DeviceConfig, TITAN_XP
 from repro.gpu.cache import ORDER_FACTORS, LocalityModel
 from repro.gpu.occupancy import BlockResources, occupancy
-from repro.gpu.rates import RateInput, SchedulingMode, derive_rates
+from repro.gpu.rates import (
+    RateInput,
+    SchedulingMode,
+    derive_rates,
+    rate_input_signature,
+)
 from repro.sim import Environment, Event
 
 __all__ = [
@@ -201,6 +207,10 @@ class KernelExecution:
         self._rates = _Rates()
         self._last_settle = gpu.env.now
         self._timer_gen = 0
+        #: (sm_ids, RateInput, memo signature) — every rate input except the
+        #: allocation is fixed at launch, so the tuple is rebuilt only when
+        #: ``sm_ids`` changes (resize/grow), not at every epoch boundary.
+        self._rate_cache: Optional[tuple] = None
         self._resize_target: tuple[int, ...] = sm_ids
         occ = occupancy(gpu.device, work.block)
         self.blocks_per_sm = occ.blocks_per_sm
@@ -245,13 +255,20 @@ class SimulatedGPU:
         env: Environment,
         device: DeviceConfig = TITAN_XP,
         costs: CostModel = CostModel(),
+        rate_trace_limit: Optional[int] = None,
     ) -> None:
         self.env = env
         self.device = device
         self.costs = costs
         self._running: dict[int, KernelExecution] = {}
+        #: Bound on the rate trace: ``None`` keeps every epoch sample, a
+        #: positive N keeps the last N, 0 disables sampling — long traces
+        #: cross millions of epoch boundaries.
+        self.rate_trace_limit = rate_trace_limit
         #: (time, {kernel name: blocks/s}) samples at every epoch boundary.
-        self.rate_trace: list[tuple[float, dict[str, float]]] = []
+        self.rate_trace: "list[tuple[float, dict[str, float]]] | _deque" = (
+            [] if rate_trace_limit is None else _deque(maxlen=rate_trace_limit)
+        )
         #: Rate-input signature of the last derive_rates call; epochs whose
         #: signature matches reuse the cached per-kernel rates.
         self._rate_signature: Optional[tuple] = None
@@ -391,6 +408,16 @@ class SimulatedGPU:
             order_factor=k.order_factor,
         )
 
+    def _rate_entry(self, k: KernelExecution) -> tuple:
+        """Cached ``(sm_ids, RateInput, signature)`` for one execution."""
+        cache = k._rate_cache
+        if cache is not None and cache[0] == k.sm_ids:
+            return cache
+        inp = self._rate_input(k)
+        entry = (k.sm_ids, inp, rate_input_signature(inp))
+        k._rate_cache = entry
+        return entry
+
     def _recompute(self) -> None:
         """Settle progress and re-derive all rates (epoch boundary).
 
@@ -405,19 +432,25 @@ class SimulatedGPU:
         self._settle_all()
         active = self.active_executions
         stats = self.env.stats
+        trace_on = self.rate_trace_limit != 0
         signature = tuple((k.id, k.sm_ids) for k in active)
         if signature == self._rate_signature:
             stats.rate_recomputes_skipped += 1
-            sample = {k.work.name: k._rates.rate for k in active}
-            for k in active:
-                self._schedule_completion(k)
+            # Rates are unchanged, so each kernel's live timer already
+            # points at the right absolute completion time — keep it
+            # instead of cancel-and-reschedule churn (an event allocation
+            # plus two heap operations per active kernel per epoch).
+            if trace_on:
+                sample = {k.work.name: k._rates.rate for k in active}
         else:
             stats.rate_recomputes += 1
+            entries = [self._rate_entry(k) for k in active]
             outputs = derive_rates(
-                [self._rate_input(k) for k in active],
+                [e[1] for e in entries],
                 self.device,
                 self.costs,
                 stats=stats,
+                signatures=tuple(e[2] for e in entries),
             )
             sample = {}
             for k in active:
@@ -432,7 +465,8 @@ class SimulatedGPU:
                 self._schedule_completion(k)
                 sample[k.work.name] = out.rate
             self._rate_signature = signature
-        self.rate_trace.append((self.env.now, sample))
+        if trace_on:
+            self.rate_trace.append((self.env.now, sample))
 
     def _settle_all(self) -> None:
         now = self.env.now

@@ -11,10 +11,20 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
+from functools import lru_cache
 
 from repro.config import DeviceConfig
 
-__all__ = ["BlockResources", "OccupancyReport", "OccupancyResult", "analyze", "occupancy", "occupancy_curve"]
+__all__ = [
+    "BlockResources",
+    "OccupancyReport",
+    "OccupancyResult",
+    "analyze",
+    "occupancy",
+    "occupancy_cache_info",
+    "occupancy_curve",
+    "reset_occupancy_cache",
+]
 
 
 @dataclass(frozen=True)
@@ -60,8 +70,15 @@ def _round_up(value: int, granularity: int) -> int:
     return ((value + granularity - 1) // granularity) * granularity
 
 
+@lru_cache(maxsize=1024)
 def occupancy(device: DeviceConfig, block: BlockResources) -> OccupancyResult:
     """Max resident blocks of ``block`` on one SM of ``device``.
+
+    Both arguments are frozen dataclasses and the computation is pure, so
+    results are ``lru_cache``d per ``(device, block)`` pair (the hot
+    callers — launch, dispatch, prediction, tuning — see the same handful
+    of pairs millions of times on long traces).  Unlaunchable blocks raise
+    and are deliberately never cached.
 
     Raises
     ------
@@ -121,12 +138,15 @@ class OccupancyReport:
     headroom_hint: str
 
 
+@lru_cache(maxsize=256)
 def analyze(device: DeviceConfig, block: BlockResources) -> OccupancyReport:
     """Occupancy report with per-resource limits and a tuning hint.
 
     The analogue of NVIDIA's occupancy calculator output: how many blocks
     each resource would allow on its own, which one binds, and what small
-    change would unlock more residency.
+    change would unlock more residency.  Cached like :func:`occupancy`;
+    treat the returned report (its ``limits`` dict in particular) as
+    read-only.
     """
     result = occupancy(device, block)
     warps_per_block = result.warps_per_block
@@ -167,6 +187,22 @@ def analyze(device: DeviceConfig, block: BlockResources) -> OccupancyReport:
         occupancy_fraction=result.occupancy_fraction(device),
         headroom_hint=hint,
     )
+
+
+def occupancy_cache_info() -> dict[str, int]:
+    """Combined cache counters for :func:`occupancy` and :func:`analyze`."""
+    occ, rep = occupancy.cache_info(), analyze.cache_info()
+    return {
+        "hits": occ.hits + rep.hits,
+        "misses": occ.misses + rep.misses,
+        "currsize": occ.currsize + rep.currsize,
+    }
+
+
+def reset_occupancy_cache() -> None:
+    """Drop both caches and zero their counters."""
+    occupancy.cache_clear()
+    analyze.cache_clear()
 
 
 def occupancy_curve(

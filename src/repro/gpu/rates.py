@@ -17,13 +17,24 @@ from __future__ import annotations
 
 import enum
 import math
+import os
+from collections import OrderedDict
 from dataclasses import dataclass
 
 from repro.config import CostModel, DeviceConfig
 from repro.gpu.cache import LocalityModel, dram_fraction, l2_pressure
 from repro.gpu.memory import FlowDemand, waterfill
 
-__all__ = ["SchedulingMode", "RateInput", "RateOutput", "derive_rates"]
+__all__ = [
+    "SchedulingMode",
+    "RateInput",
+    "RateOutput",
+    "derive_rates",
+    "configure_rates_cache",
+    "rate_input_signature",
+    "rates_cache_info",
+    "reset_rates_cache",
+]
 
 _EPS = 1e-12
 
@@ -84,18 +95,172 @@ def _block_time_unconstrained(inp: RateInput, device: DeviceConfig, costs: CostM
     return base + overhead
 
 
+class _RatesMemo:
+    """Bounded LRU memo over :func:`derive_rates`.
+
+    Long traces repeat the same co-run signatures endlessly (the same
+    kernels on the same SM splits), so the pure derivation is cached on the
+    *canonical* input tuple: each :class:`RateInput` with its opaque ``key``
+    replaced by its position, plus the device and cost-model fingerprints
+    (all frozen dataclasses, hence hashable).  Values are the per-position
+    :class:`RateOutput` tuple — frozen, so sharing cached instances is safe.
+    """
+
+    __slots__ = ("maxsize", "hits", "misses", "_data")
+
+    def __init__(self, maxsize: int = 4096) -> None:
+        self.maxsize = maxsize
+        self.hits = 0
+        self.misses = 0
+        self._data: OrderedDict = OrderedDict()
+
+    def get(self, key):
+        entry = self._data.get(key)
+        if entry is not None:
+            self._data.move_to_end(key)
+        return entry
+
+    def put(self, key, value) -> None:
+        data = self._data
+        data[key] = value
+        if len(data) > self.maxsize:
+            data.popitem(last=False)
+
+    def clear(self) -> None:
+        self._data.clear()
+        self.hits = 0
+        self.misses = 0
+
+    def invalidate(self) -> None:
+        """Drop entries but keep the hit/miss counters running."""
+        self._data.clear()
+
+    def __len__(self) -> int:
+        return len(self._data)
+
+
+_MEMO = _RatesMemo()
+
+#: Strong references to every device/cost-model object whose ``id`` appears
+#: in a memo key.  Hashing the full frozen dataclasses on every lookup is
+#: the dominant memo cost, so keys carry ``id(obj)`` instead — valid only
+#: while the object is pinned alive here.  Bounded: past ``_PIN_LIMIT``
+#: distinct objects the pins *and* the memo are dropped together, so a
+#: recycled id can never match a stale entry.
+_PINS: dict[int, object] = {}
+_PIN_LIMIT = 128
+
+
+def _pin(obj) -> int:
+    i = id(obj)
+    if i not in _PINS:
+        if len(_PINS) >= _PIN_LIMIT:
+            _PINS.clear()
+            _MEMO.invalidate()
+        _PINS[i] = obj
+    return i
+
+
+def configure_rates_cache(maxsize: int | None = 4096) -> None:
+    """Set the memo bound (entries). ``0``/``None`` disables memoization."""
+    _MEMO.maxsize = int(maxsize) if maxsize else 0
+    _MEMO.clear()
+
+
+def reset_rates_cache() -> None:
+    """Drop every memo entry and zero the hit/miss counters."""
+    _MEMO.clear()
+    _PINS.clear()
+
+
+def rates_cache_info() -> dict[str, int]:
+    """Module-wide memo counters: hits, misses, current and max size."""
+    return {
+        "hits": _MEMO.hits,
+        "misses": _MEMO.misses,
+        "currsize": len(_MEMO),
+        "maxsize": _MEMO.maxsize,
+    }
+
+
+def rate_input_signature(inp: RateInput) -> tuple:
+    """Flat hashable fingerprint of one input, with its opaque ``key`` dropped.
+
+    Locality is flattened to its scalar fields so memo lookups hash plain
+    numbers, never dataclasses.  Callers that rebuild the same
+    :class:`RateInput` every epoch (the device does) can cache this tuple
+    and pass it to :func:`derive_rates` via ``signatures``.
+    """
+    loc = inp.locality
+    return (
+        inp.flops_per_block,
+        inp.bytes_per_block,
+        loc.reuse_fraction,
+        loc.order_sensitivity,
+        loc.footprint,
+        inp.dram_efficiency,
+        inp.min_block_time,
+        inp.mode is SchedulingMode.SLATE,
+        inp.blocks_per_sm,
+        inp.n_sms,
+        inp.parallelism,
+        inp.task_size,
+        inp.inject_frac,
+        inp.order_factor,
+    )
+
+
 def derive_rates(
     inputs: list[RateInput],
     device: DeviceConfig,
     costs: CostModel,
     stats=None,
+    signatures: tuple | None = None,
 ) -> dict[object, RateOutput]:
     """Derive every kernel's rate given the full co-residency picture.
 
+    The derivation is pure, so results are memoized on the canonical input
+    signature (see :class:`_RatesMemo`); set ``REPRO_NO_CACHE=1`` or call
+    :func:`configure_rates_cache` with ``0`` to force full derivations.
+
+    ``signatures`` (optional) is the precomputed
+    ``tuple(rate_input_signature(i) for i in inputs)`` — hot callers cache
+    the per-input tuples to keep the memo lookup allocation-free.  The
+    device and cost model enter the key by *identity* (see ``_PINS``), so
+    equal-valued but distinct config objects miss, never corrupt.
+
     ``stats`` (optional) is an :class:`repro.sim.engine.EnvironmentStats`;
-    when given, the two water-filling passes below are counted in its
-    ``waterfill_calls`` field.
+    when given, memo hits and misses are counted in its ``rate_memo_hits``
+    / ``rate_memo_misses`` fields and (on a miss) the two water-filling
+    passes below in its ``waterfill_calls`` field.  A memo hit performs no
+    water-filling, so ``waterfill_calls`` stays put on hits.
     """
+    memo = _MEMO
+    if memo.maxsize and not os.environ.get("REPRO_NO_CACHE"):
+        if signatures is None:
+            signatures = tuple(rate_input_signature(i) for i in inputs)
+        key = (signatures, _pin(device), _pin(costs))
+        cached = memo.get(key)
+        if cached is not None:
+            memo.hits += 1
+            if stats is not None:
+                stats.rate_memo_hits += 1
+            return {inp.key: out for inp, out in zip(inputs, cached)}
+        memo.misses += 1
+        if stats is not None:
+            stats.rate_memo_misses += 1
+        outputs = _derive_rates_uncached(inputs, device, costs, stats)
+        memo.put(key, tuple(outputs[inp.key] for inp in inputs))
+        return outputs
+    return _derive_rates_uncached(inputs, device, costs, stats)
+
+
+def _derive_rates_uncached(
+    inputs: list[RateInput],
+    device: DeviceConfig,
+    costs: CostModel,
+    stats=None,
+) -> dict[object, RateOutput]:
     if stats is not None:
         stats.waterfill_calls += 2
     total_footprint = sum(i.locality.footprint for i in inputs)

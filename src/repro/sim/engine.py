@@ -94,6 +94,11 @@ class EnvironmentStats:
     waterfill_calls / waterfill_cache_hits:
         :class:`~repro.gpu.memory.BandwidthArbiter` recomputations vs.
         allocations served from its demand-keyed cache.
+    rate_memo_hits / rate_memo_misses:
+        :func:`~repro.gpu.rates.derive_rates` calls served from the
+        co-run-signature memo vs. full derivations (only calls that were
+        handed a stats object are counted here; the module-level
+        :func:`~repro.gpu.rates.rates_cache_info` counts every call).
     """
 
     __slots__ = (
@@ -105,6 +110,8 @@ class EnvironmentStats:
         "rate_recomputes_skipped",
         "waterfill_calls",
         "waterfill_cache_hits",
+        "rate_memo_hits",
+        "rate_memo_misses",
     )
 
     _FIELDS = (
@@ -116,6 +123,8 @@ class EnvironmentStats:
         "rate_recomputes_skipped",
         "waterfill_calls",
         "waterfill_cache_hits",
+        "rate_memo_hits",
+        "rate_memo_misses",
     )
 
     def __init__(self) -> None:

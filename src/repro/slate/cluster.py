@@ -54,6 +54,7 @@ class SlateCluster:
         costs: CostModel = CostModel(),
         policy: PolicyTable = DEFAULT_POLICY,
         placement: str = "class-aware",
+        **runtime_kwargs,
     ) -> None:
         if num_devices < 1:
             raise ValueError("num_devices must be >= 1")
@@ -65,9 +66,18 @@ class SlateCluster:
         self.placement = placement
         self.policy = policy
         self.device = device
+        #: Extra per-daemon knobs (e.g. ``log_limit``/``rate_trace_limit``
+        #: for streamed million-launch traces) forwarded verbatim.
         self._devices = [
             _DeviceState(
-                runtime=SlateRuntime(env, device=device, host=host, costs=costs, policy=policy)
+                runtime=SlateRuntime(
+                    env,
+                    device=device,
+                    host=host,
+                    costs=costs,
+                    policy=policy,
+                    **runtime_kwargs,
+                )
             )
             for _ in range(num_devices)
         ]
@@ -81,11 +91,42 @@ class SlateCluster:
     def num_devices(self) -> int:
         return len(self._devices)
 
+    @property
+    def costs(self) -> CostModel:
+        """The per-daemon cost model (uniform across devices)."""
+        return self._devices[0].runtime.costs
+
     def runtime(self, index: int) -> SlateRuntime:
         return self._devices[index].runtime
 
     def load(self, index: int) -> int:
         return len(self._devices[index].residents)
+
+    def scheduler_stats(self) -> dict[str, int]:
+        """Cluster-wide scheduler counters, summed across devices.
+
+        Cheap to call mid-replay (O(num_devices) counter reads): the
+        streaming trace replayer samples this for progress reporting.
+        """
+        totals = {
+            "decisions": 0,
+            "solo_launches": 0,
+            "corun_launches": 0,
+            "resizes": 0,
+            "preemptions": 0,
+            "waiting": 0,
+            "running": 0,
+        }
+        for state in self._devices:
+            sched = state.runtime.scheduler
+            totals["decisions"] += sched.decisions_total
+            totals["solo_launches"] += sched.solo_launches
+            totals["corun_launches"] += sched.corun_launches
+            totals["resizes"] += sched.resizes
+            totals["preemptions"] += sched.preemptions
+            totals["waiting"] += sched.waiting_count
+            totals["running"] += sched.running_count
+        return totals
 
     # -- placement -----------------------------------------------------------
 

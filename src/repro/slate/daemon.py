@@ -230,11 +230,13 @@ class SlateRuntime:
         classification_basis: str = "device",
         profile_refresh: float = 0.0,
         monitor_interval: float | None = None,
+        log_limit: int | None = None,
+        rate_trace_limit: int | None = None,
     ) -> None:
         self.env = env
         self.device = device
         self.costs = costs
-        self.gpu = SimulatedGPU(env, device, costs)
+        self.gpu = SimulatedGPU(env, device, costs, rate_trace_limit=rate_trace_limit)
         self.pcie = PcieLink(env, host)
         self.memory = DeviceMemoryManager(device.dram_capacity)
         self.server_context = CudaContext(self.memory, owner="slate-daemon")
@@ -252,6 +254,7 @@ class SlateRuntime:
             enable_preemption=enable_preemption,
             max_corun=max_corun,
             profile_refresh=profile_refresh,
+            log_limit=log_limit,
         )
         #: Scanned + injected sources by kernel name (the code cache).
         self.injected_sources: dict[str, str] = {}

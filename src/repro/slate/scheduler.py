@@ -18,8 +18,10 @@ first-run profiling pass); their counters populate the profile table.
 from __future__ import annotations
 
 import itertools
+from collections import deque
 from dataclasses import dataclass, field
-from typing import Hashable, Optional
+from heapq import heappop, heappush
+from typing import Hashable, Iterator, Optional
 
 from repro.config import CostModel, DeviceConfig, TITAN_XP
 from repro.gpu.device import ExecutionMode, KernelCounters, KernelExecution, SimulatedGPU
@@ -29,7 +31,14 @@ from repro.slate.policy import DEFAULT_POLICY, PolicyTable
 from repro.slate.profiler import KernelProfile, ProfileTable
 from repro.sim import Environment, Event
 
-__all__ = ["Decision", "SlateScheduler", "SlateTicket", "DEFAULT_TASK_SIZE", "SLATE_INJECT_FRAC"]
+__all__ = [
+    "Decision",
+    "SlateScheduler",
+    "SlateTicket",
+    "WaitingQueue",
+    "DEFAULT_TASK_SIZE",
+    "SLATE_INJECT_FRAC",
+]
 
 #: The paper's default task size ("We set the default task size as 10
 #: blocks", §V-B).
@@ -91,6 +100,49 @@ class _Running:
     sms: tuple[int, ...]
 
 
+class WaitingQueue:
+    """The scheduler's waiting queue: a priority heap with FIFO tie-break.
+
+    Ordering contract (identical to the list-sort it replaced): tickets
+    drain highest ``priority`` first, and FIFO by submission ``seq`` within
+    a priority level.  ``seq`` is unique per ticket, so the heap key
+    ``(-priority, seq)`` is a total order and tickets themselves are never
+    compared.  A ticket's priority is captured at :meth:`push` time —
+    mutating it while queued does not reorder the queue.
+
+    Every consumer goes through :meth:`peek`/:meth:`pop`; there is no way
+    to bypass the ordering invariant (the scheduler holds no raw list).
+    Push and pop are O(log n), peek and len O(1) — on a million-launch
+    trace the old sort-on-submit plus ``pop(0)`` was the daemon's dominant
+    cost.
+    """
+
+    __slots__ = ("_heap",)
+
+    def __init__(self) -> None:
+        self._heap: list[tuple[tuple[int, int], SlateTicket]] = []
+
+    def push(self, ticket: SlateTicket) -> None:
+        heappush(self._heap, ((-ticket.priority, ticket.seq), ticket))
+
+    def peek(self) -> SlateTicket:
+        """The next ticket to drain, without removing it."""
+        return self._heap[0][1]
+
+    def pop(self) -> SlateTicket:
+        return heappop(self._heap)[1]
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+    def __bool__(self) -> bool:
+        return bool(self._heap)
+
+    def __iter__(self) -> Iterator[SlateTicket]:
+        """Tickets in drain order (non-destructive; for tests/diagnostics)."""
+        return (ticket for _key, ticket in sorted(self._heap))
+
+
 class SlateScheduler:
     """Workload-aware scheduler bound to one simulated device."""
 
@@ -107,6 +159,7 @@ class SlateScheduler:
         enable_preemption: bool = False,
         max_corun: int = 2,
         profile_refresh: float = 0.0,
+        log_limit: Optional[int] = None,
     ) -> None:
         if partition_strategy not in ("heuristic", "predictive", "even"):
             raise ValueError(f"unknown partition strategy {partition_strategy!r}")
@@ -137,16 +190,27 @@ class SlateScheduler:
         self._preempted: list[_Running] = []
         self.preemptions = 0
         self.profiles = profiles if profiles is not None else ProfileTable(device)
-        self._waiting: list[SlateTicket] = []
+        self._queue = WaitingQueue()
         self._running: list[_Running] = []
         # Statistics for the evaluation.
         self.corun_launches = 0
         self.solo_launches = 0
         self.resizes = 0
-        self.decision_log: list[Decision] = []
+        #: Bound on the decision/allocation logs: ``None`` keeps full
+        #: history (paper experiments), a positive N keeps the last N
+        #: entries, and 0 disables logging entirely — million-launch
+        #: traces would otherwise hold gigabytes of Decision records.
+        self.log_limit = log_limit
+        #: Total decisions ever made (survives log truncation).
+        self.decisions_total = 0
+        self.decision_log: "list[Decision] | deque[Decision]" = (
+            [] if log_limit is None else deque(maxlen=log_limit)
+        )
         #: (time, {kernel name: (sm_low, sm_high)}) after every allocation
         #: change — the input to the timeline renderer.
-        self.allocation_log: list[tuple[float, dict[str, tuple[int, int]]]] = []
+        self.allocation_log: "list | deque" = (
+            [] if log_limit is None else deque(maxlen=log_limit)
+        )
 
     @property
     def decisions(self) -> list[tuple[float, str]]:
@@ -154,6 +218,9 @@ class SlateScheduler:
         return [(d.time, d.kind) for d in self.decision_log]
 
     def _decide(self, kind, ticket, classes=(), sms=0, reason="") -> None:
+        self.decisions_total += 1
+        if self.log_limit == 0:
+            return
         self.decision_log.append(
             Decision(
                 time=self.env.now,
@@ -167,9 +234,11 @@ class SlateScheduler:
 
     def explain(self, last: int = 20) -> str:
         """Human-readable tail of the decision log."""
-        return "\n".join(d.describe() for d in self.decision_log[-last:])
+        return "\n".join(d.describe() for d in list(self.decision_log)[-last:])
 
     def _log_allocation(self) -> None:
+        if self.log_limit == 0:
+            return
         snapshot = {
             r.ticket.spec.name: (min(r.sms), max(r.sms)) for r in self._running
         }
@@ -179,9 +248,9 @@ class SlateScheduler:
 
     def submit(self, ticket: SlateTicket) -> None:
         """Accept a launch request and re-evaluate the schedule."""
-        self._waiting.append(ticket)
-        # Highest priority first; FIFO within a priority level.
-        self._waiting.sort(key=lambda t: (-t.priority, t.seq))
+        # Highest priority first; FIFO within a priority level (the
+        # WaitingQueue ordering contract).
+        self._queue.push(ticket)
         if self.enable_preemption:
             self._maybe_preempt()
         self._try_schedule()
@@ -195,9 +264,9 @@ class SlateScheduler:
         drain their current tasks, progress stays in ``slateIdx``, and the
         kernel resumes on the freed device once the VIP completes.
         """
-        if not self._waiting or not self._running:
+        if not self._queue or not self._running:
             return
-        head = self._waiting[0]
+        head = self._queue.peek()
         victim = min(self._running, key=lambda r: r.ticket.priority)
         if head.priority <= victim.ticket.priority:
             return
@@ -236,7 +305,12 @@ class SlateScheduler:
 
     @property
     def waiting_count(self) -> int:
-        return len(self._waiting)
+        return len(self._queue)
+
+    @property
+    def waiting(self) -> "WaitingQueue":
+        """The waiting queue (read via peek/iteration; submit to add)."""
+        return self._queue
 
     def running_sms(self) -> dict[str, tuple[int, ...]]:
         """Current kernel -> SM-set assignment (for tests/diagnostics)."""
@@ -259,10 +333,15 @@ class SlateScheduler:
         entry = _Running(ticket=ticket, handle=handle, sms=sms)
         self._running.append(entry)
         self._log_allocation()
-        self.env.process(self._await_completion(entry))
+        # Completion is handled by a plain event callback, not a spawned
+        # process: a per-launch Process costs an object, a generator frame,
+        # and an initialisation event — at trace scale that machinery is
+        # pure overhead for a one-shot wait.
+        handle.done.callbacks.append(
+            lambda ev, entry=entry: self._on_kernel_done(entry, ev._value)
+        )
 
-    def _await_completion(self, entry: _Running):
-        counters = yield entry.handle.done
+    def _on_kernel_done(self, entry: _Running, counters) -> None:
         entry.ticket.counters = counters
         if entry.ticket.profile_key not in self.profiles:
             self.profiles.record_run(entry.ticket.profile_key, counters)
@@ -328,7 +407,7 @@ class SlateScheduler:
         sms_at_schedule = survivor.sms
         yield self.env.timeout(self.costs.grow_grace)
         still_running = len(self._running) == 1 and self._running[0] is survivor
-        if not still_running or self._waiting or survivor.sms != sms_at_schedule:
+        if not still_running or self._queue or survivor.sms != sms_at_schedule:
             return
         all_sms = self.gpu.all_sms()
         survivor.sms = all_sms
@@ -338,20 +417,20 @@ class SlateScheduler:
 
     def _rebalance_after_grace(self, survivor_count: int):
         yield self.env.timeout(self.costs.grow_grace)
-        if len(self._running) != survivor_count or self._waiting:
+        if len(self._running) != survivor_count or self._queue:
             return
         covered = sum(len(r.sms) for r in self._running)
         if covered < self.device.num_sms:
             self._rebalance_survivors()
 
     def _can_schedule_more(self) -> bool:
-        if not self._waiting:
+        if not self._queue:
             return False
         if not self._running:
             return True
         if len(self._running) >= self.max_corun:
             return False
-        head = self._waiting[0]
+        head = self._queue.peek()
         head_profile = self._profile_of(head)
         if head_profile is None:
             return False
@@ -473,12 +552,11 @@ class SlateScheduler:
         self._log_allocation()
 
     def _try_schedule(self) -> None:
-        while self._waiting:
-            head = self._waiting[0]
+        while self._queue:
             if not self._running:
                 # Idle device: run on all SMs (solo, §III-B1 case b) — also
                 # the first-run profiling path when no profile exists.
-                self._waiting.pop(0)
+                head = self._queue.pop()
                 head.profiling_run = head.profile_key not in self.profiles
                 self.solo_launches += 1
                 profile = self._profile_of(head)
@@ -495,7 +573,7 @@ class SlateScheduler:
                 return
             # Corun: partition the device between the running kernel(s) and
             # the newcomer (§III-B1 case a).
-            self._waiting.pop(0)
+            head = self._queue.pop()
             if len(self._running) > 1:
                 self._admit_nway(head)
                 continue

@@ -1,0 +1,167 @@
+"""The rate-derivation memo: cached results must be indistinguishable.
+
+``derive_rates`` is pure, so memoized and uncached calls must agree
+exactly — on single kernels, on fig7-style co-run pairings, and across
+cache-key canonicalization (per-kernel keys are positionised, so renaming
+a kernel still hits).  The knobs (``REPRO_NO_CACHE``, maxsize 0) must
+force full derivations, and long runs must actually *hit* (>50% on the
+fig7 grid).
+"""
+
+import pytest
+
+from repro.config import TITAN_XP, CostModel
+from repro.gpu.cache import LocalityModel
+from repro.gpu.occupancy import (
+    BlockResources,
+    occupancy,
+    occupancy_cache_info,
+    reset_occupancy_cache,
+)
+from repro.gpu.rates import (
+    RateInput,
+    SchedulingMode,
+    configure_rates_cache,
+    derive_rates,
+    rates_cache_info,
+    reset_rates_cache,
+)
+
+
+@pytest.fixture(autouse=True)
+def fresh_cache():
+    reset_rates_cache()
+    yield
+    configure_rates_cache(4096)
+
+
+def make_input(key="k", flops=1e6, bytes_pb=0.0, n_sms=30, **kw):
+    defaults = dict(
+        locality=LocalityModel(),
+        dram_efficiency=1.0,
+        min_block_time=0.0,
+        inject_frac=0.0,
+        order_factor=1.0,
+        mode=SchedulingMode.HARDWARE,
+        blocks_per_sm=16,
+        task_size=1,
+    )
+    defaults.update(kw)
+    defaults.setdefault("parallelism", defaults["blocks_per_sm"] * n_sms)
+    return RateInput(
+        key=key, flops_per_block=flops, bytes_per_block=bytes_pb, n_sms=n_sms, **defaults
+    )
+
+
+def corun_pairs():
+    """Fig-7-style co-run grid: compute-heavy × memory-heavy splits."""
+    pairs = []
+    for split in (10, 15, 20):
+        heavy = make_input(
+            "heavy", flops=4e6, bytes_pb=3e6, n_sms=split,
+            locality=LocalityModel(reuse_fraction=0.3, footprint=1e6),
+            parallelism=16 * split,
+        )
+        light = make_input(
+            "light", flops=2e6, bytes_pb=0.2e6, n_sms=30 - split,
+            parallelism=16 * (30 - split),
+        )
+        pairs.append([heavy, light])
+    return pairs
+
+
+class TestMemoEquivalence:
+    def test_memoized_equals_uncached_on_pairings(self, monkeypatch):
+        costs = CostModel()
+        uncached = []
+        monkeypatch.setenv("REPRO_NO_CACHE", "1")
+        for pair in corun_pairs():
+            uncached.append(derive_rates(pair, TITAN_XP, costs))
+        monkeypatch.delenv("REPRO_NO_CACHE")
+        # Two passes: the first populates, the second must hit.
+        for _ in range(2):
+            for pair, expect in zip(corun_pairs(), uncached):
+                assert derive_rates(pair, TITAN_XP, costs) == expect
+        info = rates_cache_info()
+        assert info["misses"] == 3
+        assert info["hits"] == 3
+
+    def test_keys_are_positionised(self):
+        """Renamed kernels with identical physics share one memo entry."""
+        costs = CostModel()
+        a = derive_rates([make_input("alpha")], TITAN_XP, costs)
+        b = derive_rates([make_input("beta")], TITAN_XP, costs)
+        assert a["alpha"] == b["beta"]
+        info = rates_cache_info()
+        assert (info["hits"], info["misses"]) == (1, 1)
+
+    def test_distinct_cost_models_do_not_collide(self):
+        """Equal-valued configs may miss; different-valued must differ."""
+        inp = [make_input(task_size=4, mode=SchedulingMode.SLATE)]
+        out1 = derive_rates(inp, TITAN_XP, CostModel())
+        out2 = derive_rates(inp, TITAN_XP, CostModel(atomic_latency=5e-6))
+        assert out1["k"].block_time != out2["k"].block_time
+
+
+class TestMemoKnobs:
+    def test_env_var_bypasses(self, monkeypatch):
+        monkeypatch.setenv("REPRO_NO_CACHE", "1")
+        costs = CostModel()
+        for _ in range(3):
+            derive_rates([make_input()], TITAN_XP, costs)
+        info = rates_cache_info()
+        assert info["hits"] == 0 and info["misses"] == 0 and info["currsize"] == 0
+
+    def test_maxsize_zero_disables(self):
+        configure_rates_cache(0)
+        costs = CostModel()
+        for _ in range(3):
+            derive_rates([make_input()], TITAN_XP, costs)
+        info = rates_cache_info()
+        assert info["hits"] == 0 and info["currsize"] == 0
+
+    def test_lru_evicts_oldest_at_maxsize(self):
+        configure_rates_cache(2)
+        costs = CostModel()
+        a, b, c = make_input(flops=1e6), make_input(flops=2e6), make_input(flops=3e6)
+        derive_rates([a], TITAN_XP, costs)  # miss
+        derive_rates([b], TITAN_XP, costs)  # miss
+        derive_rates([a], TITAN_XP, costs)  # hit; a now most-recent
+        derive_rates([c], TITAN_XP, costs)  # miss; evicts b
+        derive_rates([b], TITAN_XP, costs)  # miss again
+        info = rates_cache_info()
+        assert info["hits"] == 1
+        assert info["misses"] == 4
+        assert info["currsize"] == 2
+
+
+class TestOccupancyCache:
+    def test_hit_counters_advance(self):
+        reset_occupancy_cache()
+        block = BlockResources(threads_per_block=256, registers_per_thread=32)
+        occupancy(TITAN_XP, block)
+        occupancy(TITAN_XP, block)
+        info = occupancy_cache_info()
+        assert info["misses"] >= 1
+        assert info["hits"] >= 1
+
+    def test_unlaunchable_block_still_raises_every_time(self):
+        reset_occupancy_cache()
+        block = BlockResources(threads_per_block=2048, registers_per_thread=32)
+        for _ in range(2):
+            with pytest.raises(ValueError):
+                occupancy(TITAN_XP, block)
+
+
+class TestBatteryHitRate:
+    def test_fig7_memo_hit_rate_above_half(self, monkeypatch, tmp_path):
+        """The fig7 grid re-derives the same signatures constantly."""
+        from repro.experiments.runner import run_battery
+
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+        monkeypatch.delenv("REPRO_NO_CACHE", raising=False)
+        (run,) = run_battery(["fig7"], profile=True)
+        hits = run.stats["rate_memo_hits"]
+        misses = run.stats["rate_memo_misses"]
+        assert hits + misses > 0
+        assert hits / (hits + misses) > 0.5
