@@ -11,6 +11,7 @@ pair         Run one application pairing under all three runtimes.
 report       Write a consolidated REPORT.md across all experiments.
 trace        Replay an arrival trace and render the SM timeline.
 tune         Predicted task-size sweep for a benchmark kernel.
+obs          Observability: dump the metrics registry, validate traces.
 """
 
 from __future__ import annotations
@@ -23,11 +24,28 @@ def _cmd_experiments(args: argparse.Namespace) -> int:
     from repro.experiments.runner import main as runner_main
 
     argv = list(args.keys or [])
-    if args.jobs != 1:
-        argv += ["--jobs", str(args.jobs)]
+    jobs = args.jobs
+    if args.trace and jobs != 1:
+        print(
+            "note: --trace forces --jobs 1 (the trace sink is per-process)",
+            file=sys.stderr,
+        )
+        jobs = 1
+    if jobs != 1:
+        argv += ["--jobs", str(jobs)]
     if args.profile:
         argv.append("--profile")
-    return runner_main(argv)
+    if not args.trace:
+        return runner_main(argv)
+    from repro.obs import trace as obs_trace
+    from repro.obs.export import run_metadata, write_chrome_trace
+
+    meta = run_metadata(experiments=args.keys or ["all"])
+    with obs_trace.capture(metadata=meta) as sink:
+        rc = runner_main(argv)
+    write_chrome_trace(args.trace, sink)
+    print(f"perfetto trace written to {args.trace} ({len(sink)} events)")
+    return rc
 
 
 def _cmd_ablations(_args: argparse.Namespace) -> int:
@@ -104,17 +122,54 @@ def _cmd_occupancy(args: argparse.Namespace) -> int:
     return 0
 
 
+_EXPORT_FORMATS = ("perfetto", "chrome", "jsonl")
+
+
+def _trace_export(fmt: str, path: str, sink) -> None:
+    """Write ``sink`` to ``path`` in the requested ``--export`` format."""
+    from repro.obs.export import write_chrome_trace, write_jsonl
+
+    if fmt == "jsonl":
+        write_jsonl(path, sink)
+    else:  # perfetto / chrome share the trace-event JSON format
+        write_chrome_trace(path, sink)
+    print(f"{fmt} trace written to {path} ({len(sink)} events)")
+
+
 def _cmd_trace(args: argparse.Namespace) -> int:
     import json
 
     from repro.metrics.timeline import render_timeline, to_chrome_trace
     from repro.metrics.utilization import summarize_utilization
+    from repro.obs import trace as obs_trace
+    from repro.obs.export import run_metadata
     from repro.workloads.trace import (
         generate_bursty_trace,
         generate_heavy_tailed_trace,
         generate_trace,
         replay_trace,
     )
+
+    export = args.export
+    if export is not None and export[0] not in _EXPORT_FORMATS:
+        print(
+            f"error: unknown export format {export[0]!r} "
+            f"(choose from {', '.join(_EXPORT_FORMATS)})",
+            file=sys.stderr,
+        )
+        return 2
+    meta = run_metadata(
+        seed=args.seed, pattern=args.pattern, runtime=args.runtime, apps=args.apps
+    )
+    if args.apps <= 0:
+        # Degenerate trace: nothing arrives, nothing runs.  Still a valid
+        # request — print the empty timeline and write a valid (empty)
+        # export rather than crashing in the generators.
+        print(f"{args.pattern} trace, 0 tenants, seed {args.seed}:")
+        print("(empty timeline)")
+        if export is not None:
+            _trace_export(export[0], export[1], obs_trace.TraceSink(metadata=meta))
+        return 0
 
     generators = {
         "poisson": lambda: generate_trace(args.apps, seed=args.seed),
@@ -127,7 +182,12 @@ def _cmd_trace(args: argparse.Namespace) -> int:
     print(f"{args.pattern} trace, {len(trace)} tenants, seed {args.seed}:")
     for entry in trace:
         print(f"  t={entry.arrival * 1e3:8.2f} ms  {entry.app.name} x{entry.app.reps}")
-    results, runtime = replay_trace(args.runtime, trace)
+    if export is not None:
+        with obs_trace.capture(metadata=meta) as sink:
+            results, runtime = replay_trace(args.runtime, trace)
+    else:
+        sink = None
+        results, runtime = replay_trace(args.runtime, trace)
     makespan = max(r.end for r in results.values())
     print(f"\n{args.runtime}: makespan {makespan * 1e3:.1f} ms")
     if hasattr(runtime, "scheduler"):
@@ -142,6 +202,26 @@ def _cmd_trace(args: argparse.Namespace) -> int:
             with open(args.chrome, "w") as fh:
                 json.dump(to_chrome_trace(log), fh)
             print(f"chrome trace written to {args.chrome}")
+    if sink is not None:
+        _trace_export(export[0], export[1], sink)
+    return 0
+
+
+def _cmd_obs(args: argparse.Namespace) -> int:
+    if args.obs_command == "dump":
+        from repro.obs.registry import registry
+
+        print(registry().to_json())
+        return 0
+    from repro.obs.validate import validate_file
+
+    problems = validate_file(args.file)
+    if problems:
+        for problem in problems:
+            print(problem, file=sys.stderr)
+        print(f"{args.file}: {len(problems)} problem(s)", file=sys.stderr)
+        return 1
+    print(f"{args.file}: valid trace-event JSON")
     return 0
 
 
@@ -224,6 +304,14 @@ def build_parser() -> argparse.ArgumentParser:
         "--profile", action="store_true",
         help="print per-experiment engine counters (events, recomputes, wall-clock)",
     )
+    p.add_argument(
+        "--trace", metavar="PATH",
+        help=(
+            "capture structured tracing across the battery and write a "
+            "Perfetto/chrome://tracing JSON here (forces --jobs 1; cached "
+            "experiments produce no events — use REPRO_NO_CACHE=1)"
+        ),
+    )
     p.set_defaults(func=_cmd_experiments)
 
     p = sub.add_parser("ablations", help="run the ablation battery")
@@ -252,7 +340,17 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--pattern", choices=["poisson", "bursty", "heavy-tailed"], default="poisson")
     p.add_argument("--apps", type=int, default=6)
     p.add_argument("--seed", type=int, default=0)
-    p.add_argument("--chrome", help="write a chrome://tracing JSON here")
+    p.add_argument(
+        "--chrome",
+        help="write a chrome://tracing JSON of the allocation log here (legacy)",
+    )
+    p.add_argument(
+        "--export", nargs=2, metavar=("FORMAT", "PATH"),
+        help=(
+            "capture structured tracing during the replay and export it: "
+            "FORMAT is perfetto|chrome (trace-event JSON) or jsonl"
+        ),
+    )
     p.set_defaults(func=_cmd_trace)
 
     p = sub.add_parser("tune", help="task-size sweep for a benchmark")
@@ -272,6 +370,14 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("bench_a")
     p.add_argument("bench_b")
     p.set_defaults(func=_cmd_pair)
+
+    p = sub.add_parser("obs", help="observability: registry dump, trace validation")
+    obs_sub = p.add_subparsers(dest="obs_command", required=True)
+    q = obs_sub.add_parser("dump", help="print the metrics-registry snapshot as JSON")
+    q.set_defaults(func=_cmd_obs)
+    q = obs_sub.add_parser("validate", help="validate a trace-event JSON file")
+    q.add_argument("file", help="path to an exported trace")
+    q.set_defaults(func=_cmd_obs)
 
     return parser
 

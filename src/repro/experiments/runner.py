@@ -148,7 +148,10 @@ class ExperimentRun:
     process-wide :func:`repro.sim.aggregate_stats` counters accumulated
     while this experiment ran (each profiled run resets the aggregate
     first, so snapshots do not bleed into each other — including across
-    pool workers, whose aggregates are per-process).
+    pool workers, whose aggregates are per-process).  The battery driver
+    folds every snapshot back into *its* process aggregate, so
+    ``aggregate_stats()`` after a profiled battery reports the whole
+    battery identically for serial and ``--jobs N`` runs.
     """
 
     key: str
@@ -218,6 +221,7 @@ def _run_one_profiled(key: str) -> tuple[str, Any, float, dict[str, int]]:
     from repro.gpu.rates import reset_rates_cache
     from repro.sim import aggregate_stats, reset_aggregate_stats
 
+    outer = aggregate_stats().snapshot()
     reset_aggregate_stats()
     reset_rates_cache()
     reset_occupancy_cache()
@@ -226,7 +230,37 @@ def _run_one_profiled(key: str) -> tuple[str, Any, float, dict[str, int]]:
     occ = occupancy_cache_info()
     stats["occupancy_cache_hits"] = occ["hits"]
     stats["occupancy_cache_misses"] = occ["misses"]
+    # Restore whatever the surrounding process had accumulated before this
+    # run (the reset above isolates the measurement, it must not erase
+    # history); the battery driver then folds `stats` in exactly once —
+    # whether this executed inline or in a pool worker.
+    reset_aggregate_stats()
+    _fold_into_aggregate(outer)
     return key, result, elapsed, stats
+
+
+def _worker_init() -> None:
+    """Pool-worker initializer: start from a clean stats slate.
+
+    Forked workers inherit the parent's process-wide accumulator by
+    copy; without this reset a worker's first profiled snapshot would
+    double-count whatever the parent had already accumulated.
+    """
+    from repro.gpu.occupancy import reset_occupancy_cache
+    from repro.gpu.rates import reset_rates_cache
+    from repro.sim import reset_aggregate_stats
+
+    reset_aggregate_stats()
+    reset_rates_cache()
+    reset_occupancy_cache()
+
+
+def _fold_into_aggregate(stats: dict[str, int]) -> None:
+    """Fold one profiled run's snapshot into this process's aggregate."""
+    from repro.sim import aggregate_stats
+
+    agg = aggregate_stats()
+    agg.accumulate({field: 0 for field in type(agg)._FIELDS}, stats)
 
 
 def iter_battery(
@@ -244,10 +278,16 @@ def iter_battery(
     if jobs <= 1 or len(selected) <= 1:
         rows: Iterable[tuple[str, Any, float, Any]] = map(run_one, selected)
         for key, result, elapsed, stats in rows:
+            if stats is not None:
+                _fold_into_aggregate(stats)
             yield ExperimentRun(key, _BY_KEY[key].title, result, elapsed, stats)
         return
-    with ProcessPoolExecutor(max_workers=min(jobs, len(selected))) as pool:
+    with ProcessPoolExecutor(
+        max_workers=min(jobs, len(selected)), initializer=_worker_init
+    ) as pool:
         for key, result, elapsed, stats in pool.map(run_one, selected):
+            if stats is not None:
+                _fold_into_aggregate(stats)
             yield ExperimentRun(key, _BY_KEY[key].title, result, elapsed, stats)
 
 

@@ -48,6 +48,7 @@ from repro.gpu.rates import (
     derive_rates,
     rate_input_signature,
 )
+from repro.obs import trace as obs_trace
 from repro.sim import Environment, Event
 
 __all__ = [
@@ -344,6 +345,15 @@ class SimulatedGPU:
         execution.state = ExecState.RESIZING
         execution._resize_target = sms
         execution.counters.resizes += 1
+        if obs_trace.ENABLED:
+            obs_trace.instant(
+                "kernel.retreat",
+                self.env.now,
+                "device",
+                execution.work.name,
+                from_sms=len(execution.sm_ids),
+                to_sms=len(sms),
+            )
         self._recompute()
 
         delay = self.costs.retreat_latency + self.costs.kernel_launch_overhead
@@ -444,6 +454,14 @@ class SimulatedGPU:
                 sample = {k.work.name: k._rates.rate for k in active}
         else:
             stats.rate_recomputes += 1
+            if obs_trace.ENABLED:
+                obs_trace.instant(
+                    "epoch",
+                    self.env.now,
+                    "device",
+                    "epochs",
+                    active=len(active),
+                )
             entries = [self._rate_entry(k) for k in active]
             outputs = derive_rates(
                 [e[1] for e in entries],
@@ -549,6 +567,14 @@ class SimulatedGPU:
         k.blocks_done = float(k.work.num_blocks)
         k.state = ExecState.TAIL
         tail = self._tail_time(k)
+        if obs_trace.ENABLED:
+            obs_trace.instant(
+                "kernel.tail",
+                self.env.now,
+                "device",
+                k.work.name,
+                tail=tail,
+            )
         k.counters.busy_time += tail
         if not k.tail_started.triggered:
             k.tail_started.succeed()

@@ -1,0 +1,80 @@
+"""Unified observability: structured tracing + the process-wide metrics registry.
+
+The reproduction used to have five disconnected observability surfaces
+(``Environment.stats``, ``sim.tracing.Tracer``, the scheduler's
+decision/allocation logs, the rate-memo counters, ``SystemMonitor``
+samples).  This package gives them one home:
+
+* :mod:`repro.obs.trace` — a process-wide :class:`~repro.obs.trace.TraceSink`
+  with a span/instant/counter event API.  Instrumentation sits at every
+  interesting boundary (engine dispatch, scheduler decisions, resizes,
+  epochs, monitor samples, task-queue pulls) behind a module-level
+  ``ENABLED`` flag, so the disabled path is a single attribute check —
+  no allocation, no behavioural change, golden results untouched.
+* :mod:`repro.obs.export` — exporters: Chrome trace-event JSON (loads in
+  Perfetto / ``chrome://tracing``, one track per SM plus one per tenant)
+  and a JSONL stream with run metadata.
+* :mod:`repro.obs.registry` — a single named counter/gauge/histogram
+  registry that absorbs the engine aggregate, rate-memo and occupancy
+  cache counters (as pull *sources*) and the scheduler/daemon/monitor
+  counters (as push counters).  ``runner --profile`` and the
+  ``repro obs dump`` CLI read from it.
+* :mod:`repro.obs.validate` — trace-event schema validation used by tests
+  and the CI smoke job.
+
+Quick start::
+
+    from repro import obs
+
+    with obs.capture(metadata=obs.run_metadata(seed=0)) as sink:
+        ...  # run any simulation / replay
+    obs.write_chrome_trace("out.json", sink)
+
+    print(obs.registry().to_json())
+"""
+
+from repro.obs.export import (
+    run_metadata,
+    to_chrome_events,
+    write_chrome_trace,
+    write_jsonl,
+)
+from repro.obs.registry import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    registry,
+)
+from repro.obs.trace import (
+    NULL_SINK,
+    EnvTracerAdapter,
+    NullSink,
+    TraceEvent,
+    TraceSink,
+    capture,
+    get_sink,
+    set_sink,
+)
+from repro.obs.validate import validate_chrome_trace
+
+__all__ = [
+    "Counter",
+    "EnvTracerAdapter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "NULL_SINK",
+    "NullSink",
+    "TraceEvent",
+    "TraceSink",
+    "capture",
+    "get_sink",
+    "registry",
+    "run_metadata",
+    "set_sink",
+    "to_chrome_events",
+    "validate_chrome_trace",
+    "write_chrome_trace",
+    "write_jsonl",
+]

@@ -1,0 +1,242 @@
+"""The single metrics registry: named counters, gauges, histograms, sources.
+
+One process-wide :class:`MetricsRegistry` absorbs the previously-scattered
+stats surfaces:
+
+* **push metrics** — instruments created by name via :meth:`counter` /
+  :meth:`gauge` / :meth:`histogram` and updated by the code that owns them
+  (scheduler decisions, daemon compiles, monitor samples, task-queue
+  pulls).  Creation is get-or-create, so every layer referring to
+  ``"scheduler.decisions"`` shares one counter.
+* **pull sources** — existing counter surfaces registered as callables
+  polled at :meth:`snapshot` time: the engine aggregate
+  (:func:`repro.sim.aggregate_stats`), the rate-derivation memo
+  (:func:`repro.gpu.rates.rates_cache_info`) and the occupancy cache
+  (:func:`repro.gpu.occupancy.occupancy_cache_info`).
+
+``runner --profile`` and ``python -m repro obs dump`` read through this
+registry; the old accessors (``Environment.stats``, ``aggregate_stats``,
+``SlateCluster.scheduler_stats``, ``rates_cache_info``,
+``occupancy_cache_info``) keep working as compatibility shims — see
+``docs/observability.md`` for the deprecation notes.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Callable, Optional
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "registry",
+]
+
+
+class Counter:
+    """A monotonically increasing named count."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0
+
+    def inc(self, n: int = 1) -> None:
+        self.value += n
+
+    def reset(self) -> None:
+        self.value = 0
+
+
+class Gauge:
+    """A named value that can go up and down (last write wins)."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = value
+
+    def inc(self, n: float = 1.0) -> None:
+        self.value += n
+
+    def dec(self, n: float = 1.0) -> None:
+        self.value -= n
+
+    def reset(self) -> None:
+        self.value = 0.0
+
+
+class Histogram:
+    """Streaming summary of observed values: count/sum/min/max/mean."""
+
+    __slots__ = ("name", "count", "total", "min", "max")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.count = 0
+        self.total = 0.0
+        self.min: Optional[float] = None
+        self.max: Optional[float] = None
+
+    def observe(self, value: float) -> None:
+        self.count += 1
+        self.total += value
+        if self.min is None or value < self.min:
+            self.min = value
+        if self.max is None or value > self.max:
+            self.max = value
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def summary(self) -> dict:
+        return {
+            "count": self.count,
+            "sum": self.total,
+            "min": self.min,
+            "max": self.max,
+            "mean": self.mean,
+        }
+
+    def reset(self) -> None:
+        self.count = 0
+        self.total = 0.0
+        self.min = None
+        self.max = None
+
+
+class MetricsRegistry:
+    """Named metric instruments plus pollable sources (see module docstring)."""
+
+    def __init__(self) -> None:
+        self._metrics: dict[str, object] = {}
+        self._sources: dict[str, Callable[[], dict]] = {}
+
+    # -- instruments -------------------------------------------------------
+
+    def _get_or_create(self, name: str, cls):
+        metric = self._metrics.get(name)
+        if metric is None:
+            metric = cls(name)
+            self._metrics[name] = metric
+        elif type(metric) is not cls:
+            raise TypeError(
+                f"metric {name!r} already registered as "
+                f"{type(metric).__name__}, not {cls.__name__}"
+            )
+        return metric
+
+    def counter(self, name: str) -> Counter:
+        """Get or create the named counter."""
+        return self._get_or_create(name, Counter)
+
+    def gauge(self, name: str) -> Gauge:
+        """Get or create the named gauge."""
+        return self._get_or_create(name, Gauge)
+
+    def histogram(self, name: str) -> Histogram:
+        """Get or create the named histogram."""
+        return self._get_or_create(name, Histogram)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._metrics
+
+    def metric_names(self) -> list[str]:
+        return sorted(self._metrics)
+
+    # -- sources -----------------------------------------------------------
+
+    def register_source(self, name: str, fn: Callable[[], dict]) -> None:
+        """Register (or replace) a pollable source of ``{name: value}``."""
+        self._sources[name] = fn
+
+    def source_names(self) -> list[str]:
+        return sorted(self._sources)
+
+    def source_snapshot(self, name: str) -> dict:
+        """Poll one source now."""
+        return dict(self._sources[name]())
+
+    # -- snapshots -----------------------------------------------------------
+
+    def snapshot(self) -> dict:
+        """Everything the registry knows, as plain data.
+
+        Shape::
+
+            {"counters": {name: int},
+             "gauges": {name: float},
+             "histograms": {name: {count, sum, min, max, mean}},
+             "sources": {source: {field: value}}}
+        """
+        counters, gauges, histograms = {}, {}, {}
+        for name in sorted(self._metrics):
+            metric = self._metrics[name]
+            if isinstance(metric, Counter):
+                counters[name] = metric.value
+            elif isinstance(metric, Gauge):
+                gauges[name] = metric.value
+            else:
+                histograms[name] = metric.summary()
+        sources = {}
+        for name in sorted(self._sources):
+            try:
+                sources[name] = dict(self._sources[name]())
+            except Exception as exc:  # a broken source must not kill a dump
+                sources[name] = {"error": repr(exc)}
+        return {
+            "counters": counters,
+            "gauges": gauges,
+            "histograms": histograms,
+            "sources": sources,
+        }
+
+    def to_json(self, indent: int = 2) -> str:
+        """JSON rendering of :meth:`snapshot` (the ``repro obs dump`` body)."""
+        return json.dumps(self.snapshot(), indent=indent, sort_keys=True)
+
+    def reset_metrics(self) -> None:
+        """Zero every push metric (sources are owned elsewhere)."""
+        for metric in self._metrics.values():
+            metric.reset()
+
+
+# -- the process-wide registry ----------------------------------------------
+
+_REGISTRY = MetricsRegistry()
+
+
+def registry() -> MetricsRegistry:
+    """The process-wide registry instance."""
+    return _REGISTRY
+
+
+def _engine_source() -> dict:
+    from repro.sim import aggregate_stats
+
+    return aggregate_stats().snapshot()
+
+
+def _rates_memo_source() -> dict:
+    from repro.gpu.rates import rates_cache_info
+
+    return rates_cache_info()
+
+
+def _occupancy_source() -> dict:
+    from repro.gpu.occupancy import occupancy_cache_info
+
+    return occupancy_cache_info()
+
+
+_REGISTRY.register_source("engine", _engine_source)
+_REGISTRY.register_source("rates_memo", _rates_memo_source)
+_REGISTRY.register_source("occupancy_cache", _occupancy_source)

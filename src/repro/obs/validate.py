@@ -1,0 +1,77 @@
+"""Trace-event schema validation (used by tests and the CI smoke job).
+
+``python -m repro obs validate out.json`` checks that an exported Chrome
+trace-event file is well-formed:
+
+* the payload is a bare event array or an object with ``traceEvents``;
+* every event has ``ph``, ``ts``, ``pid`` and ``tid``, with numeric
+  ``ts``;
+* complete (``X``) events carry a non-negative numeric ``dur``;
+* begin/end (``B``/``E``) events are balanced per ``(pid, tid)`` track
+  and never close an empty stack.
+
+Returns a list of human-readable problems; an empty list means the file
+will load cleanly in Perfetto / ``chrome://tracing``.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any
+
+__all__ = ["validate_chrome_trace", "validate_file"]
+
+_REQUIRED = ("ph", "ts", "pid", "tid")
+
+
+def validate_chrome_trace(payload: Any) -> list[str]:
+    """Validate a parsed trace payload; returns problems (empty = valid)."""
+    problems: list[str] = []
+    if isinstance(payload, dict):
+        events = payload.get("traceEvents")
+        if not isinstance(events, list):
+            return ["object payload has no 'traceEvents' array"]
+    elif isinstance(payload, list):
+        events = payload
+    else:
+        return [f"payload must be a list or object, got {type(payload).__name__}"]
+
+    open_spans: dict[tuple, int] = {}
+    for i, event in enumerate(events):
+        if not isinstance(event, dict):
+            problems.append(f"event {i}: not an object")
+            continue
+        missing = [k for k in _REQUIRED if k not in event]
+        if missing:
+            problems.append(f"event {i}: missing {', '.join(missing)}")
+            continue
+        if not isinstance(event["ts"], (int, float)):
+            problems.append(f"event {i}: non-numeric ts {event['ts']!r}")
+        ph = event["ph"]
+        track = (event["pid"], event["tid"])
+        if ph == "X":
+            dur = event.get("dur")
+            if not isinstance(dur, (int, float)) or dur < 0:
+                problems.append(f"event {i}: X event needs non-negative dur, got {dur!r}")
+        elif ph == "B":
+            open_spans[track] = open_spans.get(track, 0) + 1
+        elif ph == "E":
+            depth = open_spans.get(track, 0)
+            if depth <= 0:
+                problems.append(f"event {i}: E with no open B on track {track}")
+            else:
+                open_spans[track] = depth - 1
+    for track, depth in sorted(open_spans.items(), key=str):
+        if depth:
+            problems.append(f"track {track}: {depth} unclosed B span(s)")
+    return problems
+
+
+def validate_file(path) -> list[str]:
+    """Load ``path`` as JSON and validate it (parse errors are problems too)."""
+    try:
+        with open(path) as fh:
+            payload = json.load(fh)
+    except (OSError, json.JSONDecodeError) as exc:
+        return [f"cannot load {path}: {exc}"]
+    return validate_chrome_trace(payload)

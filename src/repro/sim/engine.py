@@ -99,6 +99,11 @@ class EnvironmentStats:
         co-run-signature memo vs. full derivations (only calls that were
         handed a stats object are counted here; the module-level
         :func:`~repro.gpu.rates.rates_cache_info` counts every call).
+    trace_dropped:
+        Records the attached :class:`~repro.sim.tracing.Tracer` discarded
+        at its ``limit`` bound (0 when no tracer is attached) — a nonzero
+        value means timeline assertions may be looking at a truncated
+        record stream.
     """
 
     __slots__ = (
@@ -112,6 +117,7 @@ class EnvironmentStats:
         "waterfill_cache_hits",
         "rate_memo_hits",
         "rate_memo_misses",
+        "trace_dropped",
     )
 
     _FIELDS = (
@@ -125,6 +131,7 @@ class EnvironmentStats:
         "waterfill_cache_hits",
         "rate_memo_hits",
         "rate_memo_misses",
+        "trace_dropped",
     )
 
     def __init__(self) -> None:
@@ -365,6 +372,12 @@ class Environment:
         # sit on the hottest allocation path): every pooled timeout that is
         # no longer in the free list has been handed back out exactly once.
         self.stats.timeouts_reused = self.stats.timeouts_pooled - len(self._timeout_pool)
+        # Tracer truncation is likewise derived at flush: the tracer owns
+        # the authoritative count, the stats field mirrors it.
+        if self.tracer is not None:
+            dropped = getattr(self.tracer, "dropped", None)
+            if dropped is not None:
+                self.stats.trace_dropped = dropped
         after = self.stats.snapshot()
         _AGGREGATE.accumulate(self._flushed, after)
         self._flushed = after

@@ -26,18 +26,25 @@ class Tracer:
     predicate:
         Optional filter; only events for which it returns True are kept.
     limit:
-        Maximum number of records retained (oldest dropped beyond it).
+        Maximum number of records retained.  At the bound the oldest half
+        is discarded and :attr:`dropped` counts every discarded record, so
+        truncation is observable (``Environment.stats`` snapshots include
+        it as ``trace_dropped``) rather than silent.
     """
 
     predicate: Optional[Callable[[Any], bool]] = None
     limit: int = 1_000_000
     records: list[TraceRecord] = field(default_factory=list)
+    #: Records discarded at the ``limit`` bound (never reset).
+    dropped: int = 0
 
     def record(self, time: float, event: Any) -> None:
         if self.predicate is not None and not self.predicate(event):
             return
         if len(self.records) >= self.limit:
-            del self.records[0 : len(self.records) // 2]
+            cut = max(1, len(self.records) // 2)
+            del self.records[0:cut]
+            self.dropped += cut
         value = event._value if event.triggered else None
         self.records.append(TraceRecord(time, type(event).__name__, value))
 

@@ -107,6 +107,13 @@ class SlateCluster:
 
         Cheap to call mid-replay (O(num_devices) counter reads): the
         streaming trace replayer samples this for progress reporting.
+
+        Compatibility shim: these counters are also mirrored process-wide
+        as ``scheduler.*`` counters in :func:`repro.obs.registry.registry`
+        (``python -m repro obs dump``), which is the preferred surface for
+        new code — see ``docs/observability.md``.  This method remains the
+        per-cluster view (registry totals span every scheduler in the
+        process).
         """
         totals = {
             "decisions": 0,

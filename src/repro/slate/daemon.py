@@ -22,6 +22,8 @@ from repro.cuda.module import NvrtcCompiler
 from repro.gpu.device import SimulatedGPU
 from repro.gpu.pcie import PcieLink
 from repro.kernels.kernel import KernelSpec
+from repro.obs import trace as obs_trace
+from repro.obs.registry import registry as obs_registry
 from repro.slate.ipc import NamedPipe, SharedBufferChannel
 from repro.slate.policy import DEFAULT_POLICY, PolicyTable
 from repro.slate.profiler import ProfileTable, offline_profile
@@ -171,6 +173,15 @@ class SlateSession:
         yield from self.pipe.command()
         if args is not None:
             self.translate_args(args)
+        if obs_trace.ENABLED:
+            obs_trace.instant(
+                "session.launch",
+                self.runtime.env.now,
+                "daemon",
+                self.name,
+                kernel=spec.name,
+                priority=priority,
+            )
         t0 = self.runtime.env.now
         yield from self.runtime.prepare_kernel(spec)
         self.compile_time += self.runtime.env.now - t0
@@ -283,7 +294,18 @@ class SlateRuntime:
             raise ValueError(f"no __global__ kernel found for {spec.name}")
         kernel: KernelSource = kernels[0]
         transformed = inject(kernel)
+        t0 = self.env.now
         yield from self.compiler.compile(kernel.cache_key(), inject=True)
+        obs_registry().counter("daemon.compiles").inc()
+        if obs_trace.ENABLED:
+            obs_trace.complete(
+                "compile",
+                t0,
+                self.env.now - t0,
+                "daemon",
+                "compile",
+                kernel=spec.name,
+            )
         self.injected_sources[spec.name] = transformed
 
     def task_size_for(self, spec: KernelSpec) -> int:

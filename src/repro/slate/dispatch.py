@@ -28,6 +28,7 @@ from typing import Sequence
 from repro.gpu.device import ExecutionMode, KernelExecution, SimulatedGPU
 from repro.gpu.occupancy import occupancy
 from repro.kernels.kernel import KernelSpec
+from repro.obs import trace as obs_trace
 from repro.sim import Event
 
 __all__ = ["DispatchKernel", "DispatchRecord"]
@@ -93,15 +94,26 @@ class DispatchKernel:
         # SMs return immediately in the SM-guard prologue.
         undesignated = self.gpu.device.num_sms - len(sms)
         self.exit_conditions.wrong_sm += self._blocks_per_sm * undesignated
-        self.records.append(
-            DispatchRecord(
-                time=self.gpu.env.now,
-                sm_low=min(sms),
-                sm_high=max(sms),
-                slate_idx=self.execution.blocks_done if self.records else 0.0,
-                workers=workers,
-            )
+        record = DispatchRecord(
+            time=self.gpu.env.now,
+            sm_low=min(sms),
+            sm_high=max(sms),
+            slate_idx=self.execution.blocks_done if self.records else 0.0,
+            workers=workers,
         )
+        self.records.append(record)
+        if obs_trace.ENABLED:
+            obs_trace.instant(
+                "dispatch.relaunch",
+                record.time,
+                "device",
+                "dispatch",
+                kernel=self.spec.name,
+                sm_low=record.sm_low,
+                sm_high=record.sm_high,
+                slate_idx=record.slate_idx,
+                workers=record.workers,
+            )
 
     def _on_done(self, _event: Event) -> None:
         # Exit condition (2): the final worker set persisted to the end.

@@ -9,13 +9,22 @@ could use them (a missed grow — e.g. the event-driven path was disabled,
 raced, or a grace was interrupted), it reclaims them.
 
 It also keeps a sample history (tenancy, SM coverage) that powers
-operator-facing reports.
+operator-facing reports.  ``sample_limit`` bounds that history for
+long-running daemons; :attr:`samples_total` keeps the true count across
+truncation.  Samples and reclaims are mirrored into
+:mod:`repro.obs.registry` (``monitor.samples`` / ``monitor.reclaims``)
+and, when tracing is enabled, emitted as counter events on the
+``("monitor", "state")`` track plus ``reclaim`` instants.
 """
 
 from __future__ import annotations
 
+from collections import deque
 from dataclasses import dataclass
+from typing import Optional
 
+from repro.obs import trace as obs_trace
+from repro.obs.registry import registry as obs_registry
 from repro.sim import Environment, Interrupt
 from repro.slate.scheduler import SlateScheduler
 
@@ -36,7 +45,15 @@ class MonitorSample:
 
 
 class SystemMonitor:
-    """Periodic device-state sampler with idle-SM reclamation."""
+    """Periodic device-state sampler with idle-SM reclamation.
+
+    Parameters
+    ----------
+    sample_limit:
+        Bound on the retained sample history (``None`` keeps everything,
+        the historical behaviour).  When set, the oldest samples fall off
+        a deque; :attr:`samples_total` still counts every sample taken.
+    """
 
     def __init__(
         self,
@@ -44,6 +61,7 @@ class SystemMonitor:
         scheduler: SlateScheduler,
         interval: float = 1e-3,
         reclaim: bool = True,
+        sample_limit: Optional[int] = None,
     ) -> None:
         if interval <= 0:
             raise ValueError("monitor interval must be positive")
@@ -51,8 +69,15 @@ class SystemMonitor:
         self.scheduler = scheduler
         self.interval = interval
         self.reclaim = reclaim
-        self.samples: list[MonitorSample] = []
+        self.samples: "list[MonitorSample] | deque[MonitorSample]" = (
+            [] if sample_limit is None else deque(maxlen=sample_limit)
+        )
+        #: Samples ever taken (survives ``sample_limit`` truncation).
+        self.samples_total = 0
         self.reclaims = 0
+        reg = obs_registry()
+        self._m_samples = reg.counter("monitor.samples")
+        self._m_reclaims = reg.counter("monitor.reclaims")
         self._proc = env.process(self._loop())
         self._stopped = False
 
@@ -64,6 +89,12 @@ class SystemMonitor:
 
     def _covered_sms(self) -> int:
         return sum(len(sms) for sms in self.scheduler.running_sms().values())
+
+    def _note_reclaim(self) -> None:
+        self.reclaims += 1
+        self._m_reclaims.inc()
+        if obs_trace.ENABLED:
+            obs_trace.instant("reclaim", self.env.now, "monitor", "state")
 
     def _loop(self):
         scheduler = self.scheduler
@@ -80,6 +111,18 @@ class SystemMonitor:
                 covered_sms=self._covered_sms(),
             )
             self.samples.append(sample)
+            self.samples_total += 1
+            self._m_samples.inc()
+            if obs_trace.ENABLED:
+                obs_trace.counter(
+                    "monitor.state",
+                    sample.time,
+                    "monitor",
+                    "state",
+                    running=sample.running,
+                    waiting=sample.waiting,
+                    covered_sms=sample.covered_sms,
+                )
             if (
                 self.reclaim
                 and sample.running >= 1
@@ -93,13 +136,13 @@ class SystemMonitor:
                     all_sms = scheduler.gpu.all_sms()
                     if survivor.sms != all_sms:
                         survivor.sms = all_sms
-                        scheduler.resizes += 1
+                        scheduler._note_resize(survivor.ticket.spec.name, all_sms)
                         scheduler.gpu.resize(survivor.handle, all_sms)
                         scheduler._log_allocation()
-                        self.reclaims += 1
+                        self._note_reclaim()
                 else:
                     scheduler._rebalance_survivors()
-                    self.reclaims += 1
+                    self._note_reclaim()
 
     def report(self) -> str:
         """Operator summary of the sampled history."""

@@ -26,6 +26,8 @@ from typing import Hashable, Iterator, Optional
 from repro.config import CostModel, DeviceConfig, TITAN_XP
 from repro.gpu.device import ExecutionMode, KernelCounters, KernelExecution, SimulatedGPU
 from repro.kernels.kernel import KernelSpec
+from repro.obs import trace as obs_trace
+from repro.obs.registry import registry as obs_registry
 from repro.slate.partition import choose_partition
 from repro.slate.policy import DEFAULT_POLICY, PolicyTable
 from repro.slate.profiler import KernelProfile, ProfileTable
@@ -211,6 +213,16 @@ class SlateScheduler:
         self.allocation_log: "list | deque" = (
             [] if log_limit is None else deque(maxlen=log_limit)
         )
+        # Process-wide mirrors of the per-instance counters, shared through
+        # repro.obs.registry (the instance attributes remain the
+        # per-scheduler view; the registry carries process totals).
+        reg = obs_registry()
+        self._m_decisions = reg.counter("scheduler.decisions")
+        self._m_submits = reg.counter("scheduler.submits")
+        self._m_solo = reg.counter("scheduler.solo_launches")
+        self._m_corun = reg.counter("scheduler.corun_launches")
+        self._m_resizes = reg.counter("scheduler.resizes")
+        self._m_preemptions = reg.counter("scheduler.preemptions")
 
     @property
     def decisions(self) -> list[tuple[float, str]]:
@@ -219,6 +231,18 @@ class SlateScheduler:
 
     def _decide(self, kind, ticket, classes=(), sms=0, reason="") -> None:
         self.decisions_total += 1
+        self._m_decisions.inc()
+        if obs_trace.ENABLED:
+            obs_trace.instant(
+                f"decide.{kind}",
+                self.env.now,
+                "scheduler",
+                "decisions",
+                kernel=ticket.spec.name,
+                classes=list(classes),
+                sms=sms,
+                reason=reason,
+            )
         if self.log_limit == 0:
             return
         self.decision_log.append(
@@ -237,12 +261,30 @@ class SlateScheduler:
         return "\n".join(d.describe() for d in list(self.decision_log)[-last:])
 
     def _log_allocation(self) -> None:
-        if self.log_limit == 0:
+        tracing = obs_trace.ENABLED
+        if self.log_limit == 0 and not tracing:
             return
         snapshot = {
             r.ticket.spec.name: (min(r.sms), max(r.sms)) for r in self._running
         }
-        self.allocation_log.append((self.env.now, snapshot))
+        if tracing:
+            obs_trace.allocation(self.env.now, snapshot)
+        if self.log_limit != 0:
+            self.allocation_log.append((self.env.now, snapshot))
+
+    def _note_resize(self, kernel: str, sms: tuple[int, ...]) -> None:
+        """Count a resize on every surface (instance, registry, trace)."""
+        self.resizes += 1
+        self._m_resizes.inc()
+        if obs_trace.ENABLED:
+            obs_trace.instant(
+                "resize",
+                self.env.now,
+                "scheduler",
+                "decisions",
+                kernel=kernel,
+                sms=len(sms),
+            )
 
     # -- public API -------------------------------------------------------
 
@@ -251,6 +293,17 @@ class SlateScheduler:
         # Highest priority first; FIFO within a priority level (the
         # WaitingQueue ordering contract).
         self._queue.push(ticket)
+        self._m_submits.inc()
+        if obs_trace.ENABLED:
+            obs_trace.instant(
+                "submit",
+                self.env.now,
+                "scheduler",
+                "queue",
+                kernel=ticket.spec.name,
+                priority=ticket.priority,
+                depth=len(self._queue),
+            )
         if self.enable_preemption:
             self._maybe_preempt()
         self._try_schedule()
@@ -277,6 +330,7 @@ class SlateScheduler:
         self._preempted.append(victim)
         victim.ticket.preemptions += 1
         self.preemptions += 1
+        self._m_preemptions.inc()
         self._decide(
             "preempt",
             victim.ticket,
@@ -332,6 +386,16 @@ class SlateScheduler:
         )
         entry = _Running(ticket=ticket, handle=handle, sms=sms)
         self._running.append(entry)
+        if obs_trace.ENABLED:
+            obs_trace.instant(
+                "launch",
+                self.env.now,
+                "tenants",
+                ticket.spec.name,
+                sms=len(sms),
+                sm_low=min(sms),
+                sm_high=max(sms),
+            )
         self._log_allocation()
         # Completion is handled by a plain event callback, not a spawned
         # process: a per-launch Process costs an object, a generator frame,
@@ -352,6 +416,19 @@ class SlateScheduler:
         ):
             self._refresh_profile(entry.ticket.profile_key, counters)
         self._running.remove(entry)
+        if obs_trace.ENABLED and entry.ticket.started_at is not None:
+            # One complete ("X") span per execution: B/E pairs would nest
+            # wrongly when identical kernels corun on the same track.
+            obs_trace.complete(
+                entry.ticket.spec.name,
+                entry.ticket.started_at,
+                self.env.now - entry.ticket.started_at,
+                "tenants",
+                entry.ticket.spec.name,
+                sms=len(entry.sms),
+                preemptions=entry.ticket.preemptions,
+                profiling_run=entry.ticket.profiling_run,
+            )
         self._log_allocation()
         entry.ticket.done.succeed(counters)
         self._on_completion()
@@ -411,7 +488,7 @@ class SlateScheduler:
             return
         all_sms = self.gpu.all_sms()
         survivor.sms = all_sms
-        self.resizes += 1
+        self._note_resize(survivor.ticket.spec.name, all_sms)
         self.gpu.resize(survivor.handle, all_sms)
         self._log_allocation()
 
@@ -520,9 +597,10 @@ class SlateScheduler:
         for entry, sms in zip(tenants, assignments[:-1]):
             if entry.sms != sms:
                 entry.sms = sms
-                self.resizes += 1
+                self._note_resize(entry.ticket.spec.name, sms)
                 self.gpu.resize(entry.handle, sms)
         self.corun_launches += 1
+        self._m_corun.inc()
         head_profile = self._profile_of(head)
         self._decide(
             "corun",
@@ -547,7 +625,7 @@ class SlateScheduler:
             low += share
             if entry.sms != sms:
                 entry.sms = sms
-                self.resizes += 1
+                self._note_resize(entry.ticket.spec.name, sms)
                 self.gpu.resize(entry.handle, sms)
         self._log_allocation()
 
@@ -559,6 +637,7 @@ class SlateScheduler:
                 head = self._queue.pop()
                 head.profiling_run = head.profile_key not in self.profiles
                 self.solo_launches += 1
+                self._m_solo.inc()
                 profile = self._profile_of(head)
                 self._decide(
                     "solo",
@@ -588,10 +667,11 @@ class SlateScheduler:
                 run_sms, new_sms = new_sms, run_sms
             if running.sms != run_sms:
                 running.sms = run_sms
-                self.resizes += 1
+                self._note_resize(running.ticket.spec.name, run_sms)
                 self.gpu.resize(running.handle, run_sms)
                 self._log_allocation()
             self.corun_launches += 1
+            self._m_corun.inc()
             self._decide(
                 "corun",
                 head,

@@ -10,6 +10,10 @@ are currently executing.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Callable, Optional
+
+from repro.obs import trace as obs_trace
+from repro.obs.registry import registry as obs_registry
 
 __all__ = ["SlateQueue", "Task"]
 
@@ -29,7 +33,12 @@ class Task:
 class SlateQueue:
     """The global task queue for one transformed kernel execution."""
 
-    def __init__(self, num_blocks: int, task_size: int) -> None:
+    def __init__(
+        self,
+        num_blocks: int,
+        task_size: int,
+        clock: Optional[Callable[[], float]] = None,
+    ) -> None:
         if num_blocks < 1:
             raise ValueError(f"num_blocks must be >= 1, got {num_blocks}")
         if task_size < 1:
@@ -41,6 +50,10 @@ class SlateQueue:
         self.slate_idx = 0
         self.retreat = False
         self.pulls = 0
+        #: Optional time source (e.g. ``lambda: env.now``) stamping pull
+        #: trace events; without one, pulls trace at t=0.
+        self._clock = clock
+        self._m_pulls = obs_registry().counter("taskqueue.pulls")
 
     @property
     def exhausted(self) -> bool:
@@ -66,6 +79,16 @@ class SlateQueue:
         count = min(self.task_size, self.slate_max - start)
         self.slate_idx = start + self.task_size
         self.pulls += 1
+        self._m_pulls.inc()
+        if obs_trace.ENABLED:
+            obs_trace.instant(
+                "taskqueue.pull",
+                self._clock() if self._clock is not None else 0.0,
+                "device",
+                "taskqueue",
+                start=start,
+                count=count,
+            )
         return Task(start=start, count=count)
 
     def signal_retreat(self) -> None:

@@ -141,6 +141,34 @@ class TestProfile:
         parallel = runner.run_battery(["fig1", "fig3"], jobs=2, profile=True)
         assert [r.stats for r in parallel] == [r.stats for r in serial]
 
+    def test_profiled_battery_folds_into_parent_aggregate(self):
+        """The parent's process-wide aggregate reflects the whole battery —
+        also under --jobs, where the engine work happened in pool workers."""
+        from repro.sim import aggregate_stats, reset_aggregate_stats
+
+        reset_aggregate_stats()
+        serial = runner.run_battery(["fig1", "fig3"], jobs=1, profile=True)
+        serial_agg = aggregate_stats().snapshot()
+        expected = sum(r.stats["events_processed"] for r in serial)
+        assert serial_agg["events_processed"] == expected
+
+        reset_aggregate_stats()
+        runner.run_battery(["fig1", "fig3"], jobs=2, profile=True)
+        parallel_agg = aggregate_stats().snapshot()
+        assert parallel_agg == serial_agg
+
+    def test_profiled_run_does_not_inherit_prior_aggregate(self):
+        """A stale parent accumulator must not bleed into profiled stats
+        (the fork-inheritance double count)."""
+        from repro.sim import aggregate_stats, reset_aggregate_stats
+
+        baseline = runner.run_battery(["fig1", "fig3"], jobs=1, profile=True)
+        # Poison the parent aggregate, then profile in forked workers.
+        aggregate_stats().events_processed += 10_000_000
+        forked = runner.run_battery(["fig1", "fig3"], jobs=2, profile=True)
+        assert [r.stats for r in forked] == [r.stats for r in baseline]
+        reset_aggregate_stats()
+
     def test_format_profile_table_shape(self):
         runs = runner.run_battery(["fig1", "fig3"], jobs=1, profile=True)
         table = runner.format_profile_table(runs)

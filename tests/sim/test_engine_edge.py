@@ -359,6 +359,42 @@ class TestMiscEdges:
         # The survivors are the most recent records.
         assert tracer.records[-1].time == 24.0
 
+    def test_tracer_counts_dropped_records(self):
+        tracer = Tracer(limit=10)
+        env = Environment(tracer=tracer)
+        for i in range(25):
+            env.timeout(float(i))
+        env.run()
+        # Every processed event is either retained or counted as dropped —
+        # truncation is observable, never silent.
+        assert tracer.dropped > 0
+        assert len(tracer) + tracer.dropped == 25
+
+    def test_tracer_without_truncation_drops_nothing(self):
+        tracer = Tracer()
+        env = Environment(tracer=tracer)
+        for i in range(5):
+            env.timeout(float(i))
+        env.run()
+        assert tracer.dropped == 0
+
+    def test_tracer_limit_one_stays_bounded(self):
+        tracer = Tracer(limit=1)
+        env = Environment(tracer=tracer)
+        for i in range(5):
+            env.timeout(float(i))
+        env.run()
+        assert len(tracer) == 1
+        assert tracer.dropped == 4
+
+    def test_dropped_count_reaches_env_stats(self):
+        tracer = Tracer(limit=10)
+        env = Environment(tracer=tracer)
+        for i in range(25):
+            env.timeout(float(i))
+        env.run()
+        assert env.stats.trace_dropped == tracer.dropped > 0
+
     def test_resource_release_of_unknown_request_is_safe(self):
         env = Environment()
         res = Resource(env, capacity=1)

@@ -46,6 +46,51 @@ class TestSampling:
         env.run(until=20e-3)
         assert len(rt.monitor.samples) == n  # no more sampling
 
+    def test_sample_limit_bounds_history(self):
+        env = Environment()
+        rt = SlateRuntime(env)
+        monitor = SystemMonitor(env, rt.scheduler, interval=1e-3, sample_limit=4)
+        env.run(until=10.2e-3)
+        monitor.stop()
+        assert len(monitor.samples) == 4
+        assert monitor.samples_total == 10
+        # The retained window is the newest samples.
+        assert [s.time for s in monitor.samples] == pytest.approx(
+            [7e-3, 8e-3, 9e-3, 10e-3]
+        )
+        assert "4 samples" in monitor.report()
+
+    def test_unbounded_history_by_default(self):
+        env = Environment()
+        rt = SlateRuntime(env)
+        monitor = SystemMonitor(env, rt.scheduler, interval=1e-3)
+        env.run(until=10.2e-3)
+        monitor.stop()
+        assert len(monitor.samples) == monitor.samples_total == 10
+
+    def test_registry_counts_samples(self):
+        from repro.obs.registry import registry
+
+        before = registry().counter("monitor.samples").value
+        env = Environment()
+        rt = SlateRuntime(env, monitor_interval=1e-3)
+        env.run(until=5.2e-3)
+        rt.monitor.stop()
+        assert registry().counter("monitor.samples").value == before + 5
+
+    def test_samples_appear_in_trace(self):
+        from repro.obs import trace as obs_trace
+
+        env = Environment()
+        rt = SlateRuntime(env, monitor_interval=1e-3)
+        with obs_trace.capture() as sink:
+            env.run(until=3.2e-3)
+        rt.monitor.stop()
+        samples = sink.of_track("monitor", "state")
+        assert len(samples) == 3
+        assert all(e.ph == "C" for e in samples)
+        assert samples[0].args.keys() == {"running", "waiting", "covered_sms"}
+
 
 class TestReclamation:
     def test_monitor_reclaims_when_grow_disabled(self):
@@ -68,10 +113,18 @@ class TestReclamation:
             yield from session.launch(rg)
             yield from session.synchronize()
 
+        from repro.obs import trace as obs_trace
+
         pb = env.process(bs_app(env))
         pr = env.process(rg_app(env))
-        env.run(until=pb & pr)
+        with obs_trace.capture() as sink:
+            env.run(until=pb & pr)
         assert rt.monitor.reclaims >= 1
+        # Reclaims are mirrored into the registry and the trace stream.
+        from repro.obs.registry import registry
+
+        assert registry().counter("monitor.reclaims").value >= rt.monitor.reclaims
+        assert len(sink.of_name("reclaim")) == rt.monitor.reclaims
         # BS ended up back on the whole device after RG finished.
         grew = any(
             alloc.get("BS") == (0, 29)

@@ -130,3 +130,89 @@ class TestTraceAndTune:
 
         assert main(["trace", "--runtime", "CUDA", "--apps", "3"]) == 0
         assert "makespan" in capsys.readouterr().out
+
+    def test_trace_export_perfetto_is_valid(self, capsys, tmp_path):
+        import json
+
+        from repro.__main__ import main
+        from repro.obs.validate import validate_file
+
+        out = tmp_path / "perfetto.json"
+        assert (
+            main(
+                ["trace", "--apps", "4", "--pattern", "bursty", "--export",
+                 "perfetto", str(out)]
+            )
+            == 0
+        )
+        assert "perfetto trace written" in capsys.readouterr().out
+        assert validate_file(out) == []
+        payload = json.loads(out.read_text())
+        assert payload["traceEvents"]
+        assert payload["metadata"]["pattern"] == "bursty"
+
+    def test_trace_export_jsonl(self, capsys, tmp_path):
+        import json
+
+        from repro.__main__ import main
+
+        out = tmp_path / "trace.jsonl"
+        assert main(["trace", "--apps", "2", "--export", "jsonl", str(out)]) == 0
+        lines = [json.loads(line) for line in out.read_text().splitlines()]
+        assert lines[0]["type"] == "meta"
+        assert any(line["type"] == "event" for line in lines[1:])
+
+    def test_trace_export_unknown_format(self, capsys, tmp_path):
+        from repro.__main__ import main
+
+        rc = main(["trace", "--apps", "2", "--export", "svg", str(tmp_path / "x")])
+        assert rc == 2
+        assert "unknown export format" in capsys.readouterr().err
+
+    def test_trace_empty_apps_exits_cleanly(self, capsys):
+        """Regression: a degenerate arrival trace must not stack-trace."""
+        from repro.__main__ import main
+
+        assert main(["trace", "--apps", "0"]) == 0
+        out = capsys.readouterr().out
+        assert "(empty timeline)" in out
+        assert "0 tenants" in out
+
+    def test_trace_empty_apps_still_writes_valid_export(self, capsys, tmp_path):
+        from repro.__main__ import main
+        from repro.obs.validate import validate_file
+
+        out = tmp_path / "empty.json"
+        assert main(["trace", "--apps", "0", "--export", "perfetto", str(out)]) == 0
+        assert validate_file(out) == []
+
+
+class TestObsCommand:
+    def test_obs_dump_is_json(self, capsys):
+        import json
+
+        from repro.__main__ import main
+
+        assert main(["obs", "dump"]) == 0
+        snapshot = json.loads(capsys.readouterr().out)
+        assert set(snapshot) == {"counters", "gauges", "histograms", "sources"}
+        assert "engine" in snapshot["sources"]
+
+    def test_obs_validate_accepts_good_trace(self, capsys, tmp_path):
+        from repro.__main__ import main
+
+        out = tmp_path / "t.json"
+        assert main(["trace", "--apps", "2", "--export", "chrome", str(out)]) == 0
+        capsys.readouterr()
+        assert main(["obs", "validate", str(out)]) == 0
+        assert "valid trace-event JSON" in capsys.readouterr().out
+
+    def test_obs_validate_rejects_bad_file(self, capsys, tmp_path):
+        import json
+
+        from repro.__main__ import main
+
+        bad = tmp_path / "bad.json"
+        bad.write_text(json.dumps([{"ph": "i"}]))
+        assert main(["obs", "validate", str(bad)]) == 1
+        assert "problem" in capsys.readouterr().err
