@@ -1,0 +1,103 @@
+"""Performance benchmarks for the serving layer (daemon + wire protocol).
+
+Not a paper experiment — engineering guardrails for the OS-level path:
+real client processes talking to a live daemon over the Unix socket,
+measuring end-to-end request throughput and wall-clock launch latency
+as client concurrency grows.  This is the cost the multiprocessing
+story actually pays per launch once the simulator sits behind a socket.
+
+Emits ``benchmarks/BENCH_serve.json`` — req/s plus p50/p99 latency at
+1, 4, and 16 concurrent clients — mirroring ``BENCH_engine.json`` and
+``BENCH_scheduler.json``; CI uploads it as a per-PR artifact.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.serve.loadgen import LoadGenConfig, run_loadgen
+from repro.serve.server import ServeConfig, ServerThread
+
+BENCH_JSON = Path(__file__).parent / "BENCH_serve.json"
+
+#: Launches per client, scaled down as concurrency scales up so every
+#: point runs a comparable total workload in a few seconds.
+REQUESTS_AT = {1: 120, 4: 60, 16: 20}
+
+
+@pytest.fixture(scope="session")
+def serve_bench_json():
+    """Collect per-concurrency serving stats; write ``BENCH_serve.json``."""
+    records: dict[str, dict[str, float]] = {}
+
+    def record(clients: int, report) -> None:
+        records[f"clients_{clients}"] = {
+            "clients": clients,
+            "completed": report.completed,
+            "errors": report.errors,
+            "busy_retries": report.busy_retries,
+            "requests_per_sec": round(report.requests_per_s, 1),
+            "latency_p50_ms": round(report.latency_p50 * 1e3, 3),
+            "latency_p99_ms": round(report.latency_p99 * 1e3, 3),
+            "wall_seconds": round(report.wall, 3),
+        }
+
+    yield record
+    if records:
+        BENCH_JSON.write_text(json.dumps(records, indent=2, sort_keys=True) + "\n")
+        print(f"\nserving throughput written to {BENCH_JSON}")
+
+
+def _drive(sock_path: str, clients: int):
+    """One measured point: fresh daemon, ``clients`` real processes."""
+    with ServerThread(ServeConfig(socket_path=sock_path)):
+        return run_loadgen(
+            LoadGenConfig(
+                socket_path=sock_path,
+                clients=clients,
+                requests=REQUESTS_AT[clients],
+                seed=0,
+            )
+        )
+
+
+@pytest.mark.parametrize("clients", [1, 4, 16])
+def test_serve_throughput(benchmark, serve_bench_json, tmp_path, clients):
+    sock_path = str(tmp_path / "bench.sock")
+    assert len(sock_path) < 100
+
+    report = benchmark.pedantic(
+        _drive, args=(sock_path, clients), rounds=1, iterations=1
+    )
+
+    expected = clients * REQUESTS_AT[clients]
+    assert report.completed == expected
+    assert report.errors == 0, report.error_messages
+    assert report.requests_per_s > 0
+    assert 0 < report.latency_p50 <= report.latency_p99
+    serve_bench_json(clients, report)
+
+
+def test_serve_backpressure_cost(benchmark, tmp_path):
+    """Throughput survives a tight admission bound: busy replies are cheap
+    rejections, not queue buildup, so retried work still drains."""
+    sock_path = str(tmp_path / "bp.sock")
+
+    def constrained():
+        with ServerThread(ServeConfig(socket_path=sock_path, max_inflight=2)):
+            return run_loadgen(
+                LoadGenConfig(
+                    socket_path=sock_path,
+                    clients=4,
+                    requests=20,
+                    busy_retries=100,
+                    processes=False,
+                )
+            )
+
+    report = benchmark.pedantic(constrained, rounds=1, iterations=1)
+    assert report.completed == 80
+    assert report.errors == 0

@@ -12,6 +12,9 @@ report       Write a consolidated REPORT.md across all experiments.
 trace        Replay an arrival trace and render the SM timeline.
 tune         Predicted task-size sweep for a benchmark kernel.
 obs          Observability: dump the metrics registry, validate traces.
+serve        Run the Slate serving daemon on a Unix domain socket.
+client       Connect to a running daemon and launch kernels.
+loadgen      Drive a running daemon with multi-process load.
 """
 
 from __future__ import annotations
@@ -290,6 +293,122 @@ def _cmd_pair(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import asyncio
+    import json
+    import signal
+
+    from repro.obs import trace as obs_trace
+    from repro.obs.export import run_metadata, write_chrome_trace
+    from repro.obs.registry import registry
+    from repro.serve.server import ServeConfig, SlateServer
+
+    config = ServeConfig(
+        socket_path=args.socket,
+        num_devices=args.devices,
+        placement=args.placement,
+        max_inflight=args.max_inflight,
+        session_inflight=args.session_inflight,
+        max_sessions=args.max_sessions,
+        log_limit=args.log_limit,
+        duration=args.duration,
+    )
+
+    async def serve(server: SlateServer) -> None:
+        loop = asyncio.get_running_loop()
+        for sig in (signal.SIGINT, signal.SIGTERM):
+            try:
+                loop.add_signal_handler(sig, server.request_stop)
+            except NotImplementedError:  # pragma: no cover - non-POSIX
+                pass
+        print(f"slate daemon listening on {args.socket}", flush=True)
+        await server.serve_forever()
+
+    server = SlateServer(config)
+    if args.trace:
+        meta = run_metadata(command="serve", socket=args.socket, devices=args.devices)
+        with obs_trace.capture(metadata=meta) as sink:
+            asyncio.run(serve(server))
+        write_chrome_trace(args.trace, sink)
+        print(f"perfetto trace written to {args.trace} ({len(sink)} events)")
+    else:
+        asyncio.run(serve(server))
+    stats = server.stats()
+    print(
+        f"served {stats['requests']} requests ({stats['launches']} launches, "
+        f"{stats['errors']} errors) across {stats['sessions_opened']} sessions; "
+        f"sim time {stats['sim_time'] * 1e3:.1f} ms"
+    )
+    if args.dump_metrics:
+        with open(args.dump_metrics, "w") as fh:
+            fh.write(registry().to_json())
+        print(f"metrics snapshot written to {args.dump_metrics}")
+    return 0
+
+
+def _cmd_client(args: argparse.Namespace) -> int:
+    from repro.serve.client import SlateClient
+
+    client = SlateClient(
+        args.socket, name=args.name, connect_retries=args.connect_retries
+    )
+    try:
+        client.connect()
+    except (OSError, ConnectionError) as exc:
+        print(f"could not connect to {args.socket}: {exc}", file=sys.stderr)
+        return 1
+    with client:
+        pong = client.ping()
+        print(f"connected as {client.session_name} (sim t={pong['sim_time'] * 1e3:.2f} ms)")
+        reg = client.register(args.kernel.upper())
+        print(f"registered {reg['kernel']} (compile {reg['compile_time'] * 1e3:.2f} ms)")
+        for i in range(args.reps):
+            reply = client.launch(
+                args.kernel.upper(),
+                task_size=args.task_size,
+                priority=args.priority,
+                busy_retries=8,
+            )
+            print(
+                f"  launch {i + 1}: wall {reply.latency * 1e3:7.2f} ms, "
+                f"sim {reply.sim_latency * 1e3:7.3f} ms"
+                + (f" (exec {reply.sim_exec * 1e3:.3f} ms)" if reply.sim_exec else "")
+            )
+        stats = client.stats()
+        server = stats["server"]
+        print(
+            f"server: {server['sessions']} session(s), {server['launches']} launches "
+            f"served, sim time {server['sim_time'] * 1e3:.1f} ms"
+        )
+    return 0
+
+
+def _cmd_loadgen(args: argparse.Namespace) -> int:
+    from repro.serve.loadgen import LoadGenConfig, run_loadgen
+
+    config = LoadGenConfig(
+        socket_path=args.socket,
+        clients=args.clients,
+        requests=args.requests,
+        mode=args.mode,
+        rate=args.rate,
+        seed=args.seed,
+        mix=args.mix,
+        task_size=args.task_size,
+        duration=args.duration,
+        processes=not args.threads,
+    )
+    report = run_loadgen(config)
+    print(report.format())
+    if args.json:
+        with open(args.json, "w") as fh:
+            fh.write(report.to_json())
+        print(f"report written to {args.json}")
+    if report.errors or not report.completed:
+        return 1
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(prog="repro", description=__doc__)
     sub = parser.add_subparsers(dest="command", required=True)
@@ -370,6 +489,58 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("bench_a")
     p.add_argument("bench_b")
     p.set_defaults(func=_cmd_pair)
+
+    p = sub.add_parser("serve", help="run the Slate serving daemon (Unix socket)")
+    p.add_argument("--socket", default="/tmp/slate.sock", help="Unix socket path")
+    p.add_argument("--devices", type=int, default=1, help="simulated GPUs behind the daemon")
+    p.add_argument(
+        "--placement", choices=["round-robin", "least-loaded", "class-aware"],
+        default="least-loaded", help="multi-device session placement policy",
+    )
+    p.add_argument("--max-inflight", type=int, default=256,
+                   help="global launch admission bound (backpressure above)")
+    p.add_argument("--session-inflight", type=int, default=32,
+                   help="per-session launch admission bound")
+    p.add_argument("--max-sessions", type=int, default=64,
+                   help="concurrent session bound")
+    p.add_argument("--log-limit", type=int, default=256,
+                   help="scheduler decision/allocation log bound")
+    p.add_argument("--duration", type=float, default=None,
+                   help="stop serving after this many seconds (default: until SIGINT)")
+    p.add_argument("--trace", metavar="PATH",
+                   help="capture request-lifecycle tracing; write Perfetto JSON on shutdown")
+    p.add_argument("--dump-metrics", metavar="PATH",
+                   help="write a metrics-registry snapshot here on shutdown")
+    p.set_defaults(func=_cmd_serve)
+
+    p = sub.add_parser("client", help="connect to a running daemon and launch kernels")
+    p.add_argument("kernel", nargs="?", default="RG", help="benchmark short name (default RG)")
+    p.add_argument("--socket", default="/tmp/slate.sock")
+    p.add_argument("--reps", type=int, default=3)
+    p.add_argument("--task-size", type=int, default=None)
+    p.add_argument("--priority", type=int, default=0)
+    p.add_argument("--name", default=None, help="session name shown in daemon stats")
+    p.add_argument("--connect-retries", type=int, default=100,
+                   help="retries while waiting for the daemon socket to appear")
+    p.set_defaults(func=_cmd_client)
+
+    p = sub.add_parser("loadgen", help="drive a running daemon with multi-process load")
+    p.add_argument("--socket", default="/tmp/slate.sock")
+    p.add_argument("--clients", type=int, default=4, help="concurrent client processes")
+    p.add_argument("--requests", type=int, default=50, help="launches per client")
+    p.add_argument("--mode", choices=["closed", "open"], default="closed")
+    p.add_argument("--rate", type=float, default=200.0,
+                   help="per-client offered load for --mode open (req/s)")
+    p.add_argument("--seed", type=int, default=0, help="workload-mix seed")
+    p.add_argument("--mix", default="BS:1,GS:1,MM:1,RG:1,TR:1",
+                   help="weighted kernel mix, e.g. 'BS:2,MM:1'")
+    p.add_argument("--task-size", type=int, default=None)
+    p.add_argument("--duration", type=float, default=None,
+                   help="per-client wall-clock budget for issuing requests")
+    p.add_argument("--threads", action="store_true",
+                   help="run clients as threads instead of processes")
+    p.add_argument("--json", metavar="PATH", help="write the aggregated report here")
+    p.set_defaults(func=_cmd_loadgen)
 
     p = sub.add_parser("obs", help="observability: registry dump, trace validation")
     obs_sub = p.add_subparsers(dest="obs_command", required=True)

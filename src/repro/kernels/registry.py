@@ -17,7 +17,16 @@ from repro.kernels.sgemm import sgemm
 from repro.kernels.stream import stream
 from repro.kernels.transpose import transpose
 
-__all__ = ["BENCHMARKS", "SHORT_NAMES", "by_name"]
+__all__ = ["BENCHMARKS", "SHORT_NAMES", "UnknownKernelError", "by_name"]
+
+
+class UnknownKernelError(KeyError):
+    """A benchmark/kernel name that is not in the registry.
+
+    Subclasses :class:`KeyError` so existing ``except KeyError`` callers
+    keep working; the serving daemon relies on the distinct type to send a
+    structured ``UnknownKernel`` error reply instead of a traceback.
+    """
 
 #: The paper's five evaluation benchmarks (Table II order).
 BENCHMARKS: dict[str, Callable[[], KernelSpec]] = {
@@ -46,5 +55,5 @@ def by_name(name: str) -> KernelSpec:
     factory = BENCHMARKS.get(key) or _EXTRAS.get(key)
     if factory is None:
         known = ", ".join([*BENCHMARKS, *_EXTRAS])
-        raise KeyError(f"unknown benchmark {name!r}; known: {known}")
+        raise UnknownKernelError(f"unknown benchmark {name!r}; known: {known}")
     return factory()

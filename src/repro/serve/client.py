@@ -1,0 +1,219 @@
+"""Synchronous client library for the Slate serving daemon.
+
+The served analogue of the paper's Slate API library: a plain Python
+process creates a :class:`SlateClient`, which connects to the daemon's
+Unix socket (with retry while the daemon is still coming up), performs the
+``hello`` version handshake, and then relays operations synchronously —
+one outstanding request per connection, exactly like a blocking CUDA
+client thread.  Concurrency comes from running many client processes (see
+:mod:`repro.serve.loadgen`).
+
+Typed server errors re-raise client-side as the same exception classes
+(:data:`repro.serve.protocol.ERROR_TYPES`), so ``except UnknownKernelError``
+behaves identically in-process and across the socket.  Backpressure replies
+(``ServerBusy`` / ``SessionLimit``) can be retried automatically with
+exponential backoff via ``launch(..., busy_retries=N)``.
+"""
+
+from __future__ import annotations
+
+import itertools
+import socket
+import time
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.serve.protocol import (
+    PROTOCOL_VERSION,
+    BackpressureError,
+    MessageStream,
+    ProtocolError,
+    error_from_reply,
+    request,
+)
+
+__all__ = ["LaunchReply", "SlateClient"]
+
+
+@dataclass(frozen=True)
+class LaunchReply:
+    """One completed launch as seen by the client."""
+
+    kernel: str
+    #: Wall-clock request latency (send -> reply), seconds.
+    latency: float
+    #: Simulated timestamps from the daemon's DES clock.
+    sim_submitted: float
+    sim_finished: float
+    sim_started: Optional[float] = None
+    #: Device-side execution time of the kernel (simulated seconds).
+    sim_exec: Optional[float] = None
+    task_size: int = 0
+    priority: int = 0
+    preemptions: int = 0
+    #: Busy/backpressure retries spent before this launch was admitted.
+    retries: int = 0
+
+    @property
+    def sim_latency(self) -> float:
+        """Queueing + execution time on the simulated GPU."""
+        return self.sim_finished - self.sim_submitted
+
+
+class SlateClient:
+    """Blocking client for one daemon session (context-manager friendly)."""
+
+    def __init__(
+        self,
+        socket_path: str,
+        name: Optional[str] = None,
+        timeout: float = 60.0,
+        connect_retries: int = 100,
+        connect_delay: float = 0.05,
+        kernel_hint: Optional[str] = None,
+    ) -> None:
+        self.socket_path = socket_path
+        self.name = name
+        self.timeout = timeout
+        self.connect_retries = connect_retries
+        self.connect_delay = connect_delay
+        self.kernel_hint = kernel_hint
+        self.session: Optional[int] = None
+        self.session_name: Optional[str] = None
+        self._stream: Optional[MessageStream] = None
+        self._rids = itertools.count(1)
+
+    # -- connection --------------------------------------------------------
+
+    def connect(self) -> dict:
+        """Connect (retrying while the socket is absent) and handshake."""
+        last: Optional[Exception] = None
+        for attempt in range(self.connect_retries + 1):
+            sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+            try:
+                sock.connect(self.socket_path)
+            except (FileNotFoundError, ConnectionRefusedError) as exc:
+                sock.close()
+                last = exc
+                if attempt == self.connect_retries:
+                    break
+                time.sleep(self.connect_delay)
+                continue
+            sock.settimeout(self.timeout)
+            self._stream = MessageStream(sock)
+            params = {"version": PROTOCOL_VERSION}
+            if self.name is not None:
+                params["name"] = self.name
+            if self.kernel_hint is not None:
+                params["kernel_hint"] = self.kernel_hint
+            result = self._call("hello", **params)
+            self.session = result["session"]
+            self.session_name = result["name"]
+            return result
+        raise ConnectionError(
+            f"could not connect to Slate daemon at {self.socket_path!r} "
+            f"after {self.connect_retries + 1} attempts: {last}"
+        )
+
+    @property
+    def connected(self) -> bool:
+        return self._stream is not None
+
+    def close(self) -> None:
+        """Send ``bye`` (best effort) and close the socket."""
+        stream = self._stream
+        if stream is None:
+            return
+        try:
+            self._call("bye")
+        except Exception:
+            pass
+        finally:
+            self._stream = None
+            self.session = None
+            try:
+                stream.sock.close()
+            except OSError:
+                pass
+
+    def __enter__(self) -> "SlateClient":
+        if not self.connected:
+            self.connect()
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    # -- request plumbing --------------------------------------------------
+
+    def _call(self, op: str, **params) -> dict:
+        if self._stream is None:
+            raise ConnectionError("client is not connected (call connect())")
+        rid = next(self._rids)
+        self._stream.send(request(rid, op, **params))
+        reply = self._stream.recv()
+        got = reply.get("id")
+        if got != rid:
+            raise ProtocolError(f"reply id {got!r} does not match request {rid}")
+        if not reply.get("ok"):
+            raise error_from_reply(reply)
+        return reply.get("result") or {}
+
+    # -- operations --------------------------------------------------------
+
+    def ping(self) -> dict:
+        return self._call("ping")
+
+    def register(self, kernel: str) -> dict:
+        """Compile/inject ``kernel`` daemon-side ahead of the first launch."""
+        return self._call("register", kernel=kernel)
+
+    def launch(
+        self,
+        kernel: str,
+        task_size: Optional[int] = None,
+        priority: int = 0,
+        busy_retries: int = 0,
+        busy_backoff: float = 0.01,
+    ) -> LaunchReply:
+        """Launch ``kernel`` and block until the daemon reports completion.
+
+        ``busy_retries`` > 0 retries backpressure rejections with
+        exponential backoff seeded by the server's ``retry_after`` hint
+        (capped at 1 s per sleep).
+        """
+        params: dict = {"kernel": kernel, "priority": priority}
+        if task_size is not None:
+            params["task_size"] = task_size
+        retries = 0
+        while True:
+            t0 = time.perf_counter()
+            try:
+                result = self._call("launch", **params)
+            except BackpressureError as exc:
+                if retries >= busy_retries:
+                    raise
+                delay = max(exc.retry_after, busy_backoff * (2 ** retries))
+                time.sleep(min(delay, 1.0))
+                retries += 1
+                continue
+            return LaunchReply(
+                kernel=result["kernel"],
+                latency=time.perf_counter() - t0,
+                sim_submitted=result["sim_submitted"],
+                sim_finished=result["sim_finished"],
+                sim_started=result.get("sim_started"),
+                sim_exec=result.get("sim_exec"),
+                task_size=result.get("task_size", 0),
+                priority=result.get("priority", 0),
+                preemptions=result.get("preemptions", 0),
+                retries=retries,
+            )
+
+    def sync(self) -> dict:
+        """Wait for every outstanding launch of this session."""
+        return self._call("sync")
+
+    def stats(self) -> dict:
+        """Server + session statistics snapshot."""
+        return self._call("stats")

@@ -1,0 +1,302 @@
+"""Multi-process load generator for the Slate serving daemon.
+
+Each client is a real OS process (or, for embedding in tests, a thread)
+running :class:`~repro.serve.client.SlateClient` against the daemon's
+socket.  The request sequence of every client is planned *up front* from
+``Random(f"{seed}:{client}")`` over the configured workload mix, so a given
+``(seed, clients, requests, mix)`` tuple always issues exactly the same
+kernels in the same per-client order regardless of timing — runs are
+reproducible even though the daemon serves them live.
+
+Two driving disciplines:
+
+``closed``
+    Each client issues its next request the moment the previous reply
+    lands (think time zero) — measures saturation throughput.
+``open``
+    Each client draws Poisson inter-arrival gaps at ``rate`` requests/s
+    and sends on schedule (never early; late sends are issued immediately,
+    the standard open-loop treatment) — measures latency under offered
+    load.
+
+The report aggregates wall-clock request latencies into p50/p90/p99 and
+requests/s — the numbers ``benchmarks/test_serve_perf.py`` pins into
+``BENCH_serve.json``.
+"""
+
+from __future__ import annotations
+
+import json
+import multiprocessing
+import random
+import time
+from collections import Counter
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+from dataclasses import asdict, dataclass, field
+from typing import Optional
+
+from repro.kernels.registry import by_name
+from repro.serve.client import SlateClient
+
+__all__ = [
+    "DEFAULT_MIX",
+    "LoadGenConfig",
+    "LoadGenReport",
+    "parse_mix",
+    "percentile",
+    "plan_client",
+    "run_loadgen",
+]
+
+#: Equal-weight mix over the paper's five evaluation benchmarks.
+DEFAULT_MIX = "BS:1,GS:1,MM:1,RG:1,TR:1"
+
+
+def parse_mix(mix: str) -> list[tuple[str, float]]:
+    """Parse ``"BS:2,MM:1"`` into validated ``(kernel, weight)`` pairs."""
+    pairs: list[tuple[str, float]] = []
+    for part in mix.split(","):
+        part = part.strip()
+        if not part:
+            continue
+        name, _, weight_text = part.partition(":")
+        name = name.strip().upper()
+        by_name(name)  # raises UnknownKernelError for bad names
+        weight = float(weight_text) if weight_text.strip() else 1.0
+        if weight <= 0:
+            raise ValueError(f"mix weight for {name} must be positive, got {weight}")
+        pairs.append((name, weight))
+    if not pairs:
+        raise ValueError(f"empty workload mix {mix!r}")
+    return pairs
+
+
+def percentile(values: list[float], q: float) -> float:
+    """Linear-interpolation percentile of ``values`` (``q`` in [0, 100])."""
+    if not values:
+        return 0.0
+    ordered = sorted(values)
+    if len(ordered) == 1:
+        return ordered[0]
+    rank = (q / 100.0) * (len(ordered) - 1)
+    lo = int(rank)
+    hi = min(lo + 1, len(ordered) - 1)
+    frac = rank - lo
+    return ordered[lo] * (1.0 - frac) + ordered[hi] * frac
+
+
+@dataclass(frozen=True)
+class LoadGenConfig:
+    """One load-generation run (picklable: crosses process boundaries)."""
+
+    socket_path: str
+    clients: int = 4
+    #: Requests planned per client.
+    requests: int = 50
+    mode: str = "closed"  # "closed" | "open"
+    #: Per-client offered load for open-loop mode (requests/second).
+    rate: float = 200.0
+    seed: int = 0
+    mix: str = DEFAULT_MIX
+    task_size: Optional[int] = None
+    #: Automatic backoff-retries per request on backpressure replies.
+    busy_retries: int = 8
+    #: Stop issuing new requests after this many wall seconds (per client).
+    duration: Optional[float] = None
+    #: False runs clients as threads in-process (tests/embedding); True
+    #: spawns real OS processes (the default, and what ``repro loadgen``
+    #: exercises).
+    processes: bool = True
+    name_prefix: str = "loadgen"
+
+    def __post_init__(self) -> None:
+        if self.mode not in ("closed", "open"):
+            raise ValueError(f"mode must be 'closed' or 'open', got {self.mode!r}")
+        if self.clients < 1:
+            raise ValueError("clients must be >= 1")
+        if self.requests < 1:
+            raise ValueError("requests must be >= 1")
+        if self.rate <= 0:
+            raise ValueError("rate must be positive")
+        parse_mix(self.mix)  # fail fast on bad mixes
+
+
+def plan_client(cfg: LoadGenConfig, client: int) -> tuple[list[str], list[float]]:
+    """The deterministic plan for one client: kernels + arrival offsets.
+
+    Depends only on ``(seed, client, requests, mix, mode, rate)`` — never
+    on timing — which is what makes per-seed runs reproducible.
+    """
+    pairs = parse_mix(cfg.mix)
+    names = [name for name, _ in pairs]
+    weights = [weight for _, weight in pairs]
+    rng = random.Random(f"{cfg.seed}:{client}")
+    kernels = rng.choices(names, weights=weights, k=cfg.requests)
+    offsets: list[float] = []
+    if cfg.mode == "open":
+        t = 0.0
+        for _ in range(cfg.requests):
+            t += rng.expovariate(cfg.rate)
+            offsets.append(t)
+    else:
+        offsets = [0.0] * cfg.requests
+    return kernels, offsets
+
+
+@dataclass
+class ClientResult:
+    """What one load-generating client observed."""
+
+    client: int
+    completed: int = 0
+    errors: int = 0
+    busy_retries: int = 0
+    elapsed: float = 0.0
+    latencies: list[float] = field(default_factory=list)
+    kernels: dict[str, int] = field(default_factory=dict)
+    error_messages: list[str] = field(default_factory=list)
+
+
+def _run_client(cfg: LoadGenConfig, client: int) -> ClientResult:
+    """Drive one client's planned sequence; module-level for picklability."""
+    kernels, offsets = plan_client(cfg, client)
+    result = ClientResult(client=client)
+    counts: Counter = Counter()
+    start = time.perf_counter()
+    try:
+        with SlateClient(
+            cfg.socket_path, name=f"{cfg.name_prefix}-{client}"
+        ) as conn:
+            for i, kernel in enumerate(kernels):
+                if cfg.duration is not None and (
+                    time.perf_counter() - start
+                ) >= cfg.duration:
+                    break
+                if cfg.mode == "open":
+                    lag = (start + offsets[i]) - time.perf_counter()
+                    if lag > 0:
+                        time.sleep(lag)
+                try:
+                    reply = conn.launch(
+                        kernel,
+                        task_size=cfg.task_size,
+                        busy_retries=cfg.busy_retries,
+                    )
+                except Exception as exc:
+                    result.errors += 1
+                    if len(result.error_messages) < 5:
+                        result.error_messages.append(f"{type(exc).__name__}: {exc}")
+                else:
+                    result.completed += 1
+                    result.busy_retries += reply.retries
+                    result.latencies.append(reply.latency)
+                    counts[kernel] += 1
+    except Exception as exc:
+        result.errors += 1
+        result.error_messages.append(f"{type(exc).__name__}: {exc}")
+    result.elapsed = time.perf_counter() - start
+    result.kernels = dict(counts)
+    return result
+
+
+@dataclass
+class LoadGenReport:
+    """Aggregated outcome of one load-generation run."""
+
+    clients: int
+    mode: str
+    seed: int
+    mix: str
+    completed: int
+    errors: int
+    busy_retries: int
+    wall: float
+    requests_per_s: float
+    latency_mean: float
+    latency_p50: float
+    latency_p90: float
+    latency_p99: float
+    latency_max: float
+    kernels: dict[str, int]
+    per_client: list[ClientResult]
+    error_messages: list[str]
+
+    def to_dict(self) -> dict:
+        body = asdict(self)
+        # Raw per-request latencies are bulky; the summary carries the
+        # percentiles, so exports keep only counts per client.
+        for client in body["per_client"]:
+            client["latencies"] = len(client["latencies"])
+        return body
+
+    def to_json(self, indent: int = 2) -> str:
+        return json.dumps(self.to_dict(), indent=indent, sort_keys=True)
+
+    def format(self) -> str:
+        lines = [
+            f"loadgen: {self.clients} client(s), mode={self.mode}, "
+            f"seed={self.seed}, mix={self.mix}",
+            f"  completed {self.completed} launches in {self.wall:.2f}s "
+            f"({self.requests_per_s:.1f} req/s), {self.errors} error(s), "
+            f"{self.busy_retries} busy retries",
+            f"  latency: mean {self.latency_mean * 1e3:.2f} ms, "
+            f"p50 {self.latency_p50 * 1e3:.2f} ms, "
+            f"p90 {self.latency_p90 * 1e3:.2f} ms, "
+            f"p99 {self.latency_p99 * 1e3:.2f} ms, "
+            f"max {self.latency_max * 1e3:.2f} ms",
+            "  kernels: "
+            + ", ".join(f"{k}:{n}" for k, n in sorted(self.kernels.items())),
+        ]
+        for message in self.error_messages[:5]:
+            lines.append(f"  error: {message}")
+        return "\n".join(lines)
+
+
+def _mp_context():
+    """Fork where available (fast, Linux); spawn elsewhere."""
+    try:
+        return multiprocessing.get_context("fork")
+    except ValueError:  # pragma: no cover - non-POSIX
+        return multiprocessing.get_context("spawn")
+
+
+def run_loadgen(cfg: LoadGenConfig) -> LoadGenReport:
+    """Run the configured fleet of clients and aggregate their results."""
+    t0 = time.perf_counter()
+    if cfg.clients == 1:
+        results = [_run_client(cfg, 0)]
+    elif cfg.processes:
+        with ProcessPoolExecutor(
+            max_workers=cfg.clients, mp_context=_mp_context()
+        ) as pool:
+            results = list(pool.map(_run_client, [cfg] * cfg.clients, range(cfg.clients)))
+    else:
+        with ThreadPoolExecutor(max_workers=cfg.clients) as pool:
+            results = list(pool.map(_run_client, [cfg] * cfg.clients, range(cfg.clients)))
+    wall = time.perf_counter() - t0
+
+    latencies = [lat for r in results for lat in r.latencies]
+    completed = sum(r.completed for r in results)
+    kernels: Counter = Counter()
+    for r in results:
+        kernels.update(r.kernels)
+    messages = [m for r in results for m in r.error_messages]
+    return LoadGenReport(
+        clients=cfg.clients,
+        mode=cfg.mode,
+        seed=cfg.seed,
+        mix=cfg.mix,
+        completed=completed,
+        errors=sum(r.errors for r in results),
+        busy_retries=sum(r.busy_retries for r in results),
+        wall=wall,
+        requests_per_s=completed / wall if wall > 0 else 0.0,
+        latency_mean=sum(latencies) / len(latencies) if latencies else 0.0,
+        latency_p50=percentile(latencies, 50),
+        latency_p90=percentile(latencies, 90),
+        latency_p99=percentile(latencies, 99),
+        latency_max=max(latencies, default=0.0),
+        kernels=dict(kernels),
+        per_client=results,
+        error_messages=messages[:10],
+    )

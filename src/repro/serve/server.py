@@ -1,0 +1,638 @@
+"""The Slate serving daemon: real sockets in front of the simulated GPU.
+
+Architecture
+------------
+One asyncio event loop owns everything — there are no threads and no locks
+around the simulator:
+
+* ``asyncio.start_unix_server`` accepts client connections; each connection
+  gets a handler task and (after ``hello``) one :class:`~repro.slate.daemon.
+  SlateSession` from the shared :class:`~repro.slate.cluster.SlateCluster`,
+  mirroring the paper's one-session-per-client-process design (§IV-A2).
+* :class:`SimDriver` steps the discrete-event engine in bounded batches,
+  yielding to the loop between batches so new frames keep flowing while the
+  simulated GPU grinds.  Request handlers never call ``env.run`` — they
+  submit a process generator and await an :class:`asyncio.Future` resolved
+  when the sim process finishes.
+* Simulated time only advances while there is simulated work: the wall
+  clock between requests does not leak into simulated results, so a served
+  run's sim-side numbers line up with an in-process (pure DES) run of the
+  same operation sequence.
+
+Admission control
+-----------------
+Two bounded queues guard the scheduler: a global in-flight cap
+(``max_inflight``) and a per-session cap (``session_inflight``).  A launch
+over either bound is rejected *immediately* with a structured backpressure
+reply (``ServerBusy`` / ``SessionLimit``) carrying a ``retry_after`` hint —
+the daemon never buffers unbounded work, clients decide whether to back
+off or shed.
+
+Session reaping
+---------------
+A session dies with its connection ("alive until the process completes").
+Launches still in flight when a client disconnects are allowed to drain —
+the scheduler already owns them — and the session is finalized (device
+allocations freed, placement slot released) when its in-flight count hits
+zero, so a crashing client can neither leak sessions nor wedge the
+scheduler.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import itertools
+import os
+import time
+from dataclasses import dataclass, field
+from typing import Generator, Optional
+
+from repro.kernels.kernel import KernelSpec
+from repro.kernels.registry import SHORT_NAMES, by_name
+from repro.obs import trace as obs_trace
+from repro.obs.registry import registry as obs_registry
+from repro.serve import protocol
+from repro.serve.protocol import (
+    PROTOCOL_VERSION,
+    FrameDecoder,
+    FrameError,
+    ProtocolError,
+    ServerBusyError,
+    SessionLimitError,
+    SessionStateError,
+    VersionMismatchError,
+    error_reply,
+    ok_reply,
+    validate_request,
+)
+from repro.sim import Environment
+from repro.slate.cluster import SlateCluster
+from repro.slate.daemon import SlateSession
+
+__all__ = ["ServeConfig", "ServerThread", "SimDriver", "SlateServer"]
+
+
+@dataclass
+class ServeConfig:
+    """Everything ``repro serve`` needs to stand up a daemon."""
+
+    socket_path: str
+    num_devices: int = 1
+    placement: str = "least-loaded"
+    #: Admission control: reject a launch when this many are in flight
+    #: across all sessions (queued + running in the scheduler)...
+    max_inflight: int = 256
+    #: ...or this many for a single session.
+    session_inflight: int = 32
+    #: Open sessions the daemon will hold at once; further ``hello``\ s
+    #: get a ``ServerBusy`` reply.
+    max_sessions: int = 64
+    #: Engine events stepped per scheduling of the driver task — the
+    #: trade-off between sim throughput and socket latency.
+    step_batch: int = 512
+    #: Bound on scheduler decision/allocation logs (a long-lived daemon
+    #: must not hold unbounded history); ``None`` keeps everything.
+    log_limit: Optional[int] = 256
+    #: Seed every device's profile table offline at startup so first
+    #: launches skip the profiling run (the paper allows this, §III-B1).
+    preload_profiles: bool = True
+    #: Stop serving after this many wall seconds (None = until stopped).
+    duration: Optional[float] = None
+    #: Extra keyword arguments forwarded to every per-device runtime.
+    runtime_kwargs: dict = field(default_factory=dict)
+
+
+class SimDriver:
+    """Advance the discrete-event engine cooperatively inside asyncio.
+
+    Handlers call :meth:`submit` with a process generator; the driver task
+    steps the engine whenever events are pending and resolves the returned
+    future with the generator's return value (or its exception).  The
+    generator runs under a guard, so a failing request can never crash the
+    engine loop for everyone else.
+    """
+
+    def __init__(self, env: Environment, step_batch: int = 512) -> None:
+        self.env = env
+        self.step_batch = max(1, step_batch)
+        self.pending = 0
+        self.sim_errors = 0
+        self._wake = asyncio.Event()
+        self._stopped = False
+
+    def submit(self, gen: Generator) -> "asyncio.Future":
+        """Run ``gen`` as a sim process; the future resolves on completion."""
+        future = asyncio.get_running_loop().create_future()
+
+        def guarded() -> Generator:
+            self.pending += 1
+            try:
+                result = yield from gen
+            except Exception as exc:
+                if not future.done():
+                    future.set_exception(exc)
+                else:  # pragma: no cover - future cancelled under shutdown
+                    self.sim_errors += 1
+            else:
+                if not future.done():
+                    future.set_result(result)
+            finally:
+                self.pending -= 1
+
+        self.env.process(guarded())
+        self._wake.set()
+        return future
+
+    def stop(self) -> None:
+        self._stopped = True
+        self._wake.set()
+
+    async def run(self) -> None:
+        """The driver task: step while work is pending, sleep while idle."""
+        env = self.env
+        inf = float("inf")
+        while not self._stopped:
+            if env.peek() == inf:
+                self._wake.clear()
+                # Re-check after clearing: submit() may have raced us.
+                if env.peek() == inf and not self._stopped:
+                    await self._wake.wait()
+                continue
+            steps = self.step_batch
+            while steps > 0 and env.peek() != inf:
+                try:
+                    env.step()
+                except Exception:
+                    # A failed event outside any guarded process; count it
+                    # and keep serving (the guilty request already got its
+                    # error through the guard, or was fire-and-forget).
+                    self.sim_errors += 1
+                steps -= 1
+            await asyncio.sleep(0)
+
+
+class _Session:
+    """Daemon-side state for one connected client."""
+
+    __slots__ = ("sid", "name", "slate", "inflight", "connected", "launches", "errors")
+
+    def __init__(self, sid: int, name: str, slate: SlateSession) -> None:
+        self.sid = sid
+        self.name = name
+        self.slate = slate
+        self.inflight = 0
+        self.connected = True
+        self.launches = 0
+        self.errors = 0
+
+
+class SlateServer:
+    """The daemon: one shared cluster + scheduler behind a Unix socket."""
+
+    def __init__(self, config: ServeConfig) -> None:
+        self.config = config
+        self.env = Environment()
+        self.cluster = SlateCluster(
+            self.env,
+            num_devices=config.num_devices,
+            placement=config.placement,
+            log_limit=config.log_limit,
+            **config.runtime_kwargs,
+        )
+        if config.preload_profiles:
+            self.cluster.preload_profiles([by_name(n) for n in SHORT_NAMES])
+        self.driver = SimDriver(self.env, config.step_batch)
+        self._sessions: dict[int, _Session] = {}
+        self._sids = itertools.count(1)
+        self._server: Optional[asyncio.AbstractServer] = None
+        self._conn_tasks: set[asyncio.Task] = set()
+        self._driver_task: Optional[asyncio.Task] = None
+        self._stop = asyncio.Event()
+        self.started_at = 0.0
+        # Serving metrics (process-wide registry; see docs/serving.md).
+        reg = obs_registry()
+        self._m_requests = reg.counter("serve.requests")
+        self._m_errors = reg.counter("serve.errors")
+        self._m_busy = reg.counter("serve.busy_rejections")
+        self._m_launches = reg.counter("serve.launches")
+        self._m_opened = reg.counter("serve.sessions_opened")
+        self._m_reaped = reg.counter("serve.sessions_reaped")
+        self._g_sessions = reg.gauge("serve.sessions")
+        self._g_inflight = reg.gauge("serve.inflight")
+        self._h_latency = {
+            op: reg.histogram(f"serve.latency.{op}") for op in protocol.OPS
+        }
+        self._h_queue_depth = reg.histogram("serve.queue_depth")
+        self._h_sim_latency = reg.histogram("serve.sim_latency.launch")
+
+    # -- introspection -----------------------------------------------------
+
+    @property
+    def session_count(self) -> int:
+        return len(self._sessions)
+
+    @property
+    def inflight(self) -> int:
+        return sum(s.inflight for s in self._sessions.values())
+
+    def stats(self) -> dict:
+        """Server-level snapshot (the ``stats`` op's result body)."""
+        return {
+            "sim_time": self.env.now,
+            "sessions": self.session_count,
+            "inflight": self.inflight,
+            "requests": self._m_requests.value,
+            "errors": self._m_errors.value,
+            "busy_rejections": self._m_busy.value,
+            "launches": self._m_launches.value,
+            "sessions_opened": self._m_opened.value,
+            "sessions_reaped": self._m_reaped.value,
+            "sim_pending": self.driver.pending,
+            "sim_errors": self.driver.sim_errors,
+            "scheduler": self.cluster.scheduler_stats(),
+            "uptime": time.monotonic() - self.started_at if self.started_at else 0.0,
+        }
+
+    # -- lifecycle ---------------------------------------------------------
+
+    async def start(self) -> None:
+        """Bind the socket and start the driver task."""
+        path = self.config.socket_path
+        if os.path.exists(path):
+            os.unlink(path)
+        self._server = await asyncio.start_unix_server(self._handle, path=path)
+        self._driver_task = asyncio.create_task(self.driver.run())
+        self.started_at = time.monotonic()
+
+    def request_stop(self) -> None:
+        """Ask :meth:`serve_forever` to shut down (signal-handler safe
+        from within the loop thread)."""
+        self._stop.set()
+
+    async def serve_forever(self) -> None:
+        """Start, run until stopped (or ``config.duration``), shut down."""
+        await self.start()
+        try:
+            if self.config.duration is not None:
+                try:
+                    await asyncio.wait_for(
+                        self._stop.wait(), timeout=self.config.duration
+                    )
+                except asyncio.TimeoutError:
+                    pass
+            else:
+                await self._stop.wait()
+        finally:
+            await self.shutdown()
+
+    async def shutdown(self, drain_timeout: float = 10.0) -> None:
+        """Graceful stop: no new connections, drain in-flight sim work."""
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        deadline = time.monotonic() + drain_timeout
+        while self.driver.pending and time.monotonic() < deadline:
+            await asyncio.sleep(0.01)
+        for task in list(self._conn_tasks):
+            task.cancel()
+        if self._conn_tasks:
+            await asyncio.gather(*self._conn_tasks, return_exceptions=True)
+        # Finalize anything a cancelled handler left behind.
+        for sess in list(self._sessions.values()):
+            sess.connected = False
+            self._finalize(sess, force=True)
+        if self._driver_task is not None:
+            self.driver.stop()
+            await self._driver_task
+            self._driver_task = None
+        if os.path.exists(self.config.socket_path):
+            os.unlink(self.config.socket_path)
+
+    # -- session reaping ---------------------------------------------------
+
+    def _finalize(self, sess: _Session, force: bool = False) -> None:
+        """Reap a disconnected session once its launches drained."""
+        if sess.connected or (sess.inflight and not force):
+            return
+        if sess.sid in self._sessions:
+            del self._sessions[sess.sid]
+            sess.slate.close()
+            self._m_reaped.inc()
+            self._g_sessions.set(len(self._sessions))
+            if obs_trace.ENABLED:
+                obs_trace.instant(
+                    "session.close", self.env.now, "serve", sess.name, sid=sess.sid
+                )
+
+    # -- connection handling ----------------------------------------------
+
+    async def _handle(self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter) -> None:
+        task = asyncio.current_task()
+        if task is not None:
+            self._conn_tasks.add(task)
+        decoder = FrameDecoder()
+        sess: Optional[_Session] = None
+        try:
+            while True:
+                data = await reader.read(65536)
+                if not data:
+                    break
+                try:
+                    messages = decoder.feed(data)
+                except FrameError as exc:
+                    self._m_errors.inc()
+                    await self._send(writer, error_reply(None, exc))
+                    break
+                stop = False
+                for msg in messages:
+                    sess, stop = await self._dispatch(msg, writer, sess)
+                    if stop:
+                        break
+                if stop:
+                    break
+        except (ConnectionResetError, BrokenPipeError, asyncio.CancelledError):
+            pass
+        finally:
+            if task is not None:
+                self._conn_tasks.discard(task)
+            if sess is not None:
+                sess.connected = False
+                self._finalize(sess)
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except Exception:
+                pass
+
+    async def _send(self, writer: asyncio.StreamWriter, msg: dict) -> bool:
+        try:
+            writer.write(protocol.encode_frame(msg))
+            await writer.drain()
+            return True
+        except (ConnectionResetError, BrokenPipeError):
+            return False
+
+    async def _dispatch(
+        self,
+        msg: dict,
+        writer: asyncio.StreamWriter,
+        sess: Optional[_Session],
+    ) -> tuple[Optional[_Session], bool]:
+        """Handle one request; returns (session, close-connection?)."""
+        self._m_requests.inc()
+        t0 = time.monotonic()
+        rid = msg.get("id")
+        op = "?"
+        try:
+            rid, op, params = validate_request(msg)
+            if op == "hello":
+                if sess is not None:
+                    raise SessionStateError(
+                        f"session {sess.name} is already open on this connection"
+                    )
+                sess, result = self._op_hello(params)
+            elif op == "ping":
+                result = {"pong": True, "sim_time": self.env.now}
+            elif sess is None:
+                raise SessionStateError(f"op {op!r} requires a hello first")
+            elif op == "register":
+                result = await self._op_register(sess, params)
+            elif op == "launch":
+                result = await self._op_launch(sess, rid, params)
+            elif op == "sync":
+                result = await self._op_sync(sess)
+            elif op == "stats":
+                result = self._op_stats(sess)
+            else:  # bye
+                result = {"bye": True}
+        except asyncio.CancelledError:
+            raise
+        except Exception as exc:
+            self._m_errors.inc()
+            if sess is not None:
+                sess.errors += 1
+            if isinstance(exc, (ServerBusyError, SessionLimitError)):
+                self._m_busy.inc()
+            await self._send(writer, error_reply(rid, exc))
+            # Protocol violations poison the stream; typed app errors don't.
+            fatal = isinstance(exc, ProtocolError) and not isinstance(
+                exc, (VersionMismatchError,)
+            )
+            return sess, fatal
+        histogram = self._h_latency.get(op)
+        if histogram is not None:
+            histogram.observe(time.monotonic() - t0)
+        delivered = await self._send(writer, ok_reply(rid, result))
+        return sess, (op == "bye" or not delivered)
+
+    # -- operations --------------------------------------------------------
+
+    def _op_hello(self, params: dict) -> tuple[_Session, dict]:
+        version = params.get("version")
+        if version != PROTOCOL_VERSION:
+            raise VersionMismatchError(
+                f"client protocol version {version!r} != server {PROTOCOL_VERSION}"
+            )
+        if len(self._sessions) >= self.config.max_sessions:
+            raise ServerBusyError(
+                f"session table full ({self.config.max_sessions})", retry_after=0.1
+            )
+        sid = next(self._sids)
+        name = str(params.get("name") or f"client-{sid}")
+        spec_hint = None
+        hint = params.get("kernel_hint")
+        if hint is not None:
+            spec_hint = by_name(str(hint))
+        slate = self.cluster.create_session(f"{name}#{sid}", spec_hint=spec_hint)
+        sess = _Session(sid, f"{name}#{sid}", slate)
+        self._sessions[sid] = sess
+        self._m_opened.inc()
+        self._g_sessions.set(len(self._sessions))
+        if obs_trace.ENABLED:
+            obs_trace.instant(
+                "session.open", self.env.now, "serve", sess.name, sid=sid
+            )
+        return sess, {
+            "session": sid,
+            "name": sess.name,
+            "version": PROTOCOL_VERSION,
+            "devices": self.cluster.num_devices,
+            "device": self.cluster.placements.get(sess.name),
+        }
+
+    def _resolve_spec(self, params: dict) -> KernelSpec:
+        kernel = params.get("kernel")
+        if not isinstance(kernel, str):
+            raise ProtocolError(f"launch/register needs a kernel name, got {kernel!r}")
+        return by_name(kernel)
+
+    async def _op_register(self, sess: _Session, params: dict) -> dict:
+        spec = self._resolve_spec(params)
+        env = self.env
+
+        def gen() -> Generator:
+            yield from sess.slate.pipe.command()
+            t0 = env.now
+            yield from sess.slate.runtime.prepare_kernel(spec)
+            return env.now - t0
+
+        compile_time = await self.driver.submit(gen())
+        return {"kernel": spec.name, "compile_time": compile_time}
+
+    def _admit(self, sess: _Session) -> None:
+        total = self.inflight
+        self._h_queue_depth.observe(total)
+        if total >= self.config.max_inflight:
+            raise ServerBusyError(
+                f"{total} launches in flight (max {self.config.max_inflight})",
+                retry_after=0.02,
+            )
+        if sess.inflight >= self.config.session_inflight:
+            raise SessionLimitError(
+                f"session {sess.name} has {sess.inflight} launches in flight "
+                f"(max {self.config.session_inflight})",
+                retry_after=0.02,
+            )
+
+    async def _op_launch(self, sess: _Session, rid, params: dict) -> dict:
+        spec = self._resolve_spec(params)
+        task_size = params.get("task_size")
+        if task_size is not None:
+            task_size = int(task_size)
+        priority = int(params.get("priority", 0))
+        self._admit(sess)
+        env = self.env
+        slate = sess.slate
+
+        def gen() -> Generator:
+            t0 = env.now
+            ticket = yield from slate.launch(
+                spec, task_size=task_size, priority=priority
+            )
+            if not ticket.done.triggered:
+                yield ticket.done
+            # Same pruning synchronize() does, without charging a second
+            # pipe round trip: completed tickets must not accumulate in a
+            # long-lived served session.
+            slate._pending = [t for t in slate._pending if not t.done.processed]
+            if obs_trace.ENABLED:
+                obs_trace.complete(
+                    "request.launch", t0, env.now - t0, "serve", sess.name,
+                    kernel=spec.name, rid=rid,
+                )
+            return ticket, t0, env.now
+
+        sess.inflight += 1
+        self._g_inflight.set(self.inflight)
+        try:
+            ticket, sim_start, sim_end = await self.driver.submit(gen())
+        finally:
+            sess.inflight -= 1
+            self._g_inflight.set(self.inflight)
+            self._finalize(sess)
+        sess.launches += 1
+        self._m_launches.inc()
+        self._h_sim_latency.observe(sim_end - sim_start)
+        result = {
+            "kernel": spec.name,
+            "task_size": ticket.task_size,
+            "priority": ticket.priority,
+            "sim_submitted": sim_start,
+            "sim_started": ticket.started_at,
+            "sim_finished": sim_end,
+            "preemptions": ticket.preemptions,
+        }
+        if ticket.counters is not None:
+            result["sim_exec"] = ticket.counters.elapsed
+        return result
+
+    async def _op_sync(self, sess: _Session) -> dict:
+        slate = sess.slate
+        env = self.env
+
+        def gen() -> Generator:
+            t0 = env.now
+            yield from slate.synchronize()
+            return env.now - t0
+
+        waited = await self.driver.submit(gen())
+        return {"waited": waited, "sim_time": env.now}
+
+    def _op_stats(self, sess: _Session) -> dict:
+        return {
+            "server": self.stats(),
+            "session": {
+                "sid": sess.sid,
+                "name": sess.name,
+                "inflight": sess.inflight,
+                "launches": sess.launches,
+                "errors": sess.errors,
+                "comm_time": sess.slate.comm_time,
+                "compile_time": sess.slate.compile_time,
+            },
+        }
+
+
+class ServerThread:
+    """Run a :class:`SlateServer` on a background thread (tests, benches).
+
+    Context manager: ``with ServerThread(config) as server:`` yields the
+    server once its socket accepts connections; exit requests a graceful
+    shutdown and joins the thread.  The embedded server is real — clients
+    connect over the Unix socket exactly as they would to ``repro serve``.
+    """
+
+    def __init__(self, config: ServeConfig) -> None:
+        self.config = config
+        self.server: Optional[SlateServer] = None
+        self._thread = None
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._ready = None
+        self._error: Optional[BaseException] = None
+
+    def _main(self) -> None:
+        async def body() -> None:
+            self.server = SlateServer(self.config)
+            self._loop = asyncio.get_running_loop()
+            try:
+                await self.server.start()
+            except BaseException as exc:
+                self._error = exc
+                self._ready.set()
+                raise
+            self._ready.set()
+            await self.server._stop.wait()
+            await self.server.shutdown()
+
+        asyncio.run(body())
+
+    def start(self) -> SlateServer:
+        import threading
+
+        self._ready = threading.Event()
+        self._thread = threading.Thread(
+            target=self._main, name="slate-serve", daemon=True
+        )
+        self._thread.start()
+        if not self._ready.wait(timeout=30.0):
+            raise RuntimeError("serve thread did not come up within 30s")
+        if self._error is not None:
+            self._thread.join(timeout=5.0)
+            raise RuntimeError(f"serve thread failed to start: {self._error!r}")
+        return self.server
+
+    def stop(self) -> None:
+        if self._loop is not None and self.server is not None:
+            try:
+                self._loop.call_soon_threadsafe(self.server.request_stop)
+            except RuntimeError:  # loop already closed
+                pass
+        if self._thread is not None:
+            self._thread.join(timeout=30.0)
+
+    def __enter__(self) -> SlateServer:
+        return self.start()
+
+    def __exit__(self, *exc) -> None:
+        self.stop()

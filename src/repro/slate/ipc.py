@@ -11,24 +11,36 @@ from __future__ import annotations
 from typing import Generator
 
 from repro.config import CostModel
+from repro.obs.registry import registry as obs_registry
 from repro.sim import Environment
 
 __all__ = ["NamedPipe", "SharedBufferChannel"]
 
 
 class NamedPipe:
-    """Command channel: one round trip per API call."""
+    """Command channel: one round trip per API call.
+
+    Per-instance counters (``round_trips``/``total_time``) carry the Fig. 6
+    per-session breakdown; the same increments are mirrored process-wide
+    through :func:`repro.obs.registry.registry` as ``ipc.pipe.*`` so the
+    channels show up in ``repro obs dump`` like every other subsystem.
+    """
 
     def __init__(self, env: Environment, costs: CostModel) -> None:
         self.env = env
         self.costs = costs
         self.round_trips = 0
         self.total_time = 0.0
+        reg = obs_registry()
+        self._m_round_trips = reg.counter("ipc.pipe.round_trips")
+        self._m_time = reg.gauge("ipc.pipe.time_total")
 
     def command(self) -> Generator:
         """Process generator: one command round trip."""
         self.round_trips += 1
         self.total_time += self.costs.pipe_roundtrip
+        self._m_round_trips.inc()
+        self._m_time.inc(self.costs.pipe_roundtrip)
         yield self.env.timeout(self.costs.pipe_roundtrip)
 
 
@@ -47,6 +59,10 @@ class SharedBufferChannel:
         self.handoffs = 0
         self.bytes_handled = 0.0
         self.total_time = 0.0
+        reg = obs_registry()
+        self._m_handoffs = reg.counter("ipc.shared_buffer.mappings")
+        self._m_bytes = reg.gauge("ipc.shared_buffer.bytes_total")
+        self._m_time = reg.gauge("ipc.shared_buffer.time_total")
 
     def handoff(self, nbytes: float) -> Generator:
         """Process generator: map/bookkeep one buffer of ``nbytes``."""
@@ -55,4 +71,7 @@ class SharedBufferChannel:
         self.handoffs += 1
         self.bytes_handled += nbytes
         self.total_time += self.costs.shared_buffer_overhead
+        self._m_handoffs.inc()
+        self._m_bytes.inc(nbytes)
+        self._m_time.inc(self.costs.shared_buffer_overhead)
         yield self.env.timeout(self.costs.shared_buffer_overhead)

@@ -1,0 +1,179 @@
+"""Load-generator tests: mix parsing, per-seed determinism, aggregation,
+and small end-to-end runs against a live daemon."""
+
+import json
+
+import pytest
+
+from repro.kernels.registry import UnknownKernelError
+from repro.serve.loadgen import (
+    LoadGenConfig,
+    parse_mix,
+    percentile,
+    plan_client,
+    run_loadgen,
+)
+from repro.serve.server import ServeConfig, ServerThread
+
+
+class TestMixParsing:
+    def test_weighted_mix(self):
+        assert parse_mix("BS:2,MM:1") == [("BS", 2.0), ("MM", 1.0)]
+
+    def test_default_weight_is_one(self):
+        assert parse_mix("bs,gs") == [("BS", 1.0), ("GS", 1.0)]
+
+    def test_unknown_kernel_rejected(self):
+        with pytest.raises(UnknownKernelError):
+            parse_mix("BS:1,NOPE:2")
+
+    def test_bad_weight_rejected(self):
+        with pytest.raises(ValueError):
+            parse_mix("BS:0")
+        with pytest.raises(ValueError):
+            parse_mix("")
+
+    def test_config_validates_eagerly(self):
+        with pytest.raises(UnknownKernelError):
+            LoadGenConfig(socket_path="/tmp/x.sock", mix="WAT:1")
+        with pytest.raises(ValueError):
+            LoadGenConfig(socket_path="/tmp/x.sock", mode="bursty")
+
+
+class TestDeterminism:
+    def test_same_seed_same_plan(self):
+        cfg = LoadGenConfig(socket_path="/tmp/x.sock", seed=7, requests=40)
+        assert plan_client(cfg, 0) == plan_client(cfg, 0)
+        assert plan_client(cfg, 3) == plan_client(cfg, 3)
+
+    def test_different_clients_different_plans(self):
+        cfg = LoadGenConfig(socket_path="/tmp/x.sock", seed=7, requests=40)
+        assert plan_client(cfg, 0)[0] != plan_client(cfg, 1)[0]
+
+    def test_different_seeds_different_plans(self):
+        a = LoadGenConfig(socket_path="/tmp/x.sock", seed=1, requests=40)
+        b = LoadGenConfig(socket_path="/tmp/x.sock", seed=2, requests=40)
+        assert plan_client(a, 0)[0] != plan_client(b, 0)[0]
+
+    def test_open_loop_offsets_monotonic(self):
+        cfg = LoadGenConfig(
+            socket_path="/tmp/x.sock", mode="open", rate=100.0, requests=20
+        )
+        _, offsets = plan_client(cfg, 0)
+        assert offsets == sorted(offsets)
+        assert all(t > 0 for t in offsets)
+
+    def test_closed_loop_has_no_offsets(self):
+        cfg = LoadGenConfig(socket_path="/tmp/x.sock", requests=5)
+        _, offsets = plan_client(cfg, 0)
+        assert offsets == [0.0] * 5
+
+    def test_mix_weights_steer_the_plan(self):
+        cfg = LoadGenConfig(
+            socket_path="/tmp/x.sock", mix="BS:100,TR:1", requests=60, seed=0
+        )
+        kernels, _ = plan_client(cfg, 0)
+        assert kernels.count("BS") > kernels.count("TR")
+
+
+class TestPercentile:
+    def test_empty(self):
+        assert percentile([], 99) == 0.0
+
+    def test_single(self):
+        assert percentile([4.2], 50) == 4.2
+
+    def test_interpolation(self):
+        values = [1.0, 2.0, 3.0, 4.0]
+        assert percentile(values, 0) == 1.0
+        assert percentile(values, 100) == 4.0
+        assert percentile(values, 50) == pytest.approx(2.5)
+
+    def test_order_independent(self):
+        assert percentile([3.0, 1.0, 2.0], 50) == 2.0
+
+
+@pytest.fixture
+def sock_path(tmp_path):
+    path = tmp_path / "slate.sock"
+    assert len(str(path)) < 100
+    return str(path)
+
+
+class TestEndToEnd:
+    def test_threaded_run_completes_everything(self, sock_path):
+        with ServerThread(ServeConfig(socket_path=sock_path)) as server:
+            launches0 = server._m_launches.value
+            report = run_loadgen(
+                LoadGenConfig(
+                    socket_path=sock_path,
+                    clients=3,
+                    requests=6,
+                    seed=11,
+                    processes=False,
+                )
+            )
+            assert report.completed == 18
+            assert report.errors == 0
+            assert report.requests_per_s > 0
+            assert 0 < report.latency_p50 <= report.latency_p99 <= report.latency_max
+            assert sum(report.kernels.values()) == 18
+            assert server._m_launches.value - launches0 == 18
+
+    def test_open_loop_run(self, sock_path):
+        with ServerThread(ServeConfig(socket_path=sock_path)):
+            report = run_loadgen(
+                LoadGenConfig(
+                    socket_path=sock_path,
+                    clients=2,
+                    requests=4,
+                    mode="open",
+                    rate=500.0,
+                    processes=False,
+                )
+            )
+            assert report.completed == 8
+            assert report.errors == 0
+
+    def test_process_clients(self, sock_path):
+        """Real OS processes over the socket — the acceptance-criteria path."""
+        with ServerThread(ServeConfig(socket_path=sock_path)):
+            report = run_loadgen(
+                LoadGenConfig(
+                    socket_path=sock_path, clients=2, requests=3, processes=True
+                )
+            )
+            assert report.completed == 6
+            assert report.errors == 0
+
+    def test_report_round_trips_through_json(self, sock_path):
+        with ServerThread(ServeConfig(socket_path=sock_path)):
+            report = run_loadgen(
+                LoadGenConfig(
+                    socket_path=sock_path, clients=1, requests=3, processes=False
+                )
+            )
+        body = json.loads(report.to_json())
+        assert body["completed"] == 3
+        assert body["errors"] == 0
+        assert {"latency_p50", "latency_p99", "requests_per_s"} <= set(body)
+        # Raw latency lists are summarized to counts in the export.
+        assert body["per_client"][0]["latencies"] == 3
+
+    def test_backpressure_retries_eventually_land(self, sock_path):
+        """With a tiny admission bound and many concurrent clients, busy
+        replies happen but retried launches complete with zero errors."""
+        with ServerThread(
+            ServeConfig(socket_path=sock_path, max_inflight=1)
+        ):
+            report = run_loadgen(
+                LoadGenConfig(
+                    socket_path=sock_path,
+                    clients=4,
+                    requests=3,
+                    busy_retries=50,
+                    processes=False,
+                )
+            )
+            assert report.completed == 12
+            assert report.errors == 0

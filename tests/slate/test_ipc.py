@@ -47,3 +47,47 @@ class TestSharedBuffer:
         chan = SharedBufferChannel(env, CostModel())
         with pytest.raises(ValueError):
             list(chan.handoff(-1))
+
+
+class TestRegistryMirroring:
+    """The per-instance counters are mirrored into the process-wide
+    metrics registry so IPC overhead shows up in ``repro obs dump``."""
+
+    def test_pipe_counters_mirror_to_registry(self):
+        from repro.obs.registry import registry
+
+        reg = registry()
+        trips0 = reg.counter("ipc.pipe.round_trips").value
+        time0 = reg.gauge("ipc.pipe.time_total").value
+
+        env = Environment()
+        costs = CostModel(pipe_roundtrip=1e-4)
+        pipe = NamedPipe(env, costs)
+
+        def proc(env):
+            for _ in range(5):
+                yield from pipe.command()
+
+        env.run(until=env.process(proc(env)))
+        assert reg.counter("ipc.pipe.round_trips").value - trips0 == 5
+        assert reg.gauge("ipc.pipe.time_total").value - time0 == pytest.approx(5e-4)
+
+    def test_shared_buffer_counters_mirror_to_registry(self):
+        from repro.obs.registry import registry
+
+        reg = registry()
+        maps0 = reg.counter("ipc.shared_buffer.mappings").value
+        bytes0 = reg.gauge("ipc.shared_buffer.bytes_total").value
+
+        env = Environment()
+        chan = SharedBufferChannel(env, CostModel(shared_buffer_overhead=1e-5))
+
+        def proc(env):
+            yield from chan.handoff(1 << 20)
+            yield from chan.handoff(1 << 10)
+
+        env.run(until=env.process(proc(env)))
+        assert reg.counter("ipc.shared_buffer.mappings").value - maps0 == 2
+        assert reg.gauge("ipc.shared_buffer.bytes_total").value - bytes0 == (
+            (1 << 20) + (1 << 10)
+        )

@@ -18,9 +18,36 @@ class TestParser:
             ("profile", ["BS"]),
             ("transform", ["-"]),
             ("pair", ["BS", "RG"]),
+            ("serve", []),
+            ("client", ["MM"]),
+            ("loadgen", []),
         ]:
             args = parser.parse_args([cmd, *extra])
             assert callable(args.func)
+
+    def test_serve_flags(self):
+        args = build_parser().parse_args(
+            ["serve", "--socket", "/tmp/s.sock", "--devices", "2",
+             "--max-inflight", "8", "--duration", "0.5"]
+        )
+        assert args.socket == "/tmp/s.sock"
+        assert args.devices == 2
+        assert args.max_inflight == 8
+        assert args.duration == 0.5
+
+    def test_loadgen_flags(self):
+        args = build_parser().parse_args(
+            ["loadgen", "--clients", "16", "--mode", "open", "--rate", "50",
+             "--mix", "BS:2,MM:1", "--threads", "--json", "out.json"]
+        )
+        assert args.clients == 16
+        assert args.mode == "open"
+        assert args.threads is True
+        assert args.json == "out.json"
+
+    def test_loadgen_rejects_bad_mode(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["loadgen", "--mode", "bursty"])
 
 
 class TestCommands:
@@ -185,6 +212,55 @@ class TestTraceAndTune:
         out = tmp_path / "empty.json"
         assert main(["trace", "--apps", "0", "--export", "perfetto", str(out)]) == 0
         assert validate_file(out) == []
+
+
+class TestServeCommands:
+    @pytest.fixture
+    def live_server(self, tmp_path):
+        from repro.serve.server import ServeConfig, ServerThread
+
+        sock = str(tmp_path / "slate.sock")
+        assert len(sock) < 100
+        with ServerThread(ServeConfig(socket_path=sock)):
+            yield sock
+
+    def test_client_command_end_to_end(self, capsys, live_server):
+        assert main(
+            ["client", "MM", "--socket", live_server, "--reps", "2"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "registered MM" in out
+        assert "launch 1:" in out and "launch 2:" in out
+        assert "server:" in out
+
+    def test_loadgen_command_end_to_end(self, capsys, live_server):
+        assert main(
+            ["loadgen", "--socket", live_server, "--clients", "2",
+             "--requests", "3", "--threads"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "completed" in out
+        assert "p99" in out
+
+    def test_loadgen_json_output(self, capsys, live_server, tmp_path):
+        import json
+
+        path = tmp_path / "report.json"
+        assert main(
+            ["loadgen", "--socket", live_server, "--clients", "1",
+             "--requests", "2", "--threads", "--json", str(path)]
+        ) == 0
+        body = json.loads(path.read_text())
+        assert body["completed"] == 2
+        assert body["errors"] == 0
+
+    def test_client_command_unreachable_socket(self, capsys, tmp_path):
+        rc = main(
+            ["client", "MM", "--socket", str(tmp_path / "nope.sock"),
+             "--connect-retries", "0"]
+        )
+        assert rc == 1
+        assert "could not connect" in capsys.readouterr().err
 
 
 class TestObsCommand:
