@@ -1,0 +1,91 @@
+"""Benchmark: the scheduling-policy shoot-out, timed per policy.
+
+Regenerates the ``policy_shootout`` golden table and emits
+``benchmarks/BENCH_policy.json``: one record per registered policy with
+its simulated-time scorecard (throughput, p99 turnaround, Jain fairness,
+corun share, rejections) *and* the wall-clock cost of replaying the
+shared trace under it — the policy hooks sit on the scheduler's hot
+path, so a policy that is clever but slow shows up here first.
+
+Scale the workload with ``REPRO_POLICY_BENCH_APPS`` /
+``REPRO_POLICY_BENCH_REPS`` (the golden table is only written at the
+default size, so a scaled run never drifts the pinned artifact).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.experiments import policy_shootout
+from repro.slate.policy import policy_names
+
+BENCH_JSON = Path(__file__).parent / "BENCH_policy.json"
+
+N_APPS = int(os.environ.get("REPRO_POLICY_BENCH_APPS", "12"))
+REPS = int(os.environ.get("REPRO_POLICY_BENCH_REPS", "4"))
+_DEFAULT_SIZE = N_APPS == 12 and REPS == 4
+
+
+@pytest.fixture(scope="session")
+def policy_bench_json():
+    """Collect per-policy records; write ``BENCH_policy.json`` at exit."""
+    records: dict[str, dict] = {}
+    yield records
+    if records:
+        BENCH_JSON.write_text(json.dumps(records, indent=2, sort_keys=True) + "\n")
+        print(f"\npolicy shoot-out written to {BENCH_JSON}")
+
+
+def test_policy_shootout(benchmark, save_result, policy_bench_json):
+    names = policy_names()
+    assert len(names) >= 5, "the shoot-out needs the full policy roster"
+
+    def shootout():
+        trace = policy_shootout.build_trace(n_apps=N_APPS, reps=REPS)
+        solo = policy_shootout.solo_baseline(trace, reps=REPS)
+        rows = []
+        for policy in names:
+            t0 = time.perf_counter()
+            row = policy_shootout.run_policy(policy, trace, solo)
+            elapsed = time.perf_counter() - t0
+            rows.append((row, elapsed))
+        return rows
+
+    timed = benchmark.pedantic(shootout, rounds=1, iterations=1)
+
+    for row, elapsed in timed:
+        policy_bench_json[row.policy] = {
+            "apps": N_APPS,
+            "reps": REPS,
+            "launches_completed": row.completed,
+            "launches_rejected": row.rejected,
+            "sim_makespan_ms": round(row.makespan * 1e3, 3),
+            "sim_throughput_launches_per_sec": round(row.throughput, 1),
+            "mean_turnaround_ms": round(row.mean_turnaround * 1e3, 3),
+            "p99_turnaround_ms": round(row.p99_turnaround * 1e3, 3),
+            "jain_fairness": round(row.fairness, 4),
+            "corun_share": round(row.corun_share, 4),
+            "wall_seconds": round(elapsed, 4),
+            "wall_launches_per_sec": round(
+                (row.completed + row.rejected) / elapsed
+            ),
+        }
+
+    rows = tuple(row for row, _ in timed)
+    result = policy_shootout.ShootoutResult(rows=rows, n_apps=N_APPS, reps=REPS)
+
+    # Every policy actually diverged or matched where it should.
+    by_name = {r.policy: r for r in rows}
+    assert set(by_name) == set(names)
+    assert by_name["edf"].rejected > 0, "edf must reject infeasible deadlines"
+    assert all(r.policy == "edf" or r.rejected == 0 for r in rows)
+    assert all(0.0 < r.fairness <= 1.0 for r in rows)
+    assert all(r.throughput > 0 for r in rows)
+
+    if _DEFAULT_SIZE:
+        save_result("policy_shootout", policy_shootout.format_result(result))

@@ -185,12 +185,21 @@ def _cmd_trace(args: argparse.Namespace) -> int:
     print(f"{args.pattern} trace, {len(trace)} tenants, seed {args.seed}:")
     for entry in trace:
         print(f"  t={entry.arrival * 1e3:8.2f} ms  {entry.app.name} x{entry.app.reps}")
+    replay_kwargs = {}
+    if args.runtime == "Slate":
+        replay_kwargs["policy"] = args.policy
+    elif args.policy != "table1":
+        print(
+            f"error: --policy applies to the Slate runtime, not {args.runtime}",
+            file=sys.stderr,
+        )
+        return 2
     if export is not None:
         with obs_trace.capture(metadata=meta) as sink:
-            results, runtime = replay_trace(args.runtime, trace)
+            results, runtime = replay_trace(args.runtime, trace, **replay_kwargs)
     else:
         sink = None
-        results, runtime = replay_trace(args.runtime, trace)
+        results, runtime = replay_trace(args.runtime, trace, **replay_kwargs)
     makespan = max(r.end for r in results.values())
     print(f"\n{args.runtime}: makespan {makespan * 1e3:.1f} ms")
     if hasattr(runtime, "scheduler"):
@@ -279,15 +288,18 @@ def _cmd_pair(args: argparse.Namespace) -> int:
         nb: run_solo("CUDA", app_for(b, name=nb))[0].app_time,
     }
     for runtime in ("CUDA", "MPS", "Slate"):
-        results, rt = run_pair(runtime, app_for(a, name=na), app_for(b, name=nb))
+        kwargs = {"policy": args.policy} if runtime == "Slate" else {}
+        results, rt = run_pair(
+            runtime, app_for(a, name=na), app_for(b, name=nb), **kwargs
+        )
         shared = {k: v.app_time for k, v in results.items()}
         line = f"{runtime:5}  ANTT {antt(shared, solo):.3f}"
         for name, t in shared.items():
             line += f"  {name} {t * 1e3:8.1f} ms"
         if runtime == "Slate":
             line += (
-                f"  [{rt.scheduler.corun_launches} corun, "
-                f"{rt.scheduler.resizes} resizes]"
+                f"  [{rt.scheduler.policy.name}: {rt.scheduler.corun_launches} "
+                f"corun, {rt.scheduler.resizes} resizes]"
             )
         print(line)
     return 0
@@ -307,6 +319,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         socket_path=args.socket,
         num_devices=args.devices,
         placement=args.placement,
+        policy=args.policy,
         max_inflight=args.max_inflight,
         session_inflight=args.session_inflight,
         max_sessions=args.max_sessions,
@@ -454,11 +467,15 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--device", choices=["titanxp", "v100"], default="titanxp")
     p.set_defaults(func=_cmd_occupancy)
 
+    from repro.slate.policy import policy_names
+
     p = sub.add_parser("trace", help="replay an arrival trace with a timeline")
     p.add_argument("--runtime", choices=["CUDA", "MPS", "Slate"], default="Slate")
     p.add_argument("--pattern", choices=["poisson", "bursty", "heavy-tailed"], default="poisson")
     p.add_argument("--apps", type=int, default=6)
     p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--policy", choices=policy_names(), default="table1",
+                   help="scheduling policy for the Slate runtime")
     p.add_argument(
         "--chrome",
         help="write a chrome://tracing JSON of the allocation log here (legacy)",
@@ -488,6 +505,8 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("pair", help="run a pairing under all runtimes")
     p.add_argument("bench_a")
     p.add_argument("bench_b")
+    p.add_argument("--policy", choices=policy_names(), default="table1",
+                   help="scheduling policy for the Slate row")
     p.set_defaults(func=_cmd_pair)
 
     p = sub.add_parser("serve", help="run the Slate serving daemon (Unix socket)")
@@ -497,6 +516,8 @@ def build_parser() -> argparse.ArgumentParser:
         "--placement", choices=["round-robin", "least-loaded", "class-aware"],
         default="least-loaded", help="multi-device session placement policy",
     )
+    p.add_argument("--policy", choices=policy_names(), default="table1",
+                   help="scheduling policy every per-device daemon runs")
     p.add_argument("--max-inflight", type=int, default=256,
                    help="global launch admission bound (backpressure above)")
     p.add_argument("--session-inflight", type=int, default=32,

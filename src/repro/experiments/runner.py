@@ -31,6 +31,7 @@ from repro.experiments import (
     fig6_overhead,
     fig7_pairings,
     generalization,
+    policy_shootout,
     tab1_policy,
     tab2_profiles,
     tab3_gaussian,
@@ -133,6 +134,12 @@ EXPERIMENTS: tuple[Experiment, ...] = (
         "Generalization — Titan Xp vs Tesla V100",
         generalization.run,
         generalization.format_result,
+    ),
+    Experiment(
+        "shootout",
+        "Shoot-out — scheduling policies on one trace",
+        policy_shootout.run,
+        policy_shootout.format_result,
     ),
 )
 

@@ -173,6 +173,7 @@ class SlateClient:
         kernel: str,
         task_size: Optional[int] = None,
         priority: int = 0,
+        deadline: Optional[float] = None,
         busy_retries: int = 0,
         busy_backoff: float = 0.01,
     ) -> LaunchReply:
@@ -180,11 +181,15 @@ class SlateClient:
 
         ``busy_retries`` > 0 retries backpressure rejections with
         exponential backoff seeded by the server's ``retry_after`` hint
-        (capped at 1 s per sleep).
+        (capped at 1 s per sleep).  ``deadline`` is an absolute sim-time
+        completion deadline; deadline-aware server policies may reject it
+        (``AdmissionRejected`` raises here, typed, like any server error).
         """
         params: dict = {"kernel": kernel, "priority": priority}
         if task_size is not None:
             params["task_size"] = task_size
+        if deadline is not None:
+            params["deadline"] = deadline
         retries = 0
         while True:
             t0 = time.perf_counter()

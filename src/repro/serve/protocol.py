@@ -40,8 +40,10 @@ import struct
 from typing import Any, Optional
 
 from repro.kernels.registry import UnknownKernelError
+from repro.slate.policy import AdmissionRejected
 
 __all__ = [
+    "AdmissionRejected",
     "ERROR_TYPES",
     "MAX_FRAME",
     "OPS",
@@ -155,6 +157,7 @@ ERROR_TYPES: dict[str, type] = {
     "ServerBusy": ServerBusyError,
     "SessionLimit": SessionLimitError,
     "UnknownKernel": UnknownKernelError,
+    "AdmissionRejected": AdmissionRejected,
     "ServerError": ServerError,
 }
 
@@ -164,6 +167,8 @@ def exception_to_error(exc: BaseException) -> tuple[str, str, dict]:
     if isinstance(exc, UnknownKernelError):
         # KeyError reprs its arg; use the bare message.
         return "UnknownKernel", str(exc.args[0] if exc.args else exc), {}
+    if isinstance(exc, AdmissionRejected):
+        return "AdmissionRejected", exc.reason, {}
     details: dict = {}
     if isinstance(exc, BackpressureError):
         details["retry_after"] = exc.retry_after

@@ -79,6 +79,9 @@ class ServeConfig:
     socket_path: str
     num_devices: int = 1
     placement: str = "least-loaded"
+    #: Scheduling policy every per-device daemon runs (a registered name
+    #: from :data:`repro.slate.policy.POLICIES`).
+    policy: str = "table1"
     #: Admission control: reject a launch when this many are in flight
     #: across all sessions (queued + running in the scheduler)...
     max_inflight: int = 256
@@ -196,6 +199,7 @@ class SlateServer:
             self.env,
             num_devices=config.num_devices,
             placement=config.placement,
+            policy=config.policy,
             log_limit=config.log_limit,
             **config.runtime_kwargs,
         )
@@ -239,6 +243,7 @@ class SlateServer:
         """Server-level snapshot (the ``stats`` op's result body)."""
         return {
             "sim_time": self.env.now,
+            "policy": self.config.policy,
             "sessions": self.session_count,
             "inflight": self.inflight,
             "requests": self._m_requests.value,
@@ -501,6 +506,9 @@ class SlateServer:
         if task_size is not None:
             task_size = int(task_size)
         priority = int(params.get("priority", 0))
+        deadline = params.get("deadline")
+        if deadline is not None:
+            deadline = float(deadline)
         self._admit(sess)
         env = self.env
         slate = sess.slate
@@ -508,8 +516,12 @@ class SlateServer:
         def gen() -> Generator:
             t0 = env.now
             ticket = yield from slate.launch(
-                spec, task_size=task_size, priority=priority
+                spec, task_size=task_size, priority=priority, deadline=deadline
             )
+            if ticket.rejected:
+                # Synchronous policy rejection: relay the typed error so the
+                # client sees AdmissionRejected, not a silent no-op launch.
+                raise ticket.done.value
             if not ticket.done.triggered:
                 yield ticket.done
             # Same pruning synchronize() does, without charging a second

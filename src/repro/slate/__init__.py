@@ -25,7 +25,20 @@ from repro.slate.cluster import SlateCluster
 from repro.slate.monitor import MonitorSample, SystemMonitor
 from repro.slate.dispatch import DispatchKernel
 from repro.slate.daemon import SlateRuntime, SlateSession
-from repro.slate.policy import PolicyTable, DEFAULT_POLICY
+from repro.slate.policy import (
+    DEFAULT_POLICY,
+    POLICIES,
+    AdmissionRejected,
+    EdfPolicy,
+    FairSharePolicy,
+    MpsLeftoverPolicy,
+    OnlinePredictivePolicy,
+    PolicyTable,
+    SchedulingPolicy,
+    Table1Policy,
+    make_policy,
+    policy_names,
+)
 from repro.slate.profiler import (
     KernelProfile,
     ProfileCache,
@@ -43,13 +56,23 @@ from repro.slate.transform import GridTransform, simulate_workers
 
 __all__ = [
     "DEFAULT_POLICY",
+    "POLICIES",
+    "AdmissionRejected",
     "api",
     "DispatchKernel",
+    "EdfPolicy",
+    "FairSharePolicy",
     "GridTransform",
     "IntensityClass",
     "KernelProfile",
     "KernelSource",
+    "MpsLeftoverPolicy",
+    "OnlinePredictivePolicy",
     "PolicyTable",
+    "SchedulingPolicy",
+    "Table1Policy",
+    "make_policy",
+    "policy_names",
     "ProfileCache",
     "ProfileTable",
     "configure_profile_cache",

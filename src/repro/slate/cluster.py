@@ -27,7 +27,7 @@ from repro.config import CostModel, DeviceConfig, HostConfig, TITAN_XP
 from repro.kernels.kernel import KernelSpec
 from repro.sim import Environment
 from repro.slate.daemon import SlateRuntime, SlateSession
-from repro.slate.policy import DEFAULT_POLICY, PolicyTable
+from repro.slate.policy import SchedulingPolicy, make_policy
 from repro.slate.profiler import offline_profile
 
 __all__ = ["SlateCluster", "PLACEMENT_POLICIES"]
@@ -52,7 +52,7 @@ class SlateCluster:
         device: DeviceConfig = TITAN_XP,
         host: HostConfig = HostConfig(),
         costs: CostModel = CostModel(),
-        policy: PolicyTable = DEFAULT_POLICY,
+        policy=None,
         placement: str = "class-aware",
         **runtime_kwargs,
     ) -> None:
@@ -62,9 +62,20 @@ class SlateCluster:
             raise ValueError(
                 f"unknown placement {placement!r}; known: {PLACEMENT_POLICIES}"
             )
+        if isinstance(policy, SchedulingPolicy) and num_devices > 1:
+            # A policy instance is stateful and binds to ONE scheduler;
+            # pass the name (or a PolicyTable) so each daemon builds its own.
+            raise ValueError(
+                "cannot share one SchedulingPolicy instance across "
+                f"{num_devices} devices; pass the policy name instead"
+            )
         self.env = env
         self.placement = placement
+        #: The scheduling-policy spec (name/table/instance), forwarded to
+        #: every per-device daemon; each daemon constructs its own instance.
         self.policy = policy
+        #: Policy view used for class-aware placement compatibility.
+        self._placement_policy = make_policy(policy)
         self.device = device
         #: Extra per-daemon knobs (e.g. ``log_limit``/``rate_trace_limit``
         #: for streamed million-launch traces) forwarded verbatim.
@@ -121,6 +132,7 @@ class SlateCluster:
             "corun_launches": 0,
             "resizes": 0,
             "preemptions": 0,
+            "rejections": 0,
             "waiting": 0,
             "running": 0,
         }
@@ -131,8 +143,10 @@ class SlateCluster:
             totals["corun_launches"] += sched.corun_launches
             totals["resizes"] += sched.resizes
             totals["preemptions"] += sched.preemptions
+            totals["rejections"] += sched.rejections
             totals["waiting"] += sched.waiting_count
             totals["running"] += sched.running_count
+        totals["policy"] = self._devices[0].runtime.scheduler.policy.name
         return totals
 
     # -- placement -----------------------------------------------------------
@@ -162,10 +176,12 @@ class SlateCluster:
         best, best_key = 0, None
         for i, state in enumerate(self._devices):
             residents = list(state.residents.values())
-            # Every resident must be policy-compatible both ways.
+            # Every resident must be policy-compatible.  Placement has no
+            # "running" side, so this goes through the canonical
+            # order-insensitive lookup (PolicyTable.mutual_corun) rather
+            # than a pair of order-sensitive should_corun calls.
             compatible = all(
-                self.policy.should_corun(r, new_class)
-                and self.policy.should_corun(new_class, r)
+                self._placement_policy.placement_compatible(r, new_class)
                 for r in residents
             )
             # Prefer: compatible, then fewer residents, then lower index.

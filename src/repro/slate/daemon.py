@@ -25,7 +25,6 @@ from repro.kernels.kernel import KernelSpec
 from repro.obs import trace as obs_trace
 from repro.obs.registry import registry as obs_registry
 from repro.slate.ipc import NamedPipe, SharedBufferChannel
-from repro.slate.policy import DEFAULT_POLICY, PolicyTable
 from repro.slate.profiler import ProfileTable, offline_profile
 from repro.slate.scheduler import DEFAULT_TASK_SIZE, SlateScheduler, SlateTicket
 from repro.slate.source import KernelSource, inject, scan_kernels
@@ -163,12 +162,17 @@ class SlateSession:
         task_size: int | None = None,
         priority: int = 0,
         args: "list | None" = None,
+        deadline: float | None = None,
     ) -> Generator:
         """slateLaunchKernel: inject + compile on first use, then schedule.
 
         ``task_size`` of None uses the daemon default (10), or the
         per-kernel tuned value when the daemon was built with
-        ``auto_task_size=True``.
+        ``auto_task_size=True``.  ``deadline`` is an absolute completion
+        deadline (simulated seconds) consulted by deadline-aware policies;
+        an infeasible one is rejected (the returned ticket's ``done`` event
+        fails with :class:`repro.slate.policy.AdmissionRejected` and its
+        ``rejected`` flag reads True).
         """
         yield from self.pipe.command()
         if args is not None:
@@ -195,6 +199,7 @@ class SlateSession:
             enqueued_at=self.runtime.env.now,
             task_size=task_size,
             priority=priority,
+            deadline=deadline,
         )
         self._pending.append(ticket)
         self.runtime.scheduler.submit(ticket)
@@ -232,7 +237,7 @@ class SlateRuntime:
         device: DeviceConfig = TITAN_XP,
         host: HostConfig = HostConfig(),
         costs: CostModel = CostModel(),
-        policy: PolicyTable = DEFAULT_POLICY,
+        policy=None,
         partition_strategy: str = "heuristic",
         enable_grow: bool = True,
         auto_task_size: bool = False,

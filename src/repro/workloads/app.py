@@ -28,6 +28,12 @@ class AppSpec:
     include_transfers: bool = True
     #: Slate task size override (None = runtime default).
     task_size: Optional[int] = None
+    #: Slate scheduling priority (larger = more important; 0 = default).
+    priority: int = 0
+    #: Per-launch deadline slack (seconds): each launch carries an absolute
+    #: deadline of ``now + deadline_slack``.  Only deadline-aware Slate
+    #: policies (``edf``) consult it; None = best-effort.
+    deadline_slack: Optional[float] = None
 
     @property
     def effective_reps(self) -> int:
@@ -49,6 +55,8 @@ class AppResult:
     #: Sum of device-side kernel execution times.
     kernel_exec_time: float = 0.0
     launches: int = 0
+    #: Launches refused by the scheduler's admission policy (e.g. EDF).
+    rejected_launches: int = 0
     counters: list[KernelCounters] = field(default_factory=list)
     #: Slate-only breakdowns (0 elsewhere).
     comm_time: float = 0.0
@@ -86,18 +94,23 @@ def run_application(env, session, app: AppSpec, costs) -> Generator:
         result.h2d_time = env.now - t0
 
     launch_kwargs = {}
-    if app.task_size is not None and hasattr(session, "runtime") and hasattr(
-        session.runtime, "scheduler"
-    ):
+    is_slate = hasattr(session, "runtime") and hasattr(session.runtime, "scheduler")
+    if app.task_size is not None and is_slate:
         launch_kwargs["task_size"] = app.task_size
+    if app.priority and is_slate:
+        launch_kwargs["priority"] = app.priority
 
     for _ in range(app.effective_reps):
         t0 = env.now
+        if app.deadline_slack is not None and is_slate:
+            launch_kwargs["deadline"] = env.now + app.deadline_slack
         ticket = yield from session.launch(spec, **launch_kwargs)
         yield from session.synchronize()
         result.kernel_wall_time += env.now - t0
         result.launches += 1
-        if ticket.counters is not None:
+        if getattr(ticket, "rejected", False):
+            result.rejected_launches += 1
+        elif ticket.counters is not None:
             result.counters.append(ticket.counters)
             result.kernel_exec_time += ticket.counters.elapsed
 

@@ -38,6 +38,7 @@ GOLDEN_FILES = {
     "scaling": "scaling",
     "cluster": "cluster_study",
     "gen": "generalization",
+    "shootout": "policy_shootout",
 }
 
 _EXPERIMENTS = {e.key: e for e in runner.EXPERIMENTS}

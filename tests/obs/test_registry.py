@@ -137,6 +137,8 @@ class TestSchedulerMirrors:
             "corun_launches": 0,
             "resizes": 0,
             "preemptions": 0,
+            "rejections": 0,
             "waiting": 0,
             "running": 0,
+            "policy": "table1",
         }

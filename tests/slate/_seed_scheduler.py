@@ -1,18 +1,15 @@
-"""The daemon-side workload-aware kernel scheduler (§III-B, §III-C, §IV-C).
+"""FROZEN seed scheduler — the differential-harness reference (DO NOT EDIT).
 
-The scheduler is pure *mechanism*: it owns the waiting queue, the
-retreat/relaunch plumbing (shrink a running kernel, launch the newcomer on
-the complementary SMs, grow survivors on completion), first-run profiling,
-and all accounting.  Every *choice* — queue order, admission, corun vs
-solo, the SM partition, the preemption victim — is delegated to a
-:class:`repro.slate.policy.SchedulingPolicy` bound at construction.  The
-default ``table1`` policy reproduces the paper's behaviour (§III-B1's
-selection algorithm over the Table I matrix) decision-for-decision; see
-``docs/policies.md`` for the alternatives and
-``tests/slate/test_policy_differential.py`` for the proof obligation.
+This is a verbatim copy of src/repro/slate/scheduler.py as of the commit
+that introduced the pluggable SchedulingPolicy framework (PR 6).  The
+differential harness in test_policy_differential.py replays identical
+workloads through this frozen seed and through the refactored scheduler
+with the default `table1` policy, and asserts the decision traces are
+byte-exact.  If the refactored scheduler ever drifts, the diff points at
+the exact decision that moved.
 
-Kernels whose profile is not yet known run solo on the whole device (the
-first-run profiling pass); their counters populate the profile table.
+Edits here defeat the harness' purpose: regenerate only by copying a
+known-good scheduler wholesale, never by patching individual lines.
 """
 
 from __future__ import annotations
@@ -28,7 +25,8 @@ from repro.gpu.device import ExecutionMode, KernelCounters, KernelExecution, Sim
 from repro.kernels.kernel import KernelSpec
 from repro.obs import trace as obs_trace
 from repro.obs.registry import registry as obs_registry
-from repro.slate.policy import AdmissionRejected, SchedulingPolicy, make_policy
+from repro.slate.partition import choose_partition
+from repro.slate.policy import DEFAULT_POLICY, PolicyTable
 from repro.slate.profiler import KernelProfile, ProfileTable
 from repro.sim import Environment, Event
 
@@ -64,11 +62,6 @@ class SlateTicket:
     #: arrival that cannot corun preempts the running kernel (retreat,
     #: progress held in slateIdx, resumed on completion).
     priority: int = 0
-    #: Absolute completion deadline (simulated seconds), or None for
-    #: best-effort.  Only deadline-aware policies (``edf``) consult it;
-    #: an infeasible deadline is rejected at submit (the ``done`` event
-    #: fails with :class:`repro.slate.policy.AdmissionRejected`).
-    deadline: Optional[float] = None
     started_at: Optional[float] = None
     #: Times this ticket's kernel was preempted by a higher priority one.
     preemptions: int = 0
@@ -76,11 +69,6 @@ class SlateTicket:
     #: Whether this run executed without a profile (first-run profiling).
     profiling_run: bool = False
     seq: int = field(default_factory=itertools.count().__next__)
-
-    @property
-    def rejected(self) -> bool:
-        """True if the policy refused this launch at admission."""
-        return self.done.triggered and not self.done.ok
 
 
 @dataclass(frozen=True)
@@ -111,22 +99,15 @@ class _Running:
     sms: tuple[int, ...]
 
 
-def _priority_fifo_key(ticket: SlateTicket) -> tuple:
-    """Default drain order: highest priority first, FIFO within a level."""
-    return (-ticket.priority, ticket.seq)
-
-
 class WaitingQueue:
-    """The scheduler's waiting queue: a key-ordered heap.
+    """The scheduler's waiting queue: a priority heap with FIFO tie-break.
 
-    The drain order is the bound policy's :meth:`SchedulingPolicy.queue_key`
-    (default: ``(-priority, seq)`` — highest ``priority`` first, FIFO by
-    submission ``seq`` within a priority level, identical to the list-sort
-    it replaced).  The key must be a total order: policies include the
-    unique ``seq`` as the final tie-break so tickets themselves are never
-    compared.  A ticket's key is captured at :meth:`push` time — mutating
-    the ticket (or the policy's internal state) while queued does not
-    reorder the queue.
+    Ordering contract (identical to the list-sort it replaced): tickets
+    drain highest ``priority`` first, and FIFO by submission ``seq`` within
+    a priority level.  ``seq`` is unique per ticket, so the heap key
+    ``(-priority, seq)`` is a total order and tickets themselves are never
+    compared.  A ticket's priority is captured at :meth:`push` time —
+    mutating it while queued does not reorder the queue.
 
     Every consumer goes through :meth:`peek`/:meth:`pop`; there is no way
     to bypass the ordering invariant (the scheduler holds no raw list).
@@ -135,14 +116,13 @@ class WaitingQueue:
     cost.
     """
 
-    __slots__ = ("_heap", "_key")
+    __slots__ = ("_heap",)
 
-    def __init__(self, key=None) -> None:
-        self._heap: list[tuple[tuple, SlateTicket]] = []
-        self._key = key if key is not None else _priority_fifo_key
+    def __init__(self) -> None:
+        self._heap: list[tuple[tuple[int, int], SlateTicket]] = []
 
     def push(self, ticket: SlateTicket) -> None:
-        heappush(self._heap, (self._key(ticket), ticket))
+        heappush(self._heap, ((-ticket.priority, ticket.seq), ticket))
 
     def peek(self) -> SlateTicket:
         """The next ticket to drain, without removing it."""
@@ -171,7 +151,7 @@ class SlateScheduler:
         gpu: SimulatedGPU,
         device: DeviceConfig = TITAN_XP,
         costs: CostModel = CostModel(),
-        policy: "SchedulingPolicy | str | None" = None,
+        policy: PolicyTable = DEFAULT_POLICY,
         profiles: Optional[ProfileTable] = None,
         partition_strategy: str = "heuristic",
         enable_grow: bool = True,
@@ -190,11 +170,7 @@ class SlateScheduler:
         self.gpu = gpu
         self.device = device
         self.costs = costs
-        #: The decision-making strategy.  Accepts a registered name
-        #: ("table1", "mps-leftover", ...), a ready SchedulingPolicy, a
-        #: bare PolicyTable (wrapped — the ablations' path), or None for
-        #: the paper default; see :func:`repro.slate.policy.make_policy`.
-        self.policy: SchedulingPolicy = make_policy(policy).bind(self)
+        self.policy = policy
         self.partition_strategy = partition_strategy
         #: Dynamic-resizing grow on completion (disable for ablations).
         self.enable_grow = enable_grow
@@ -213,14 +189,12 @@ class SlateScheduler:
         self._preempted: list[_Running] = []
         self.preemptions = 0
         self.profiles = profiles if profiles is not None else ProfileTable(device)
-        self._queue = WaitingQueue(key=self.policy.queue_key)
+        self._queue = WaitingQueue()
         self._running: list[_Running] = []
         # Statistics for the evaluation.
         self.corun_launches = 0
         self.solo_launches = 0
         self.resizes = 0
-        #: Launches refused by the policy at admission (e.g. EDF).
-        self.rejections = 0
         #: Bound on the decision/allocation logs: ``None`` keeps full
         #: history (paper experiments), a positive N keeps the last N
         #: entries, and 0 disables logging entirely — million-launch
@@ -246,10 +220,6 @@ class SlateScheduler:
         self._m_corun = reg.counter("scheduler.corun_launches")
         self._m_resizes = reg.counter("scheduler.resizes")
         self._m_preemptions = reg.counter("scheduler.preemptions")
-        self._m_rejections = reg.counter("scheduler.rejections")
-        # Stamp the active policy into the metrics registry so process-wide
-        # dumps show which brains produced the numbers.
-        reg.counter(f"scheduler.policy.{self.policy.name}").inc()
 
     @property
     def decisions(self) -> list[tuple[float, str]]:
@@ -269,7 +239,6 @@ class SlateScheduler:
                 classes=list(classes),
                 sms=sms,
                 reason=reason,
-                policy=self.policy.name,
             )
         if self.log_limit == 0:
             return
@@ -317,13 +286,9 @@ class SlateScheduler:
     # -- public API -------------------------------------------------------
 
     def submit(self, ticket: SlateTicket) -> None:
-        """Accept (or reject) a launch request and re-evaluate the schedule."""
-        reason = self.policy.admit(ticket)
-        if reason is not None:
-            self._reject(ticket, reason)
-            return
-        # Drain order is the policy's queue_key (default: highest priority
-        # first, FIFO within a priority level).
+        """Accept a launch request and re-evaluate the schedule."""
+        # Highest priority first; FIFO within a priority level (the
+        # WaitingQueue ordering contract).
         self._queue.push(ticket)
         self._m_submits.inc()
         if obs_trace.ENABLED:
@@ -340,17 +305,6 @@ class SlateScheduler:
             self._maybe_preempt()
         self._try_schedule()
 
-    def _reject(self, ticket: SlateTicket, reason: str) -> None:
-        """Refuse a launch: fail its done event with the policy's reason."""
-        self.rejections += 1
-        self._m_rejections.inc()
-        self._decide("reject", ticket, sms=0, reason=reason)
-        ticket.done.fail(AdmissionRejected(reason, ticket))
-        # A fire-and-forget client may never observe the failure; pre-defuse
-        # so the engine does not abort the whole simulation on its behalf
-        # (processes that DO yield the event still receive the exception).
-        ticket.done.defuse()
-
     # -- priority preemption (QoS extension) --------------------------------
 
     def _maybe_preempt(self) -> None:
@@ -363,8 +317,8 @@ class SlateScheduler:
         if not self._queue or not self._running:
             return
         head = self._queue.peek()
-        victim = self.policy.preempt_victim(head, self._running)
-        if victim is None:
+        victim = min(self._running, key=lambda r: r.ticket.priority)
+        if head.priority <= victim.ticket.priority:
             return
         if self._can_schedule_more():
             return  # compatible corun serves the VIP without a preemption
@@ -413,21 +367,6 @@ class SlateScheduler:
         """Current kernel -> SM-set assignment (for tests/diagnostics)."""
         return {r.ticket.spec.name: r.sms for r in self._running}
 
-    def running_entries(self) -> list:
-        """Snapshot of the running set (for policies; do not mutate)."""
-        return list(self._running)
-
-    def resize_entry(self, entry, sms) -> None:
-        """Resize a running tenant — the mechanism behind policy-driven
-        mid-flight re-splits (e.g. ``online-predictive``'s reconsider)."""
-        sms = tuple(sms)
-        if entry not in self._running or entry.sms == sms:
-            return
-        entry.sms = sms
-        self._note_resize(entry.ticket.spec.name, sms)
-        self.gpu.resize(entry.handle, sms)
-        self._log_allocation()
-
     # -- scheduling core ----------------------------------------------------
 
     def _profile_of(self, ticket: SlateTicket) -> Optional[KernelProfile]:
@@ -473,7 +412,6 @@ class SlateScheduler:
             and counters.resizes == 0
         ):
             self._refresh_profile(entry.ticket.profile_key, counters)
-        self.policy.on_complete(entry.ticket, counters)
         self._running.remove(entry)
         if obs_trace.ENABLED and entry.ticket.started_at is not None:
             # One complete ("X") span per execution: B/E pairs would nest
@@ -523,7 +461,6 @@ class SlateScheduler:
         if self.enable_preemption:
             self._resume_preempted()
         self._try_schedule()
-        self.policy.reconsider()
         if not self.enable_grow:
             return
         if len(self._running) == 1 and not self._can_schedule_more():
@@ -561,21 +498,94 @@ class SlateScheduler:
             self._rebalance_survivors()
 
     def _can_schedule_more(self) -> bool:
-        """Mechanism-side gate; the compatibility choice is the policy's."""
         if not self._queue:
             return False
         if not self._running:
             return True
         if len(self._running) >= self.max_corun:
             return False
-        return self.policy.may_corun(self._running, self._queue.peek())
+        head = self._queue.peek()
+        head_profile = self._profile_of(head)
+        if head_profile is None:
+            return False
+        for running in self._running:
+            running_profile = self._profile_of(running.ticket)
+            if running_profile is None:
+                return False
+            if not self.policy.should_corun(
+                running_profile.intensity, head_profile.intensity
+            ):
+                return False
+        return True
+
+    def _split_device(
+        self,
+        running: "_Running",
+        head: SlateTicket,
+        running_profile: KernelProfile,
+        head_profile: KernelProfile,
+    ) -> tuple[tuple[int, ...], tuple[int, ...]]:
+        """SM sets (for the running kernel, for the newcomer)."""
+        n = self.device.num_sms
+        if self.partition_strategy == "even":
+            half = n // 2
+            return tuple(range(half)), tuple(range(half, n))
+        if self.partition_strategy == "predictive":
+            from repro.slate.predict import choose_partition_predictive
+
+            split = choose_partition_predictive(
+                running.ticket.spec,
+                head.spec,
+                self.device,
+                self.costs,
+                task_size=head.task_size,
+            )
+            return (
+                tuple(range(split.n_a)),
+                tuple(range(split.n_a, n)),
+            )
+        partition, primary, _secondary = choose_partition(
+            running_profile, head_profile, self.device
+        )
+        if primary is running_profile:
+            return partition.primary_sms, partition.secondary_sms
+        return partition.secondary_sms, partition.primary_sms
+
+    def _nway_shares(self, profiles: list[KernelProfile]) -> list[int]:
+        """SM share per tenant: the most memory-intensive keeps its
+        saturation share (capped), the rest split the remainder evenly."""
+        n = self.device.num_sms
+        k = len(profiles)
+        primary_index = max(
+            range(k), key=lambda i: (profiles[i].mem_bw, profiles[i].gflops)
+        )
+        needed = profiles[primary_index].saturation_sms(self.device)
+        primary_share = max(3, min(n - 3 * (k - 1), needed))
+        rest = n - primary_share
+        shares = []
+        others = k - 1
+        for i in range(k):
+            if i == primary_index:
+                shares.append(primary_share)
+            else:
+                share = rest // others
+                shares.append(share)
+        # Distribute any remainder to the last non-primary tenant.
+        deficit = n - sum(shares)
+        for i in range(k - 1, -1, -1):
+            if i != primary_index:
+                shares[i] += deficit
+                break
+        else:
+            shares[primary_index] += deficit
+        return shares
 
     def _admit_nway(self, head: SlateTicket) -> None:
         """Admit ``head`` as the (k+1)-th tenant: re-split and resize."""
         tenants = list(self._running)
         profiles = [self._profile_of(t.ticket) for t in tenants]
         profiles.append(self._profile_of(head))
-        shares = self.policy.nway_shares(profiles)
+        shares = self._nway_shares(profiles)
         low = 0
         assignments = []
         for share in shares:
@@ -605,7 +615,7 @@ class SlateScheduler:
         profiles = [self._profile_of(t.ticket) for t in tenants]
         if any(p is None for p in profiles):
             return
-        shares = self.policy.nway_shares(profiles)
+        shares = self._nway_shares(profiles)
         low = 0
         for entry, share in zip(tenants, shares):
             sms = tuple(range(low, low + share))
@@ -646,9 +656,7 @@ class SlateScheduler:
             running = self._running[0]
             head_profile = self._profile_of(head)
             running_profile = self._profile_of(running.ticket)
-            run_sms, new_sms = self.policy.split_pair(
-                running, head, running_profile, head_profile
-            )
+            run_sms, new_sms = self._split_device(running, head, running_profile, head_profile)
             if running.sms == new_sms and len(new_sms) == len(run_sms):
                 # Equal-sized sides and the running kernel already occupies
                 # the other one (e.g. identical-kernel pairs): swap roles

@@ -144,3 +144,50 @@ class TestClassificationBases:
         env = Environment()
         rt = SlateRuntime(env, classification_basis="per_sm")
         assert rt.profiles.basis == "per_sm"
+
+
+class TestCanonicalPairKey:
+    """Regression: unordered pair lookups must not depend on operand order.
+
+    ``PolicyTable.should_corun`` is directional by design (row = running
+    tenant), but callers with no running side — cluster placement,
+    feasibility pre-checks — used to issue two directional lookups in
+    whatever order their arguments arrived, silently flipping answers on
+    asymmetric cells.  ``pair_key``/``mutual_corun`` canonicalize instead.
+    """
+
+    def test_pair_key_is_symmetric_for_all_pairs(self):
+        for a in C:
+            for b in C:
+                assert PolicyTable.pair_key(a, b) == PolicyTable.pair_key(b, a)
+
+    def test_pair_key_identity_pairs(self):
+        for a in C:
+            assert PolicyTable.pair_key(a, a) == (a, a)
+
+    def test_pair_key_is_sorted(self):
+        for a in C:
+            for b in C:
+                x, y = PolicyTable.pair_key(a, b)
+                assert x.value <= y.value
+                assert {x, y} == {a, b}
+
+    def test_mutual_corun_is_order_insensitive(self):
+        for a in C:
+            for b in C:
+                assert DEFAULT_POLICY.mutual_corun(a, b) == DEFAULT_POLICY.mutual_corun(b, a)
+
+    def test_mutual_corun_requires_both_directions(self):
+        for a in C:
+            for b in C:
+                expected = DEFAULT_POLICY.should_corun(a, b) and DEFAULT_POLICY.should_corun(b, a)
+                assert DEFAULT_POLICY.mutual_corun(a, b) == expected
+
+    def test_mutual_corun_catches_asymmetric_cells(self):
+        """The paper's own table is asymmetric (M_M row tolerates H_C, the
+        H_C row does not): the one-way lookup flips with operand order,
+        mutual_corun does not admit the pair either way."""
+        a, b = C.M_M, C.H_C
+        assert DEFAULT_POLICY.should_corun(a, b) != DEFAULT_POLICY.should_corun(b, a)
+        assert not DEFAULT_POLICY.mutual_corun(a, b)
+        assert not DEFAULT_POLICY.mutual_corun(b, a)

@@ -1,0 +1,209 @@
+"""Mechanism invariants every scheduling policy must uphold.
+
+The policy interface deliberately lets a policy reorder, pair, split,
+reject, and preempt — but the *mechanism* guarantees stay fixed no matter
+how adversarial the policy's choices are.  Each test here runs against
+every name in :data:`repro.slate.policy.POLICIES` (new policies are
+covered automatically):
+
+* SM grants never exceed device capacity, never overlap between
+  co-running tenants, and never exceed ``max_corun`` residents
+  (asserted at every allocation change, not just at the end);
+* every submitted launch is eventually resolved — completed or
+  explicitly rejected at admission; nothing starves in the queue;
+* preempted tenants resume and still complete;
+* ``edf`` never admits a launch whose deadline its runtime estimate
+  already proves infeasible at submit time.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.config import CostModel, TITAN_XP
+from repro.gpu.device import SimulatedGPU
+from repro.kernels.registry import by_name
+from repro.sim import Environment
+from repro.slate.policy import POLICIES, policy_names
+from repro.slate.profiler import ProfileTable, offline_profile
+from repro.slate.scheduler import SlateScheduler, SlateTicket
+
+from tests.slate.difftrace import BENCHES
+
+ALL_POLICIES = policy_names()
+
+
+class AuditingScheduler(SlateScheduler):
+    """Asserts the mechanism invariants at every allocation change."""
+
+    def _log_allocation(self) -> None:
+        assert len(self._running) <= self.max_corun, "max_corun exceeded"
+        granted: set[int] = set()
+        for entry in self._running:
+            sms = set(entry.sms)
+            assert sms, f"{entry.ticket.spec.name} running with zero SMs"
+            assert all(0 <= s < self.device.num_sms for s in sms), (
+                f"{entry.ticket.spec.name} granted out-of-range SM ids"
+            )
+            assert not (granted & sms), "overlapping SM grants"
+            granted |= sms
+        assert len(granted) <= self.device.num_sms, "device capacity exceeded"
+        super()._log_allocation()
+
+
+def run_workload(
+    policy: str,
+    workload,
+    enable_preemption: bool = False,
+    max_corun: int = 2,
+):
+    """Drive an :class:`AuditingScheduler` through ``workload``.
+
+    ``workload`` entries are ``(arrival, bench, priority, deadline)``;
+    returns ``(scheduler, tickets)`` after the run fully drains.
+    """
+    env = Environment()
+    costs = CostModel()
+    gpu = SimulatedGPU(env, TITAN_XP, costs)
+    profiles = ProfileTable(TITAN_XP)
+    specs = {}
+    for _, bench, _, _ in workload:
+        if bench not in specs:
+            specs[bench] = by_name(bench)
+            profiles.put(specs[bench].name, offline_profile(specs[bench], TITAN_XP, costs))
+    sched = AuditingScheduler(
+        env,
+        gpu,
+        TITAN_XP,
+        costs,
+        profiles=profiles,
+        enable_preemption=enable_preemption,
+        max_corun=max_corun,
+        policy=policy,
+    )
+    tickets = []
+
+    def arrival(env, at, spec, priority, deadline):
+        if at > env.now:
+            yield env.timeout(at - env.now)
+        ticket = SlateTicket(
+            spec=spec,
+            profile_key=spec.name,
+            done=env.event(),
+            enqueued_at=env.now,
+            priority=priority,
+            task_size=10,
+            deadline=deadline,
+        )
+        tickets.append(ticket)
+        sched.submit(ticket)
+
+    procs = [
+        env.process(arrival(env, at, specs[bench], priority, deadline))
+        for at, bench, priority, deadline in sorted(workload, key=lambda w: w[0])
+    ]
+    env.run(until=env.all_of(procs))
+    env.run()
+    return sched, tickets
+
+
+MIXED = [
+    (0.0, "BS", 0, None),
+    (0.2e-3, "RG", 1, None),
+    (0.5e-3, "TR", 0, 40e-3),
+    (0.9e-3, "MM", 2, None),
+    (1.4e-3, "GS", 1, 1e-4),  # infeasibly tight: edf must reject it
+    (2.2e-3, "BS", 2, None),
+    (3.0e-3, "RG", 0, 60e-3),
+    (5.5e-3, "TR", 1, None),
+]
+
+
+@pytest.mark.parametrize("policy", ALL_POLICIES)
+def test_mixed_workload_upholds_invariants(policy):
+    sched, tickets = run_workload(policy, MIXED, max_corun=3)
+    assert sched.waiting_count == 0 and sched.running_count == 0
+    for t in tickets:
+        assert t.done.triggered, f"{t.spec.name} starved under {policy}"
+        assert t.done.ok or t.rejected
+
+
+@pytest.mark.parametrize("policy", ALL_POLICIES)
+def test_preempted_tenants_resume_and_complete(policy):
+    workload = [
+        (0.0, "TR", 0, None),
+        # Same-class VIP: Table I forbids the corun, so serving the
+        # priority-3 arrival requires preempting the priority-0 tenant.
+        (0.4e-3, "TR", 3, None),
+        (4.0e-3, "BS", 1, None),
+    ]
+    sched, tickets = run_workload(policy, workload, enable_preemption=True)
+    assert sched.waiting_count == 0 and sched.running_count == 0
+    for t in tickets:
+        assert t.done.triggered
+        if t.preemptions:
+            assert t.done.ok, f"preempted {t.spec.name} never resumed under {policy}"
+    if policy == "table1":
+        # The canonical policy does preempt here — the scenario has teeth.
+        assert sched.preemptions > 0
+        assert any(t.preemptions for t in tickets)
+
+
+def test_edf_never_admits_provably_infeasible_deadlines():
+    sched, tickets = run_workload("edf", MIXED, max_corun=3)
+    assert sched.rejections > 0
+    for t in tickets:
+        if t.deadline is None:
+            continue
+        estimate = sched.profiles.get(t.profile_key).elapsed
+        if t.enqueued_at + estimate > t.deadline:
+            assert t.rejected, (
+                f"edf admitted {t.spec.name} with deadline {t.deadline} "
+                f"< submit {t.enqueued_at} + estimate {estimate}"
+            )
+
+
+@pytest.mark.parametrize("policy", ALL_POLICIES)
+def test_non_deadline_policies_reject_nothing(policy):
+    sched, tickets = run_workload(policy, MIXED, max_corun=3)
+    if policy == "edf":
+        assert sched.rejections == sum(t.rejected for t in tickets) > 0
+    else:
+        assert sched.rejections == 0
+        assert not any(t.rejected for t in tickets)
+
+
+# -- property-based: generated workloads, every policy -----------------------
+
+entry = st.tuples(
+    st.floats(min_value=0.0, max_value=10e-3, allow_nan=False),
+    st.sampled_from(BENCHES),
+    st.integers(min_value=0, max_value=3),
+    st.one_of(st.none(), st.floats(min_value=1e-4, max_value=50e-3)),
+)
+workloads = st.lists(entry, min_size=1, max_size=8)
+
+
+@pytest.mark.parametrize("policy", ALL_POLICIES)
+@given(workload=workloads)
+@settings(max_examples=20, deadline=None)
+def test_generated_workloads_drain_within_capacity(policy, workload):
+    sched, tickets = run_workload(policy, workload, max_corun=3)
+    assert sched.waiting_count == 0 and sched.running_count == 0
+    assert len(tickets) == len(workload)
+    for t in tickets:
+        assert t.done.triggered
+        assert t.done.ok or t.rejected
+    completed = sum(1 for t in tickets if t.done.ok)
+    assert completed == sched.solo_launches + sched.corun_launches
+
+
+def test_registry_is_complete():
+    """Every policy in POLICIES is constructible and keeps its name."""
+    from repro.slate.policy import make_policy
+
+    assert len(POLICIES) >= 5
+    for name in ALL_POLICIES:
+        assert make_policy(name).name == name

@@ -64,3 +64,115 @@ class TestChoosePredictive:
         """Two memory hogs predict poorly (the policy's solo rationale)."""
         split = choose_partition_predictive(gaussian(), transpose())
         assert split.predicted_stp < 1.15
+
+
+class TestPredictionErrorBounds:
+    """The analytic rate model vs the simulated GPU, on synthetic pairs.
+
+    ``choose_partition_predictive`` is only useful if its predicted system
+    throughput tracks what the simulation actually delivers; these bounds
+    are what lets the online-predictive policy trust it for admission and
+    resplitting.
+    """
+
+    @staticmethod
+    def _measured_stp(a: str, b: str) -> float:
+        from repro.metrics.antt import stp
+        from repro.workloads.harness import app_for, run_pair, run_solo
+
+        solo = {
+            name: run_solo("CUDA", app_for(bench, name=name))[0].app_time
+            for name, bench in ((a, a), (b + "2", b))
+        }
+        results, _ = run_pair(
+            "Slate",
+            app_for(a),
+            app_for(b, name=b + "2"),
+            partition_strategy="predictive",
+        )
+        return stp({k: v.app_time for k, v in results.items()}, solo)
+
+    @pytest.mark.parametrize(
+        "pair,bound",
+        [
+            (("BS", "RG"), 0.05),  # complementary: the model's home turf
+            (("RG", "RG"), 0.05),  # linear pair: STP ~ 1 on both sides
+            (("BS", "TR"), 0.25),  # interfering: host costs dilute, stay sane
+        ],
+        ids=["BS-RG", "RG-RG", "BS-TR"],
+    )
+    def test_predicted_stp_tracks_simulation(self, pair, bound):
+        from repro.workloads.harness import app_for
+
+        a, b = pair
+        split = choose_partition_predictive(app_for(a).kernel, app_for(b).kernel)
+        measured = self._measured_stp(a, b)
+        assert abs(split.predicted_stp - measured) / measured <= bound
+
+    def test_rates_sum_is_split_invariant_for_linear_kernels(self):
+        """A linearly-scaling kernel pair: total predicted rate is nearly
+        constant across splits (the model has no free-lunch splits)."""
+        rg = quasirandom()
+        totals = [
+            sum(predict_corun_rates(rg, rg, n_a)) for n_a in (6, 10, 15, 20, 24)
+        ]
+        assert max(totals) <= min(totals) * 1.05
+
+
+class TestOnlinePredictivePolicy:
+    """The policy layer riding on predict.py: estimation and fallback."""
+
+    def test_ema_runtime_estimation(self):
+        from types import SimpleNamespace
+
+        from repro.slate.policy import make_policy
+
+        policy = make_policy("online-predictive")
+        ticket = SimpleNamespace(profile_key="k")
+        policy.on_complete(ticket, SimpleNamespace(elapsed=2.0))
+        assert policy.observed["k"] == (2.0, 1)  # first sample taken verbatim
+        policy.on_complete(ticket, SimpleNamespace(elapsed=4.0))
+        ema, count = policy.observed["k"]
+        assert count == 2 and ema == pytest.approx(3.0)  # 0.5-weighted EMA
+        assert policy.observations(ticket) == 2
+
+    def test_falls_back_to_table1_with_no_completions(self):
+        """Until the first completion there is no evidence; decisions must
+        be byte-identical to table1 (the pairing below happens before any
+        kernel finishes)."""
+        from tests.slate.difftrace import scheduler_trace
+        from repro.slate.scheduler import SlateScheduler, SlateTicket
+
+        workload = [(0.0, "RG", 0, None), (0.1e-3, "RG", 0, None)]
+        predictive, sched = scheduler_trace(
+            workload, SlateScheduler, SlateTicket, policy="online-predictive"
+        )
+        table1, _ = scheduler_trace(workload, SlateScheduler, SlateTicket)
+        assert predictive == table1
+        assert sched.policy.repairings == 0
+        assert any(row[1] == "corun" for row in predictive)
+
+    def test_diverges_from_table1_once_evidence_arrives(self):
+        """Table I co-runs L_C with itself; the rate model predicts STP ~ 1
+        for the linear pair, so once both arrivals have observed runtimes
+        the policy refuses the pairing table1 would have made."""
+        from tests.slate.difftrace import scheduler_trace
+        from repro.slate.scheduler import SlateScheduler, SlateTicket
+
+        workload = [
+            (0.0, "RG", 0, None),
+            (0.1e-3, "RG", 0, None),
+            # Second wave arrives after the first completions.
+            (60e-3, "RG", 0, None),
+            (60.1e-3, "RG", 0, None),
+        ]
+        predictive, sched = scheduler_trace(
+            workload, SlateScheduler, SlateTicket, policy="online-predictive"
+        )
+        table1, _ = scheduler_trace(workload, SlateScheduler, SlateTicket)
+        assert predictive != table1
+        assert sched.policy.repairings > 0
+        # The second wave ran solo under the predictive policy...
+        assert sum(row[1] == "corun" for row in predictive) < sum(
+            row[1] == "corun" for row in table1
+        )
