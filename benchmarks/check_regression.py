@@ -1,0 +1,53 @@
+#!/usr/bin/env python
+"""CI perf-regression gate over BENCH_*.json files.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/check_regression.py \
+        BASELINE.json CURRENT.json [--metric us_per_launch] [--tolerance 0.25]
+
+Exits non-zero (and prints the offending rows) when any row shared by
+both files regresses the watched lower-is-better metric beyond the
+tolerance.  Rows present in only one file are informational.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.bench import compare_benchmarks, load_bench_file
+from repro.bench.gate import DEFAULT_METRIC, DEFAULT_TOLERANCE
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("baseline", help="committed BENCH_*.json baseline")
+    parser.add_argument("current", help="freshly measured BENCH_*.json")
+    parser.add_argument(
+        "--metric",
+        default=DEFAULT_METRIC,
+        help=f"lower-is-better metric to watch (default: {DEFAULT_METRIC})",
+    )
+    parser.add_argument(
+        "--tolerance",
+        type=float,
+        default=DEFAULT_TOLERANCE,
+        help=(
+            "allowed fractional increase before a row regresses "
+            f"(default: {DEFAULT_TOLERANCE})"
+        ),
+    )
+    args = parser.parse_args(argv)
+    result = compare_benchmarks(
+        load_bench_file(args.baseline),
+        load_bench_file(args.current),
+        metric=args.metric,
+        tolerance=args.tolerance,
+    )
+    print(result.describe())
+    return 0 if result.ok else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

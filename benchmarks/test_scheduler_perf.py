@@ -6,9 +6,11 @@ arrival trace the evaluation can afford, so the waiting-queue, the
 rate-derivation memo, and the bounded-log knobs all get measured here.
 
 Two benches emit ``benchmarks/BENCH_scheduler.json`` (launches/sec and
-decisions/sec at 1k/10k/100k launches, plus cache hit rates), mirroring
-``BENCH_engine.json``; CI uploads it as a per-PR artifact.  Before/after
-numbers live in ``benchmarks/README.md``.
+decisions/sec at 1k/10k/100k/1M launches, plus cache hit rates and
+decision-epoch counters), mirroring ``BENCH_engine.json``; CI uploads it
+as a per-PR artifact and gates regressions against the committed baseline
+(``benchmarks/check_regression.py``).  Before/after numbers live in
+``benchmarks/README.md``.
 """
 
 from __future__ import annotations
@@ -134,10 +136,14 @@ def _record_point(records: dict, n: int, env, sched, elapsed: float) -> None:
             memo["hits"] / max(1, memo["hits"] + memo["misses"]), 4
         ),
         "occupancy_cache_hits": occ["hits"],
+        "epoch_marks": stats.epoch_marks,
+        "epoch_flushes": stats.epoch_flushes,
+        "rate_vector_evals": stats.rate_vector_evals,
+        "rate_scalar_evals": stats.rate_scalar_evals,
     }
 
 
-@pytest.mark.parametrize("n", [1_000, 10_000, 100_000])
+@pytest.mark.parametrize("n", [1_000, 10_000, 100_000, 1_000_000])
 def test_scheduler_launch_throughput(n, scheduler_bench_json):
     reset_rates_cache()
     reset_occupancy_cache()

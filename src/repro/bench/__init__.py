@@ -1,0 +1,22 @@
+"""Benchmark tooling: regression gating over committed BENCH_*.json files.
+
+The microbenchmark suites under ``benchmarks/`` persist their headline
+numbers as JSON (one object per bench row).  :mod:`repro.bench.gate`
+compares a freshly measured file against the committed baseline and fails
+when a watched metric regresses beyond a noise tolerance — the CI
+perf-regression gate (``benchmarks/check_regression.py``).
+"""
+
+from repro.bench.gate import (
+    GateResult,
+    RowComparison,
+    compare_benchmarks,
+    load_bench_file,
+)
+
+__all__ = [
+    "GateResult",
+    "RowComparison",
+    "compare_benchmarks",
+    "load_bench_file",
+]

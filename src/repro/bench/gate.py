@@ -1,0 +1,151 @@
+"""Perf-regression gate: compare fresh bench JSON against a baseline.
+
+Bench files map row names to flat metric dicts::
+
+    {"scheduler_churn_100000": {"us_per_launch": 93.7, ...}, ...}
+
+The gate walks every row present in *both* files and compares one watched
+metric (default ``us_per_launch``, lower is better).  A row regresses when
+
+    current > baseline * (1 + tolerance)
+
+with ``tolerance`` defaulting to 25% — microbenchmarks on shared CI
+runners are noisy, and the gate exists to catch real (tens-of-percent)
+slowdowns, not scheduling jitter.  Rows only in the baseline (a lane that
+skips the expensive sizes) or only in the current file (a newly added
+size) are reported but never fail the gate.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Iterable, Mapping
+
+__all__ = [
+    "DEFAULT_METRIC",
+    "DEFAULT_TOLERANCE",
+    "GateResult",
+    "RowComparison",
+    "compare_benchmarks",
+    "load_bench_file",
+]
+
+DEFAULT_METRIC = "us_per_launch"
+DEFAULT_TOLERANCE = 0.25
+
+
+@dataclass(frozen=True)
+class RowComparison:
+    """One bench row's baseline-vs-current verdict."""
+
+    name: str
+    metric: str
+    baseline: float | None
+    current: float | None
+    limit: float | None
+    regressed: bool
+
+    @property
+    def ratio(self) -> float | None:
+        """current / baseline (None when either side is missing or zero)."""
+        if not self.baseline or self.current is None:
+            return None
+        return self.current / self.baseline
+
+    def describe(self) -> str:
+        if self.baseline is None and self.current is None:
+            # Present in a file but carries no watched metric (e.g. the
+            # queue_churn rows have no us_per_launch) — informational.
+            return f"{self.name}: no {self.metric} metric"
+        if self.baseline is None:
+            return f"{self.name}: new row ({self.metric}={self.current:g})"
+        if self.current is None:
+            return f"{self.name}: not measured this run (baseline {self.baseline:g})"
+        pct = (self.ratio - 1.0) * 100.0 if self.ratio is not None else 0.0
+        verdict = "REGRESSED" if self.regressed else "ok"
+        return (
+            f"{self.name}: {self.metric} {self.baseline:g} -> {self.current:g} "
+            f"({pct:+.1f}%, limit {self.limit:g}) {verdict}"
+        )
+
+
+@dataclass(frozen=True)
+class GateResult:
+    """The gate's overall verdict plus every row comparison."""
+
+    rows: tuple[RowComparison, ...]
+
+    @property
+    def ok(self) -> bool:
+        return not any(r.regressed for r in self.rows)
+
+    @property
+    def regressions(self) -> tuple[RowComparison, ...]:
+        return tuple(r for r in self.rows if r.regressed)
+
+    def describe(self) -> str:
+        lines = [r.describe() for r in self.rows]
+        lines.append(
+            "PASS: no bench regressions"
+            if self.ok
+            else f"FAIL: {len(self.regressions)} bench row(s) regressed"
+        )
+        return "\n".join(lines)
+
+
+def load_bench_file(path: str | Path) -> dict:
+    """Load a BENCH_*.json file (row name -> metric dict)."""
+    data = json.loads(Path(path).read_text())
+    if not isinstance(data, dict):
+        raise ValueError(f"{path}: expected a JSON object of bench rows")
+    return data
+
+
+def _metric_value(row: Mapping, metric: str) -> float | None:
+    value = row.get(metric)
+    if value is None:
+        return None
+    if not isinstance(value, (int, float)) or isinstance(value, bool):
+        raise ValueError(f"metric {metric!r} must be numeric, got {value!r}")
+    return float(value)
+
+
+def compare_benchmarks(
+    baseline: Mapping[str, Mapping],
+    current: Mapping[str, Mapping],
+    metric: str = DEFAULT_METRIC,
+    tolerance: float = DEFAULT_TOLERANCE,
+    rows: Iterable[str] | None = None,
+) -> GateResult:
+    """Compare ``current`` bench rows against ``baseline``.
+
+    ``rows`` restricts the comparison to specific row names (default:
+    the union of both files).  ``tolerance`` is the allowed fractional
+    increase of the (lower-is-better) metric before a row regresses.
+    """
+    if tolerance < 0:
+        raise ValueError(f"tolerance must be non-negative, got {tolerance}")
+    names = sorted(set(baseline) | set(current)) if rows is None else list(rows)
+    comparisons = []
+    for name in names:
+        base_val = (
+            _metric_value(baseline[name], metric) if name in baseline else None
+        )
+        cur_val = _metric_value(current[name], metric) if name in current else None
+        limit = base_val * (1.0 + tolerance) if base_val is not None else None
+        regressed = (
+            base_val is not None and cur_val is not None and cur_val > limit
+        )
+        comparisons.append(
+            RowComparison(
+                name=name,
+                metric=metric,
+                baseline=base_val,
+                current=cur_val,
+                limit=limit,
+                regressed=regressed,
+            )
+        )
+    return GateResult(rows=tuple(comparisons))

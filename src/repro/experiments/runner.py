@@ -310,21 +310,33 @@ def _hit_rate(hits: int, misses: int) -> str:
     return f"{100.0 * hits / total:.0f}%" if total else "-"
 
 
+def _per(numerator: int, denominator: int) -> str:
+    return f"{numerator / denominator:.1f}" if denominator else "-"
+
+
 def format_profile_table(runs: Sequence[ExperimentRun]) -> str:
     """Tabulate per-experiment engine counters (the ``--profile`` output).
 
     ``rmemo``/``rm%`` are the :func:`repro.gpu.rates.derive_rates` memo
-    hits and hit rate; ``occ%`` the occupancy-cache hit rate.
+    hits and hit rate; ``occ%`` the occupancy-cache hit rate.  The epoch
+    columns measure decision-epoch batching: ``epochs`` is end-of-timestep
+    flushes performed, ``mut/ep`` the mean device mutations absorbed per
+    flush.  ``vec``/``scal`` split full rate derivations between the
+    vectorized numpy evaluator and the scalar reference path, and ``vw``
+    is the mean vectorized batch width (inputs per vector pass).
     """
     header = (
         f"{'experiment':<14}{'events':>12}{'heap pk':>9}{'t/o reused':>12}"
         f"{'recomp':>8}{'skip':>7}{'wfill':>7}{'hits':>7}"
-        f"{'rmemo':>8}{'rm%':>6}{'occ%':>6}{'wall s':>9}"
+        f"{'rmemo':>8}{'rm%':>6}{'occ%':>6}"
+        f"{'epochs':>9}{'mut/ep':>8}{'vec':>7}{'scal':>7}{'vw':>6}"
+        f"{'wall s':>9}"
     )
     lines = [header, "-" * len(header)]
     totals = {
         "events": 0, "reused": 0, "recomp": 0, "skip": 0, "wfill": 0,
         "hits": 0, "rhits": 0, "rmiss": 0, "ohits": 0, "omiss": 0,
+        "marks": 0, "flushes": 0, "vec": 0, "scal": 0, "vbatch": 0,
     }
     wall = 0.0
     for run in runs:
@@ -333,6 +345,11 @@ def format_profile_table(runs: Sequence[ExperimentRun]) -> str:
         rmiss = s.get("rate_memo_misses", 0)
         ohits = s.get("occupancy_cache_hits", 0)
         omiss = s.get("occupancy_cache_misses", 0)
+        marks = s.get("epoch_marks", 0)
+        flushes = s.get("epoch_flushes", 0)
+        vec = s.get("rate_vector_evals", 0)
+        scal = s.get("rate_scalar_evals", 0)
+        vbatch = s.get("rate_vector_batch", 0)
         lines.append(
             f"{run.key:<14}{s.get('events_processed', 0):>12,}"
             f"{s.get('heap_peak', 0):>9,}"
@@ -344,6 +361,11 @@ def format_profile_table(runs: Sequence[ExperimentRun]) -> str:
             f"{rhits:>8,}"
             f"{_hit_rate(rhits, rmiss):>6}"
             f"{_hit_rate(ohits, omiss):>6}"
+            f"{flushes:>9,}"
+            f"{_per(marks, flushes):>8}"
+            f"{vec:>7,}"
+            f"{scal:>7,}"
+            f"{_per(vbatch, vec):>6}"
             f"{run.elapsed:>9.2f}"
         )
         totals["events"] += s.get("events_processed", 0)
@@ -356,6 +378,11 @@ def format_profile_table(runs: Sequence[ExperimentRun]) -> str:
         totals["rmiss"] += rmiss
         totals["ohits"] += ohits
         totals["omiss"] += omiss
+        totals["marks"] += marks
+        totals["flushes"] += flushes
+        totals["vec"] += vec
+        totals["scal"] += scal
+        totals["vbatch"] += vbatch
         wall += run.elapsed
     lines.append("-" * len(header))
     lines.append(
@@ -363,7 +390,12 @@ def format_profile_table(runs: Sequence[ExperimentRun]) -> str:
         f"{totals['recomp']:>8,}{totals['skip']:>7,}{totals['wfill']:>7,}"
         f"{totals['hits']:>7,}{totals['rhits']:>8,}"
         f"{_hit_rate(totals['rhits'], totals['rmiss']):>6}"
-        f"{_hit_rate(totals['ohits'], totals['omiss']):>6}{wall:>9.2f}"
+        f"{_hit_rate(totals['ohits'], totals['omiss']):>6}"
+        f"{totals['flushes']:>9,}"
+        f"{_per(totals['marks'], totals['flushes']):>8}"
+        f"{totals['vec']:>7,}{totals['scal']:>7,}"
+        f"{_per(totals['vbatch'], totals['vec']):>6}"
+        f"{wall:>9.2f}"
     )
     return "\n".join(lines)
 

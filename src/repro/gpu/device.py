@@ -35,6 +35,8 @@ from __future__ import annotations
 import enum
 import itertools
 import math
+import os
+from collections import OrderedDict
 from collections import deque as _deque
 from dataclasses import dataclass
 from typing import Optional, Sequence
@@ -46,12 +48,15 @@ from repro.gpu.rates import (
     RateInput,
     SchedulingMode,
     derive_rates,
+    memo_enabled,
+    memo_note_hit,
     rate_input_signature,
 )
 from repro.obs import trace as obs_trace
 from repro.sim import Environment, Event
 
 __all__ = [
+    "ExecState",
     "ExecutionMode",
     "KernelWork",
     "KernelCounters",
@@ -60,6 +65,9 @@ __all__ = [
 ]
 
 _EPS = 1e-12
+
+#: Bound on the per-device epoch result cache (signature -> shared rates).
+_EPOCH_CACHE_MAX = 512
 
 
 class ExecutionMode(str, enum.Enum):
@@ -208,10 +216,10 @@ class KernelExecution:
         self._rates = _Rates()
         self._last_settle = gpu.env.now
         self._timer_gen = 0
-        #: (sm_ids, RateInput, memo signature) — every rate input except the
-        #: allocation is fixed at launch, so the tuple is rebuilt only when
-        #: ``sm_ids`` changes (resize/grow), not at every epoch boundary.
-        self._rate_cache: Optional[tuple] = None
+        #: Absolute fire time of the live completion timer (None: no live
+        #: timer).  Lets an epoch that re-derives the *same* rate keep the
+        #: pending timer instead of cancel-and-reschedule churn.
+        self._timer_at: Optional[float] = None
         self._resize_target: tuple[int, ...] = sm_ids
         occ = occupancy(gpu.device, work.block)
         self.blocks_per_sm = occ.blocks_per_sm
@@ -270,9 +278,35 @@ class SimulatedGPU:
         self.rate_trace: "list[tuple[float, dict[str, float]]] | _deque" = (
             [] if rate_trace_limit is None else _deque(maxlen=rate_trace_limit)
         )
-        #: Rate-input signature of the last derive_rates call; epochs whose
-        #: signature matches reuse the cached per-kernel rates.
-        self._rate_signature: Optional[tuple] = None
+        #: Allocation-epoch counter: bumped by every mutation that changes
+        #: the active ``(id, sm_ids)`` signature (launch, pause, resume,
+        #: resize, tail entry).  ``_rates_epoch`` records the counter value
+        #: the current ``_rates`` were derived at; a recompute whose counter
+        #: matches reuses them without rebuilding any signature tuple.
+        self._alloc_epoch = 0
+        self._rates_epoch = -1
+        #: Decision-epoch batching: mutations that land while the engine is
+        #: delivering events mark the epoch dirty and defer the (settle +
+        #: derive + reschedule) recompute to one end-of-timestep flush.
+        #: ``REPRO_NO_EPOCH_BATCH=1`` restores recompute-per-mutation.
+        self._epoch_batch = not os.environ.get("REPRO_NO_EPOCH_BATCH")
+        self._epoch_dirty = False
+        #: Per-device epoch result cache: positionised signature tuple ->
+        #: shared ``_Rates`` tuple.  Sits above the derive_rates memo (same
+        #: key space) and additionally skips RateOutput->_Rates conversion;
+        #: honours the module memo's disable switches (see ``memo_enabled``).
+        self._epoch_cache: OrderedDict = OrderedDict()
+        #: Rate-input signature per (work identity, allocation shape).
+        #: Repeated launches of one spec share a ``KernelWork`` (see
+        #: ``KernelSpec.work``), so the flat memo signature for a given
+        #: allocation is computed once per work, not once per execution.
+        #: ``_sig_pins`` keeps the keyed works alive so ids cannot recycle;
+        #: on overflow both maps drop together.
+        self._sig_cache: dict[tuple, tuple] = {}
+        self._sig_pins: dict[int, KernelWork] = {}
+        #: Timestamp of the last full progress settle; a second settle at
+        #: the same instant is a no-op (dt == 0 for every kernel) and skips.
+        self._settled_at = -1.0
 
     # -- public API -------------------------------------------------------
 
@@ -314,10 +348,16 @@ class SimulatedGPU:
             self, work, sms, mode, order_factor, task_size, inject_frac
         )
         self._running[execution.id] = execution
-        self._recompute()
+        self._alloc_epoch += 1
+        self._epoch_recompute()
         return execution
 
-    def resize(self, execution: KernelExecution, new_sm_ids: Sequence[int]) -> Event:
+    def resize(
+        self,
+        execution: KernelExecution,
+        new_sm_ids: Sequence[int],
+        notify: bool = True,
+    ) -> Optional[Event]:
         """Dynamically rebind a Slate kernel to a new SM range.
 
         Models the paper's dispatch-kernel mechanism: a retreat signal stops
@@ -325,25 +365,32 @@ class SimulatedGPU:
         relaunched on the new range resuming from ``slateIdx`` (progress is
         carried over exactly).  Returns an event that fires when the kernel
         is running again (or immediately if it had already drained).
+
+        ``notify=False`` skips creating that event and returns ``None`` —
+        fire-and-forget callers (the scheduler resizes on every corun
+        admission) would otherwise queue a dead notification per resize.
         """
         if execution.mode is not ExecutionMode.SLATE:
             raise ValueError("only Slate-scheduled kernels can be resized")
         sms = tuple(new_sm_ids)
         if not sms:
             raise ValueError("resize must leave at least one SM")
-        resumed = self.env.event()
+        resumed = self.env.event() if notify else None
         if execution.state in (ExecState.TAIL, ExecState.DONE):
-            resumed.succeed()
+            if resumed is not None:
+                resumed.succeed()
             return resumed
         if execution.state is ExecState.RESIZING:
             # Coalesce: just update the target range of the in-flight resize.
             execution._resize_target = sms
-            resumed.succeed()
+            if resumed is not None:
+                resumed.succeed()
             return resumed
 
         self._settle_all()
         execution.state = ExecState.RESIZING
         execution._resize_target = sms
+        self._alloc_epoch += 1
         execution.counters.resizes += 1
         if obs_trace.ENABLED:
             obs_trace.instant(
@@ -354,22 +401,21 @@ class SimulatedGPU:
                 from_sms=len(execution.sm_ids),
                 to_sms=len(sms),
             )
-        self._recompute()
+        self._epoch_recompute()
 
         delay = self.costs.retreat_latency + self.costs.kernel_launch_overhead
-        wake = self.env.event()
-        wake._ok = True
-        wake._value = None
-        self.env.schedule(wake, delay=delay)
+        wake = self.env.timeout(delay)
 
         def _finish(_event: Event) -> None:
             if execution.state is not ExecState.RESIZING:
                 return
             execution.sm_ids = execution._resize_target
             execution.state = ExecState.RUNNING
-            execution._last_settle = self.env.now
-            self._recompute()
-            resumed.succeed()
+            execution._last_settle = self.env._now
+            self._alloc_epoch += 1
+            self._epoch_recompute()
+            if resumed is not None:
+                resumed.succeed()
 
         wake.callbacks.append(_finish)
         return resumed
@@ -380,7 +426,8 @@ class SimulatedGPU:
             return
         self._settle_all()
         execution.state = ExecState.PAUSED
-        self._recompute()
+        self._alloc_epoch += 1
+        self._epoch_recompute()
 
     def resume(self, execution: KernelExecution) -> None:
         """Resume a paused kernel."""
@@ -388,7 +435,8 @@ class SimulatedGPU:
             return
         execution.state = ExecState.RUNNING
         execution._last_settle = self.env.now
-        self._recompute()
+        self._alloc_epoch += 1
+        self._epoch_recompute()
 
     @property
     def active_executions(self) -> list[KernelExecution]:
@@ -418,23 +466,78 @@ class SimulatedGPU:
             order_factor=k.order_factor,
         )
 
-    def _rate_entry(self, k: KernelExecution) -> tuple:
-        """Cached ``(sm_ids, RateInput, signature)`` for one execution."""
-        cache = k._rate_cache
-        if cache is not None and cache[0] == k.sm_ids:
-            return cache
-        inp = self._rate_input(k)
-        entry = (k.sm_ids, inp, rate_input_signature(inp))
-        k._rate_cache = entry
-        return entry
+    def _rate_sig(self, k: KernelExecution) -> tuple:
+        """Cached memo signature for one execution's allocation.
+
+        Keyed on work identity plus every launch parameter the signature
+        depends on — executions of the same spec on the same allocation
+        shape share one tuple, launch after launch.
+        """
+        key = (
+            id(k.work),
+            len(k.sm_ids),
+            k.mode is ExecutionMode.SLATE,
+            k.task_size,
+            k.inject_frac,
+            k.order_factor,
+        )
+        sig = self._sig_cache.get(key)
+        if sig is None:
+            if len(self._sig_pins) >= 256:
+                self._sig_pins.clear()
+                self._sig_cache.clear()
+            self._sig_pins[id(k.work)] = k.work
+            sig = rate_input_signature(self._rate_input(k))
+            self._sig_cache[key] = sig
+        return sig
+
+    def _epoch_recompute(self) -> None:
+        """Recompute now, or defer to the end of the current timestep.
+
+        Inside the engine's event loop every mutation (launch, resize,
+        pause, resume, completion) *settles* progress immediately — counters
+        and ``blocks_done`` are always current — but the expensive part
+        (rate derivation + completion-timer rescheduling + trace sample) is
+        batched into one :meth:`_flush_epoch` per device per timestep via
+        :meth:`Environment.at_timestep_end`.  Outside the loop (tests and
+        drivers mutating the device directly) the recompute stays immediate,
+        so direct-call semantics are unchanged.
+        """
+        env = self.env
+        if self._epoch_batch and env._processing:
+            env.stats.epoch_marks += 1
+            if not self._epoch_dirty:
+                self._epoch_dirty = True
+                self._settle_all()
+                env.at_timestep_end(self._flush_epoch)
+            return
+        self._recompute()
+
+    def _flush_epoch(self) -> None:
+        """End-of-timestep epoch flush (idempotent within a timestep).
+
+        Usually fired by the engine once the current instant has drained;
+        :meth:`_on_timer` forces it early when a completion timer fires at
+        an instant that already mutated the device — the recompute must
+        land (invalidating stale timers, re-deriving rates) before the
+        timer's completion logic may run, exactly as it did when every
+        mutation recomputed inline.
+        """
+        if not self._epoch_dirty:
+            return
+        self._epoch_dirty = False
+        self.env.stats.epoch_flushes += 1
+        self._recompute()
 
     def _recompute(self) -> None:
         """Settle progress and re-derive all rates (epoch boundary).
 
         Incremental contract: every rate is a pure function of the active
         executions' ``(id, sm_ids)`` pairs (all other rate inputs are fixed
-        at launch), so when that signature matches the previous epoch the
-        cached ``_rates`` are reused and :func:`derive_rates` is skipped.
+        at launch), and ``_alloc_epoch`` counts exactly the mutations that
+        can change that set — so when the counter matches the epoch the
+        current ``_rates`` were derived at, they are reused and
+        :func:`derive_rates` is skipped.
         Completion timers are still rescheduled and a ``rate_trace`` sample
         is still appended — a skipped epoch is observationally identical to
         a recomputed one.
@@ -443,8 +546,7 @@ class SimulatedGPU:
         active = self.active_executions
         stats = self.env.stats
         trace_on = self.rate_trace_limit != 0
-        signature = tuple((k.id, k.sm_ids) for k in active)
-        if signature == self._rate_signature:
+        if self._alloc_epoch == self._rates_epoch:
             stats.rate_recomputes_skipped += 1
             # Rates are unchanged, so each kernel's live timer already
             # points at the right absolute completion time — keep it
@@ -462,32 +564,59 @@ class SimulatedGPU:
                     "epochs",
                     active=len(active),
                 )
-            entries = [self._rate_entry(k) for k in active]
-            outputs = derive_rates(
-                [e[1] for e in entries],
-                self.device,
-                self.costs,
-                stats=stats,
-                signatures=tuple(e[2] for e in entries),
-            )
-            sample = {}
-            for k in active:
-                out = outputs[k.id]
-                k._rates = _Rates(
-                    block_time=out.block_time,
-                    rate=out.rate,
-                    throttle=out.throttle,
-                    parallel=k.parallelism,
-                    dram_bytes_per_block=out.dram_bytes_per_block,
+            sig_key = tuple(self._rate_sig(k) for k in active)
+            rates = None
+            cache_on = memo_enabled()
+            if cache_on:
+                rates = self._epoch_cache.get(sig_key)
+            if rates is not None:
+                self._epoch_cache.move_to_end(sig_key)
+                memo_note_hit(stats)
+            else:
+                # RateInput objects are needed only on a cache miss; the
+                # common path goes signature -> shared rates directly.
+                outputs = derive_rates(
+                    [self._rate_input(k) for k in active],
+                    self.device,
+                    self.costs,
+                    stats=stats,
+                    signatures=sig_key,
                 )
+                rates = tuple(
+                    _Rates(
+                        block_time=out.block_time,
+                        rate=out.rate,
+                        throttle=out.throttle,
+                        parallel=k.parallelism,
+                        dram_bytes_per_block=out.dram_bytes_per_block,
+                    )
+                    for k, out in ((k, outputs[k.id]) for k in active)
+                )
+                if cache_on:
+                    cache = self._epoch_cache
+                    cache[sig_key] = rates
+                    if len(cache) > _EPOCH_CACHE_MAX:
+                        cache.popitem(last=False)
+            sample = {}
+            for k, r in zip(active, rates):
+                # _Rates instances are shared between executions with equal
+                # signatures (and with the cache) — they are never mutated,
+                # only replaced wholesale at the next epoch.
+                k._rates = r
                 self._schedule_completion(k)
-                sample[k.work.name] = out.rate
-            self._rate_signature = signature
+                sample[k.work.name] = r.rate
+            self._rates_epoch = self._alloc_epoch
         if trace_on:
-            self.rate_trace.append((self.env.now, sample))
+            self.rate_trace.append((self.env._now, sample))
 
     def _settle_all(self) -> None:
-        now = self.env.now
+        now = self.env._now
+        if now == self._settled_at:
+            # Already settled at this instant: dt is zero for every kernel
+            # (kernels launched since initialise _last_settle to now), so a
+            # second pass would observe no progress.
+            return
+        self._settled_at = now
         for k in self._running.values():
             if k.state is not ExecState.RUNNING:
                 k._last_settle = now
@@ -516,25 +645,49 @@ class SimulatedGPU:
     # -- completion machinery -------------------------------------------------
 
     def _schedule_completion(self, k: KernelExecution) -> None:
-        k._timer_gen += 1
-        gen = k._timer_gen
         if k._rates.rate <= _EPS:
+            k._timer_gen += 1
+            k._timer_at = None
             return
         delay = k.blocks_remaining / k._rates.rate
-        ev = self.env.event()
-        ev._ok = True
-        ev._value = None
-        self.env.schedule(ev, delay=delay)
-        ev.callbacks.append(lambda _e: self._on_timer(k, gen))
+        at = self.env._now + delay
+        if at == k._timer_at:
+            # The live timer already points at this exact instant (the rate
+            # survived the epoch unchanged, progress settled consistently) —
+            # keep it and skip the cancel/alloc/heap-push cycle.
+            return
+        k._timer_gen += 1
+        gen = k._timer_gen
+        k._timer_at = at
+        self.env.timeout(delay).callbacks.append(lambda _e: self._on_timer(k, gen))
 
     def _on_timer(self, k: KernelExecution, gen: int) -> None:
-        if gen != k._timer_gen or k.state is not ExecState.RUNNING:
+        # A pending epoch means some mutation this timestep would have
+        # recomputed (and generation-bumped this timer) before it fired in
+        # the unbatched engine; flush first so stale timers die identically.
+        if self._epoch_dirty:
+            self._flush_epoch()
+        if gen != k._timer_gen:
+            return
+        # This generation's timer is consumed either way below.
+        k._timer_at = None
+        if k.state is not ExecState.RUNNING:
             return
         self._settle_all()
-        if k.blocks_remaining > 1e-6:
-            # Numerical slack: reschedule.
-            self._schedule_completion(k)
-            return
+        remaining = k.blocks_remaining
+        if remaining > 1e-6:
+            rate = k._rates.rate
+            if rate <= _EPS or self.env._now + remaining / rate > self.env._now:
+                # Numerical slack: reschedule (or, with no throughput, wait
+                # for the next rate change to restart the timer).
+                self._schedule_completion(k)
+                return
+            # The remainder is real but the catch-up delay underflows the
+            # float64 resolution of the current timestamp (deep into a long
+            # trace, eps(now) * rate can exceed the 1e-6 slack).  A timer at
+            # ``now + delay == now`` would fire at this same instant with
+            # nothing settled and respin forever; the work left is below the
+            # engine's time resolution, so complete now.
         self._begin_tail(k)
 
     def _tail_time(self, k: KernelExecution) -> float:
@@ -566,6 +719,7 @@ class SimulatedGPU:
     def _begin_tail(self, k: KernelExecution) -> None:
         k.blocks_done = float(k.work.num_blocks)
         k.state = ExecState.TAIL
+        self._alloc_epoch += 1
         tail = self._tail_time(k)
         if obs_trace.ENABLED:
             obs_trace.instant(
@@ -578,19 +732,15 @@ class SimulatedGPU:
         k.counters.busy_time += tail
         if not k.tail_started.triggered:
             k.tail_started.succeed()
-        self._recompute()
-        ev = self.env.event()
-        ev._ok = True
-        ev._value = None
-        self.env.schedule(ev, delay=tail)
-        ev.callbacks.append(lambda _e: self._finish(k))
+        self._epoch_recompute()
+        self.env.timeout(tail).callbacks.append(lambda _e: self._finish(k))
 
     def _finish(self, k: KernelExecution) -> None:
         k.state = ExecState.DONE
         k.counters.end_time = self.env.now
         self._running.pop(k.id, None)
         # Freed SMs / bandwidth benefit the survivors immediately.
-        self._recompute()
+        self._epoch_recompute()
         if not k.tail_started.triggered:  # pragma: no cover - defensive
             k.tail_started.succeed()
         k.done.succeed(k.counters)

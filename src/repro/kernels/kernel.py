@@ -79,20 +79,30 @@ class KernelSpec:
     d2h_bytes: int = 0
 
     def work(self) -> KernelWork:
-        """The device-facing workload description."""
-        return KernelWork(
-            name=self.name,
-            num_blocks=self.grid.num_blocks,
-            block=self.block,
-            flops_per_block=self.flops_per_block,
-            bytes_per_block=self.bytes_per_block,
-            locality=self.locality,
-            dram_efficiency=self.dram_efficiency,
-            min_block_time=self.min_block_time,
-            time_cv=self.time_cv,
-            instr_per_block=self.instr_per_block,
-            ldst_per_block=self.ldst_per_block,
-        )
+        """The device-facing workload description.
+
+        Both sides are frozen, so the conversion is computed once per spec
+        and the same :class:`KernelWork` instance is returned thereafter —
+        downstream identity-keyed caches (the device's rate-signature
+        cache) rely on repeated launches of one spec sharing their work.
+        """
+        cached = self.__dict__.get("_work")
+        if cached is None:
+            cached = KernelWork(
+                name=self.name,
+                num_blocks=self.grid.num_blocks,
+                block=self.block,
+                flops_per_block=self.flops_per_block,
+                bytes_per_block=self.bytes_per_block,
+                locality=self.locality,
+                dram_efficiency=self.dram_efficiency,
+                min_block_time=self.min_block_time,
+                time_cv=self.time_cv,
+                instr_per_block=self.instr_per_block,
+                ldst_per_block=self.ldst_per_block,
+            )
+            object.__setattr__(self, "_work", cached)
+        return cached
 
     def scaled(self, factor: float) -> "KernelSpec":
         """A copy with the grid's x dimension scaled by ``factor``."""

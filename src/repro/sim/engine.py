@@ -41,8 +41,9 @@ and pooling activity so speedups (and regressions) are measurable.
 from __future__ import annotations
 
 import sys
+from collections import deque
 from heapq import heappop, heappush
-from typing import Any, Generator, Iterable, Optional
+from typing import Any, Callable, Generator, Iterable, Optional
 
 from repro.sim.events import AllOf, AnyOf, Event, EventPriority, Timeout
 from repro.sim.interrupts import SimulationError
@@ -104,6 +105,17 @@ class EnvironmentStats:
         at its ``limit`` bound (0 when no tracer is attached) — a nonzero
         value means timeline assertions may be looking at a truncated
         record stream.
+    epoch_marks / epoch_flushes:
+        Device mutations deferred into a decision epoch vs. end-of-timestep
+        epoch flushes actually performed (see
+        :meth:`Environment.at_timestep_end` and ``docs/api.md``); the ratio
+        ``marks / flushes`` is the average epoch batch size.
+    rate_vector_evals / rate_scalar_evals:
+        Full rate derivations that took the vectorized numpy path vs. the
+        scalar pure-Python path (:mod:`repro.gpu.rates`).
+    rate_vector_batch:
+        Total inputs across all vectorized derivations;
+        ``rate_vector_batch / rate_vector_evals`` is the mean vector width.
     """
 
     __slots__ = (
@@ -118,6 +130,11 @@ class EnvironmentStats:
         "rate_memo_hits",
         "rate_memo_misses",
         "trace_dropped",
+        "epoch_marks",
+        "epoch_flushes",
+        "rate_vector_evals",
+        "rate_scalar_evals",
+        "rate_vector_batch",
     )
 
     _FIELDS = (
@@ -132,6 +149,11 @@ class EnvironmentStats:
         "rate_memo_hits",
         "rate_memo_misses",
         "trace_dropped",
+        "epoch_marks",
+        "epoch_flushes",
+        "rate_vector_evals",
+        "rate_scalar_evals",
+        "rate_vector_batch",
     )
 
     def __init__(self) -> None:
@@ -198,11 +220,38 @@ class Environment:
         refcount gate would reject pooled candidates anyway).
     """
 
-    __slots__ = ("_now", "_queue", "_eid", "tracer", "stats", "_timeout_pool", "_flushed")
+    __slots__ = (
+        "_now",
+        "_queue",
+        "_fifo",
+        "_eoe_hooks",
+        "_processing",
+        "_eid",
+        "tracer",
+        "stats",
+        "_timeout_pool",
+        "_flushed",
+    )
 
     def __init__(self, initial_time: float = 0.0, tracer: Any = None) -> None:
         self._now = float(initial_time)
         self._queue: list[tuple[float, int, int, Event]] = []
+        #: Same-timestamp fast lane: every delay-0 NORMAL trigger lands here
+        #: in trigger order instead of paying two heap operations.  Ordering
+        #: stays identical to the heap-only engine because a NORMAL heap
+        #: entry keyed at the current instant was necessarily scheduled at an
+        #: *earlier* instant (delay > 0), i.e. before any event now in the
+        #: lane was triggered — so draining heap-at-now before the lane
+        #: replays the old event-id order exactly.  URGENT events always go
+        #: through the heap and therefore still preempt the lane.
+        self._fifo: deque[Event] = deque()
+        #: End-of-timestep hooks: callbacks to run once the current instant
+        #: has no events left, before the clock advances (decision epochs).
+        self._eoe_hooks: list[Callable[[], None]] = []
+        #: True while the engine is delivering event callbacks; epoch-aware
+        #: components defer work only inside the loop (direct calls from
+        #: test/driver code outside the engine keep immediate semantics).
+        self._processing = False
         #: Monotonic event sequence number.  A plain Python int: it grows
         #: without bound (no overflow) and is never reset — recycled Timeout
         #: instances draw fresh ids, so heap ordering stays total.
@@ -228,31 +277,89 @@ class Environment:
         """Place a triggered event on the queue ``delay`` into the future."""
         if delay < 0:
             raise ValueError(f"negative delay {delay} while scheduling {event!r}")
+        if not delay and priority == _NORMAL:
+            self._fifo.append(event)
+            return
         self._eid += 1
         heappush(self._queue, (self._now + delay, priority, self._eid, event))
 
+    def at_timestep_end(self, hook: Callable[[], None]) -> None:
+        """Run ``hook()`` once the current instant has no events left.
+
+        Hooks fire after every event scheduled for the current timestamp has
+        been processed and before the clock advances (or the run loop
+        returns control).  A hook may schedule new events — including at the
+        current instant, in which case those events are processed and the
+        remaining hooks re-run before time moves.  Hooks are one-shot:
+        re-register every timestep.  This is the decision-epoch primitive
+        (see ``docs/api.md``): the device defers rate recomputation here so
+        N same-timestamp mutations cost one epoch, not N.
+        """
+        self._eoe_hooks.append(hook)
+
+    def _run_hooks(self) -> None:
+        hooks = self._eoe_hooks
+        todo = hooks[:]
+        hooks.clear()
+        for hook in todo:
+            hook()
+
     def peek(self) -> float:
-        """Time of the next scheduled event, or ``inf`` if none."""
+        """Time of the next pending work item, or ``inf`` if none.
+
+        Events triggered for the current instant (the same-timestamp lane)
+        and pending end-of-timestep hooks report ``now``.
+        """
+        if self._fifo or self._eoe_hooks:
+            return self._now
         return self._queue[0][0] if self._queue else float("inf")
 
     def step(self) -> None:
-        """Process the next event.  Raises :class:`EmptySchedule` if none."""
+        """Process the next event.  Raises :class:`EmptySchedule` if none.
+
+        Pending end-of-timestep hooks run (at the current instant) before
+        the clock is allowed to advance past them.
+        """
         queue = self._queue
+        fifo = self._fifo
         stats = self.stats
-        if len(queue) > stats.heap_peak:
-            stats.heap_peak = len(queue)
-        try:
-            when, _, _, event = heappop(queue)
-        except IndexError:
-            raise EmptySchedule() from None
-        self._now = when
+        pending = len(queue) + len(fifo)
+        if pending > stats.heap_peak:
+            stats.heap_peak = pending
+        while True:
+            if fifo:
+                if queue and queue[0][0] <= self._now:
+                    when, _, _, event = heappop(queue)
+                    self._now = when
+                else:
+                    event = fifo.popleft()
+                break
+            if queue:
+                if self._eoe_hooks and queue[0][0] > self._now:
+                    self._run_hooks()
+                    continue
+                when, _, _, event = heappop(queue)
+                self._now = when
+                break
+            if self._eoe_hooks:
+                self._run_hooks()
+                if queue or fifo:
+                    continue
+                # Hook-only step: the epoch flush ran but produced no new
+                # events; report progress (peek() no longer says "now").
+                return
+            raise EmptySchedule()
         stats.events_processed += 1
 
         callbacks, event.callbacks = event.callbacks, None
         if self.tracer is not None:
-            self.tracer.record(when, event)
-        for callback in callbacks:
-            callback(event)
+            self.tracer.record(self._now, event)
+        self._processing = True
+        try:
+            for callback in callbacks:
+                callback(event)
+        finally:
+            self._processing = False
 
         if not event._ok and not event._defused:
             value = event._value
@@ -293,6 +400,8 @@ class Environment:
 
         stats = self.stats
         queue = self._queue
+        fifo = self._fifo
+        hooks = self._eoe_hooks
         pool = self._timeout_pool
         # No getrefcount (e.g. PyPy): use a stub that can never equal 2, so
         # the pooling branch below is dead without a per-event None check.
@@ -307,12 +416,32 @@ class Environment:
                 # Tracing path: per-event bookkeeping lives in step().
                 while True:
                     self.step()
-            pending = len(queue)
-            while pending:
+            self._processing = True
+            pending = len(queue) + len(fifo)
+            while pending or hooks:
                 if pending > peak:
                     peak = pending
-                when, _, _, event = pop(queue)
-                self._now = when
+                # Pop order at one instant: heap entries keyed at `now`
+                # (URGENT, then older NORMAL events — see `_fifo`), then the
+                # same-timestamp lane in trigger order, then end-of-timestep
+                # hooks; only once all three are empty does time advance.
+                if fifo:
+                    if queue and queue[0][0] <= self._now:
+                        when, _, _, event = pop(queue)
+                        self._now = when
+                    else:
+                        event = fifo.popleft()
+                elif queue:
+                    if hooks and queue[0][0] > self._now:
+                        self._run_hooks()
+                        pending = len(queue) + len(fifo)
+                        continue
+                    when, _, _, event = pop(queue)
+                    self._now = when
+                else:
+                    self._run_hooks()
+                    pending = len(queue) + len(fifo)
+                    continue
                 events += 1
                 callbacks = event.callbacks
                 event.callbacks = None
@@ -340,7 +469,7 @@ class Environment:
                     event.callbacks = callbacks
                     pool.append(event)
                     pooled += 1
-                pending = len(queue)
+                pending = len(queue) + len(fifo)
             if stop is not None and not stop.triggered and isinstance(until, Event):
                 raise SimulationError(
                     "simulation ended before the awaited event triggered"
@@ -360,6 +489,7 @@ class Environment:
                 return event._value
             raise event._value from None
         finally:
+            self._processing = False
             stats.events_processed += events
             stats.timeouts_pooled += pooled
             if peak > stats.heap_peak:
@@ -415,6 +545,9 @@ class Environment:
             # _ok/_defused are still True/False from the previous life: a
             # Timeout can never fail, so it can never have been defused, and
             # its recycled callbacks list was cleared when it was pooled.
+            if not delay:
+                self._fifo.append(timeout)
+                return timeout
             self._eid += 1
             heappush(self._queue, (self._now + delay, _NORMAL, self._eid, timeout))
             return timeout
@@ -433,4 +566,5 @@ class Environment:
         return AllOf(self, events)
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
-        return f"<Environment now={self._now} pending={len(self._queue)}>"
+        pending = len(self._queue) + len(self._fifo)
+        return f"<Environment now={self._now} pending={pending}>"

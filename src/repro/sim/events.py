@@ -99,11 +99,10 @@ class Event:
         self._ok = True
         self._value = value
         # Inlined Environment.schedule(self) — succeed() is the hottest
-        # trigger path (every resource grant and store operation), and the
-        # delay is always 0 so no validation is needed.
-        env = self.env
-        env._eid += 1
-        heappush(env._queue, (env._now, _NORMAL, env._eid, self))
+        # trigger path (every resource grant and store operation); the delay
+        # is always 0, so the event joins the same-timestamp lane (trigger
+        # order, no heap operations — see Environment._fifo).
+        self.env._fifo.append(self)
         return self
 
     def fail(self, exception: BaseException) -> "Event":
@@ -164,6 +163,9 @@ class Timeout(Event):
         self.delay = delay
         if delay < 0:
             raise ValueError(f"negative delay {delay} while scheduling {self!r}")
+        if not delay:
+            env._fifo.append(self)
+            return
         env._eid += 1
         heappush(env._queue, (env._now + delay, _NORMAL, env._eid, self))
 

@@ -16,6 +16,7 @@ when the partner completes (dynamic resizing).
 from __future__ import annotations
 
 from dataclasses import dataclass
+from functools import lru_cache
 
 from repro.config import DeviceConfig, TITAN_XP
 from repro.slate.profiler import KernelProfile
@@ -43,16 +44,20 @@ def _intensity_rank(profile: KernelProfile) -> tuple[float, float]:
     return (profile.mem_bw, profile.gflops)
 
 
-def choose_partition(
+@lru_cache(maxsize=1024)
+def _partition_cached(
     a: KernelProfile,
     b: KernelProfile,
-    device: DeviceConfig = TITAN_XP,
-    min_share: int = MIN_SHARE,
-) -> tuple[Partition, KernelProfile, KernelProfile]:
-    """Split the device between profiles ``a`` and ``b``.
+    device: DeviceConfig,
+    min_share: int,
+) -> tuple[Partition, bool]:
+    """Value-memoized core: ``(partition, a_is_primary)``.
 
-    Returns ``(partition, primary, secondary)`` where *primary* is the more
-    resource-intensive kernel (assigned ``partition.primary_sms``).
+    Everything involved is frozen (profiles, device config, the returned
+    partition), so the split is cached on argument *values* — long traces
+    re-split the same profile pairs endlessly.  Only the boolean role flag
+    is cached (never the profile objects themselves) so callers that
+    compare the returned primary by identity see their own arguments.
     """
     if min_share < 1 or 2 * min_share > device.num_sms:
         raise ValueError(f"min_share {min_share} infeasible for {device.num_sms} SMs")
@@ -70,6 +75,20 @@ def choose_partition(
             primary_sms=tuple(range(0, split)),
             secondary_sms=tuple(range(split, device.num_sms)),
         ),
-        primary,
-        secondary,
+        primary is a,
     )
+
+
+def choose_partition(
+    a: KernelProfile,
+    b: KernelProfile,
+    device: DeviceConfig = TITAN_XP,
+    min_share: int = MIN_SHARE,
+) -> tuple[Partition, KernelProfile, KernelProfile]:
+    """Split the device between profiles ``a`` and ``b``.
+
+    Returns ``(partition, primary, secondary)`` where *primary* is the more
+    resource-intensive kernel (assigned ``partition.primary_sms``).
+    """
+    partition, a_is_primary = _partition_cached(a, b, device, min_share)
+    return (partition, a, b) if a_is_primary else (partition, b, a)

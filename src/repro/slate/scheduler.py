@@ -24,7 +24,13 @@ from heapq import heappop, heappush
 from typing import Hashable, Iterator, Optional
 
 from repro.config import CostModel, DeviceConfig, TITAN_XP
-from repro.gpu.device import ExecutionMode, KernelCounters, KernelExecution, SimulatedGPU
+from repro.gpu.device import (
+    ExecState,
+    ExecutionMode,
+    KernelCounters,
+    KernelExecution,
+    SimulatedGPU,
+)
 from repro.kernels.kernel import KernelSpec
 from repro.obs import trace as obs_trace
 from repro.obs.registry import registry as obs_registry
@@ -292,8 +298,10 @@ class SlateScheduler:
         tracing = obs_trace.ENABLED
         if self.log_limit == 0 and not tracing:
             return
+        # SM sets are contiguous ascending ranges everywhere in this stack
+        # (partitions, nway shares, all_sms), so the span is the end pair.
         snapshot = {
-            r.ticket.spec.name: (min(r.sms), max(r.sms)) for r in self._running
+            r.ticket.spec.name: (r.sms[0], r.sms[-1]) for r in self._running
         }
         if tracing:
             obs_trace.allocation(self.env.now, snapshot)
@@ -363,7 +371,18 @@ class SlateScheduler:
         if not self._queue or not self._running:
             return
         head = self._queue.peek()
-        victim = self.policy.preempt_victim(head, self._running)
+        # Only device-side RUNNING tenants are preemptible.  A tenant whose
+        # execution already entered its tail (or is mid-resize) this same
+        # instant cannot retreat — ``gpu.pause`` would no-op, its pending
+        # completion callback would still fire, and the entry would be in
+        # ``_preempted`` when ``_on_kernel_done`` tries to remove it from
+        # the running set (the same-instant preemption/completion race).
+        candidates = [
+            r for r in self._running if r.handle.state is ExecState.RUNNING
+        ]
+        if not candidates:
+            return
+        victim = self.policy.preempt_victim(head, candidates)
         if victim is None:
             return
         if self._can_schedule_more():
@@ -425,7 +444,7 @@ class SlateScheduler:
             return
         entry.sms = sms
         self._note_resize(entry.ticket.spec.name, sms)
-        self.gpu.resize(entry.handle, sms)
+        self.gpu.resize(entry.handle, sms, notify=False)
         self._log_allocation()
 
     # -- scheduling core ----------------------------------------------------
@@ -549,7 +568,7 @@ class SlateScheduler:
         all_sms = self.gpu.all_sms()
         survivor.sms = all_sms
         self._note_resize(survivor.ticket.spec.name, all_sms)
-        self.gpu.resize(survivor.handle, all_sms)
+        self.gpu.resize(survivor.handle, all_sms, notify=False)
         self._log_allocation()
 
     def _rebalance_after_grace(self, survivor_count: int):
@@ -585,7 +604,7 @@ class SlateScheduler:
             if entry.sms != sms:
                 entry.sms = sms
                 self._note_resize(entry.ticket.spec.name, sms)
-                self.gpu.resize(entry.handle, sms)
+                self.gpu.resize(entry.handle, sms, notify=False)
         self.corun_launches += 1
         self._m_corun.inc()
         head_profile = self._profile_of(head)
@@ -613,7 +632,7 @@ class SlateScheduler:
             if entry.sms != sms:
                 entry.sms = sms
                 self._note_resize(entry.ticket.spec.name, sms)
-                self.gpu.resize(entry.handle, sms)
+                self.gpu.resize(entry.handle, sms, notify=False)
         self._log_allocation()
 
     def _try_schedule(self) -> None:
@@ -657,7 +676,7 @@ class SlateScheduler:
             if running.sms != run_sms:
                 running.sms = run_sms
                 self._note_resize(running.ticket.spec.name, run_sms)
-                self.gpu.resize(running.handle, run_sms)
+                self.gpu.resize(running.handle, run_sms, notify=False)
                 self._log_allocation()
             self.corun_launches += 1
             self._m_corun.inc()

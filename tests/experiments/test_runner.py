@@ -177,6 +177,41 @@ class TestProfile:
         assert any(line.startswith("fig1") for line in lines)
         assert lines[-1].startswith("total")
 
+    def test_profile_table_epoch_columns(self):
+        """The decision-epoch and vectorization counters are tabulated."""
+        runs = runner.run_battery(["fig4"], jobs=1, profile=True)
+        table = runner.format_profile_table(runs)
+        header = table.splitlines()[0]
+        for column in ("epochs", "mut/ep", "vec", "scal", "vw"):
+            assert column in header
+        stats = runs[0].stats
+        for field in (
+            "epoch_marks",
+            "epoch_flushes",
+            "rate_vector_evals",
+            "rate_scalar_evals",
+            "rate_vector_batch",
+        ):
+            assert field in stats
+        # fig4 runs a fresh multi-tenant simulation: mutations were
+        # actually batched into epochs, and the table shows the factor.
+        assert stats["epoch_flushes"] > 0
+        assert stats["epoch_marks"] >= stats["epoch_flushes"]
+
+    def test_epoch_counters_reach_metrics_registry(self):
+        """obs registry 'engine' source carries the epoch/vector fields."""
+        from repro.obs.registry import registry
+
+        snapshot = registry().snapshot()["sources"]["engine"]
+        for field in (
+            "epoch_marks",
+            "epoch_flushes",
+            "rate_vector_evals",
+            "rate_scalar_evals",
+            "rate_vector_batch",
+        ):
+            assert field in snapshot
+
     def test_main_profile_flag_prints_table(self, capsys):
         assert runner.main(["fig3", "--profile"]) == 0
         out = capsys.readouterr().out

@@ -1,0 +1,160 @@
+"""The vectorized rate path must be bit-identical to the scalar reference.
+
+``_derive_rates_vector`` takes one numpy pass over the positionised
+signature matrix; ``_derive_rates_scalar`` is the reference semantics.
+The contract is *bit* equality (the experiment goldens and the decision
+trace are byte-frozen), so every comparison here is ``==`` on raw floats,
+never ``approx``.  Also pinned: the ``_VEC_MIN`` dispatch threshold, the
+``REPRO_NO_NUMPY`` escape hatch, and the vector/scalar stats counters.
+"""
+
+import random
+
+import pytest
+
+from repro.config import TITAN_XP, CostModel
+from repro.gpu.cache import LocalityModel
+from repro.gpu.rates import (
+    _VEC_MIN,
+    RateInput,
+    SchedulingMode,
+    _derive_rates_scalar,
+    _derive_rates_uncached,
+    _derive_rates_vector,
+    configure_rates_cache,
+    derive_rates,
+    reset_rates_cache,
+)
+from repro.sim.engine import EnvironmentStats
+
+np = pytest.importorskip("numpy")
+
+COSTS = CostModel()
+
+
+@pytest.fixture(autouse=True)
+def fresh_cache():
+    reset_rates_cache()
+    yield
+    configure_rates_cache(4096)
+
+
+def random_input(rng: random.Random, key: int) -> RateInput:
+    slate = rng.random() < 0.5
+    return RateInput(
+        key=key,
+        flops_per_block=rng.uniform(0, 5e7) if rng.random() < 0.9 else 0.0,
+        bytes_per_block=rng.uniform(0, 2e6) if rng.random() < 0.9 else 0.0,
+        locality=LocalityModel(
+            reuse_fraction=rng.uniform(0.0, 1.0),
+            order_sensitivity=rng.uniform(0.0, 1.0),
+            footprint=rng.choice([0.0, rng.uniform(0, 8e6)]),
+        ),
+        dram_efficiency=rng.uniform(0.3, 1.0),
+        min_block_time=rng.choice([0.0, rng.uniform(0, 1e-5)]),
+        mode=SchedulingMode.SLATE if slate else SchedulingMode.HARDWARE,
+        blocks_per_sm=rng.randint(1, 32),
+        n_sms=rng.randint(1, 30),
+        parallelism=rng.randint(1, 480),
+        task_size=rng.randint(1, 64) if slate else 1,
+        inject_frac=rng.choice([0.0, rng.uniform(0, 0.5)]),
+        order_factor=rng.choice([0.25, 1.0, rng.uniform(0, 1)]),
+    )
+
+
+def assert_outputs_bit_equal(a, b):
+    assert a.keys() == b.keys()
+    for key in a:
+        for field in ("block_time", "rate", "throttle", "dram_bytes_per_block", "demand"):
+            va, vb = getattr(a[key], field), getattr(b[key], field)
+            assert va == vb, f"{field} mismatch for {key}: {va!r} != {vb!r}"
+            # Same bits, not merely numerically close (catches -0.0 drift).
+            assert np.float64(va).tobytes() == np.float64(vb).tobytes()
+
+
+@pytest.mark.parametrize("width", [4, 5, 8, 16])
+@pytest.mark.parametrize("seed", range(8))
+def test_vector_matches_scalar_bitwise(width, seed):
+    rng = random.Random(1000 * width + seed)
+    inputs = [random_input(rng, k) for k in range(width)]
+    scalar = _derive_rates_scalar(inputs, TITAN_XP, COSTS)
+    vector = _derive_rates_vector(inputs, TITAN_XP, COSTS)
+    assert_outputs_bit_equal(scalar, vector)
+
+
+def test_vector_matches_scalar_on_identical_inputs():
+    """Equal-demand flows exercise the waterfill tie branches."""
+    rng = random.Random(7)
+    proto = random_input(rng, 0)
+    inputs = [
+        RateInput(**{**proto.__dict__, "key": k}) for k in range(6)
+    ]
+    assert_outputs_bit_equal(
+        _derive_rates_scalar(inputs, TITAN_XP, COSTS),
+        _derive_rates_vector(inputs, TITAN_XP, COSTS),
+    )
+
+
+def test_vector_zero_demand_lane():
+    """A pure-compute kernel (zero DRAM demand) rides the masked lanes."""
+    rng = random.Random(11)
+    inputs = [random_input(rng, k) for k in range(4)]
+    inputs[2] = RateInput(
+        **{**inputs[2].__dict__, "bytes_per_block": 0.0,
+           "locality": LocalityModel()}
+    )
+    assert_outputs_bit_equal(
+        _derive_rates_scalar(inputs, TITAN_XP, COSTS),
+        _derive_rates_vector(inputs, TITAN_XP, COSTS),
+    )
+
+
+def test_dispatch_threshold_and_counters(monkeypatch):
+    # An inherited REPRO_NO_NUMPY (the no-numpy CI lane's A/B runs) would
+    # force the scalar path and void the dispatch assertions.
+    monkeypatch.delenv("REPRO_NO_NUMPY", raising=False)
+    rng = random.Random(3)
+    stats = EnvironmentStats()
+    narrow = [random_input(rng, k) for k in range(_VEC_MIN - 1)]
+    _derive_rates_uncached(narrow, TITAN_XP, COSTS, stats=stats)
+    assert stats.rate_scalar_evals == 1
+    assert stats.rate_vector_evals == 0
+
+    wide = [random_input(rng, k) for k in range(_VEC_MIN)]
+    _derive_rates_uncached(wide, TITAN_XP, COSTS, stats=stats)
+    assert stats.rate_vector_evals == 1
+    assert stats.rate_vector_batch == _VEC_MIN
+    assert stats.rate_scalar_evals == 1
+
+
+def test_no_numpy_env_forces_scalar(monkeypatch):
+    monkeypatch.setenv("REPRO_NO_NUMPY", "1")
+    rng = random.Random(5)
+    stats = EnvironmentStats()
+    wide = [random_input(rng, k) for k in range(_VEC_MIN + 2)]
+    out = _derive_rates_uncached(wide, TITAN_XP, COSTS, stats=stats)
+    assert stats.rate_vector_evals == 0
+    assert stats.rate_scalar_evals == 1
+    monkeypatch.delenv("REPRO_NO_NUMPY")
+    assert_outputs_bit_equal(out, _derive_rates_vector(wide, TITAN_XP, COSTS))
+
+
+def test_invalid_order_factor_raises_scalar_error():
+    """Out-of-range inputs still raise the scalar path's exact error."""
+    rng = random.Random(9)
+    inputs = [random_input(rng, k) for k in range(_VEC_MIN)]
+    inputs[1] = RateInput(**{**inputs[1].__dict__, "order_factor": 1.5})
+    with pytest.raises(ValueError, match="order_factor must be in"):
+        _derive_rates_uncached(inputs, TITAN_XP, COSTS)
+
+
+def test_derive_rates_end_to_end_width_sweep():
+    """Public API: memoized wide calls agree with scalar-forced calls."""
+    rng = random.Random(21)
+    for width in range(1, 9):
+        inputs = [random_input(rng, k) for k in range(width)]
+        reset_rates_cache()
+        via_api = derive_rates(inputs, TITAN_XP, COSTS)
+        assert_outputs_bit_equal(
+            via_api, _derive_rates_scalar(inputs, TITAN_XP, COSTS)
+        )

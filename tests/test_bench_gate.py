@@ -1,0 +1,130 @@
+"""The perf-regression gate: tolerance math, missing rows, CLI exit codes."""
+
+import json
+
+import pytest
+
+from repro.bench import compare_benchmarks, load_bench_file
+from repro.bench.gate import GateResult
+
+
+def row(us):
+    return {"us_per_launch": us, "launches": 1000}
+
+
+def test_within_tolerance_passes():
+    result = compare_benchmarks(
+        {"churn": row(100.0)}, {"churn": row(120.0)}, tolerance=0.25
+    )
+    assert result.ok
+    assert result.rows[0].ratio == pytest.approx(1.2)
+
+
+def test_beyond_tolerance_fails():
+    result = compare_benchmarks(
+        {"churn": row(100.0)}, {"churn": row(130.0)}, tolerance=0.25
+    )
+    assert not result.ok
+    assert result.regressions[0].name == "churn"
+    assert "REGRESSED" in result.describe()
+
+
+def test_improvement_passes():
+    result = compare_benchmarks({"churn": row(100.0)}, {"churn": row(50.0)})
+    assert result.ok
+
+
+def test_boundary_is_not_a_regression():
+    result = compare_benchmarks(
+        {"churn": row(100.0)}, {"churn": row(125.0)}, tolerance=0.25
+    )
+    assert result.ok  # strict inequality: exactly at the limit passes
+
+
+def test_rows_in_only_one_file_are_informational():
+    result = compare_benchmarks(
+        {"old_row": row(10.0)}, {"new_row": row(999.0)}
+    )
+    assert result.ok
+    by_name = {r.name: r for r in result.rows}
+    assert by_name["old_row"].current is None
+    assert by_name["new_row"].baseline is None
+    assert "new row" in by_name["new_row"].describe()
+
+
+def test_multiple_rows_mixed_verdicts():
+    baseline = {"a": row(100.0), "b": row(100.0), "c": row(100.0)}
+    current = {"a": row(90.0), "b": row(200.0), "c": row(101.0)}
+    result = compare_benchmarks(baseline, current, tolerance=0.1)
+    assert [r.name for r in result.regressions] == ["b"]
+
+
+def test_row_restriction():
+    baseline = {"a": row(100.0), "b": row(100.0)}
+    current = {"a": row(100.0), "b": row(500.0)}
+    assert compare_benchmarks(baseline, current, rows=["a"]).ok
+
+
+def test_missing_metric_is_skipped():
+    result = compare_benchmarks(
+        {"churn": {"other_metric": 5}}, {"churn": row(100.0)}
+    )
+    assert result.ok
+    assert result.rows[0].baseline is None
+
+
+def test_metric_less_row_describes_without_crash():
+    """A new row with no watched metric at all (queue_churn shape)."""
+    result = compare_benchmarks({}, {"queue_churn": {"ops_per_sec": 5}})
+    assert result.ok
+    assert "no us_per_launch metric" in result.describe()
+
+
+def test_negative_tolerance_rejected():
+    with pytest.raises(ValueError, match="tolerance"):
+        compare_benchmarks({}, {}, tolerance=-0.1)
+
+
+def test_non_numeric_metric_rejected():
+    with pytest.raises(ValueError, match="numeric"):
+        compare_benchmarks(
+            {"churn": {"us_per_launch": "fast"}}, {"churn": row(1.0)}
+        )
+
+
+def test_load_bench_file_roundtrip(tmp_path):
+    path = tmp_path / "BENCH_x.json"
+    path.write_text(json.dumps({"churn": row(42.0)}))
+    assert load_bench_file(path)["churn"]["us_per_launch"] == 42.0
+
+
+def test_load_bench_file_rejects_non_object(tmp_path):
+    path = tmp_path / "bad.json"
+    path.write_text("[1, 2, 3]")
+    with pytest.raises(ValueError, match="bench rows"):
+        load_bench_file(path)
+
+
+def test_cli_exit_codes(tmp_path, capsys):
+    from benchmarks.check_regression import main
+
+    base = tmp_path / "base.json"
+    cur = tmp_path / "cur.json"
+    base.write_text(json.dumps({"churn": row(100.0)}))
+
+    cur.write_text(json.dumps({"churn": row(110.0)}))
+    assert main([str(base), str(cur)]) == 0
+    assert "PASS" in capsys.readouterr().out
+
+    cur.write_text(json.dumps({"churn": row(300.0)}))
+    assert main([str(base), str(cur), "--tolerance", "0.5"]) == 1
+    out = capsys.readouterr().out
+    assert "FAIL" in out and "REGRESSED" in out
+
+    # A tighter metric choice works end to end.
+    cur.write_text(json.dumps({"churn": {"us_per_launch": 100.0, "launches": 900}}))
+    assert main([str(base), str(cur), "--metric", "launches", "--tolerance", "0.0"]) == 0
+
+
+def test_empty_files_pass():
+    assert compare_benchmarks({}, {}) == GateResult(rows=())
