@@ -315,11 +315,20 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     from repro.obs.registry import registry
     from repro.serve.server import ServeConfig, SlateServer
 
+    shard_trace_template = None
+    if args.trace and args.shard_procs:
+        # Each shard daemon runs in its own process with its own trace
+        # buffer; --trace X fans out to X.shard{i}.json per shard.
+        shard_trace_template = f"{args.trace}.shard{{shard}}.json"
     config = ServeConfig(
         socket_path=args.socket,
         num_devices=args.devices,
         placement=args.placement,
         policy=args.policy,
+        shards=args.shards,
+        shard_procs=args.shard_procs,
+        shard_inflight=args.shard_inflight,
+        shard_trace_template=shard_trace_template,
         max_inflight=args.max_inflight,
         session_inflight=args.session_inflight,
         max_sessions=args.max_sessions,
@@ -339,17 +348,24 @@ def _cmd_serve(args: argparse.Namespace) -> int:
 
     server = SlateServer(config)
     if args.trace:
-        meta = run_metadata(command="serve", socket=args.socket, devices=args.devices)
+        meta = run_metadata(
+            command="serve", socket=args.socket, devices=args.devices,
+            shards=args.shards,
+        )
         with obs_trace.capture(metadata=meta) as sink:
             asyncio.run(serve(server))
         write_chrome_trace(args.trace, sink)
         print(f"perfetto trace written to {args.trace} ({len(sink)} events)")
+        if shard_trace_template is not None:
+            for i in range(args.shards):
+                print(f"  shard {i} trace: {shard_trace_template.format(shard=i)}")
     else:
         asyncio.run(serve(server))
     stats = server.stats()
     print(
         f"served {stats['requests']} requests ({stats['launches']} launches, "
         f"{stats['errors']} errors) across {stats['sessions_opened']} sessions; "
+        f"{stats['shard_count']} shard(s), placement {stats['placement']}; "
         f"sim time {stats['sim_time'] * 1e3:.1f} ms"
     )
     if args.dump_metrics:
@@ -363,7 +379,12 @@ def _cmd_client(args: argparse.Namespace) -> int:
     from repro.serve.client import SlateClient
 
     client = SlateClient(
-        args.socket, name=args.name, connect_retries=args.connect_retries
+        args.socket,
+        name=args.name,
+        connect_retries=args.connect_retries,
+        kernel_hint=args.kernel.upper(),
+        affinity=args.affinity,
+        shard=args.shard,
     )
     try:
         client.connect()
@@ -372,7 +393,11 @@ def _cmd_client(args: argparse.Namespace) -> int:
         return 1
     with client:
         pong = client.ping()
-        print(f"connected as {client.session_name} (sim t={pong['sim_time'] * 1e3:.2f} ms)")
+        placed = f", shard {client.shard}" if client.shard is not None else ""
+        print(
+            f"connected as {client.session_name} "
+            f"(sim t={pong['sim_time'] * 1e3:.2f} ms{placed})"
+        )
         reg = client.register(args.kernel.upper())
         print(f"registered {reg['kernel']} (compile {reg['compile_time'] * 1e3:.2f} ms)")
         for i in range(args.reps):
@@ -407,6 +432,8 @@ def _cmd_loadgen(args: argparse.Namespace) -> int:
         rate=args.rate,
         seed=args.seed,
         mix=args.mix,
+        mix_mode=args.mix_mode,
+        warmup=args.warmup,
         task_size=args.task_size,
         duration=args.duration,
         processes=not args.threads,
@@ -513,11 +540,24 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--socket", default="/tmp/slate.sock", help="Unix socket path")
     p.add_argument("--devices", type=int, default=1, help="simulated GPUs behind the daemon")
     p.add_argument(
-        "--placement", choices=["round-robin", "least-loaded", "class-aware"],
-        default="least-loaded", help="multi-device session placement policy",
+        "--placement",
+        choices=["contention", "round-robin", "least-loaded", "class-aware"],
+        default="contention",
+        help="session placement policy for shards/devices (contention = "
+             "Table-I scoring; class-aware is an alias)",
     )
     p.add_argument("--policy", choices=policy_names(), default="table1",
                    help="scheduling policy every per-device daemon runs")
+    p.add_argument("--shards", type=int, default=1,
+                   help="device shards, each with its own cluster + scheduler "
+                        "+ sim engine behind the placement router")
+    p.add_argument("--shard-procs", action="store_true",
+                   help="run each shard as its own OS process (single-shard "
+                        "daemon on <socket>.shard<i>; v2 clients are "
+                        "redirected, v1 clients proxied)")
+    p.add_argument("--shard-inflight", type=int, default=None,
+                   help="per-shard launch admission bound (default: "
+                        "max-inflight split evenly across shards)")
     p.add_argument("--max-inflight", type=int, default=256,
                    help="global launch admission bound (backpressure above)")
     p.add_argument("--session-inflight", type=int, default=32,
@@ -541,6 +581,10 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--task-size", type=int, default=None)
     p.add_argument("--priority", type=int, default=0)
     p.add_argument("--name", default=None, help="session name shown in daemon stats")
+    p.add_argument("--affinity", default=None,
+                   help="routing affinity key: sessions sharing it land on one shard")
+    p.add_argument("--shard", type=int, default=None,
+                   help="pin the session to a specific shard (validated server-side)")
     p.add_argument("--connect-retries", type=int, default=100,
                    help="retries while waiting for the daemon socket to appear")
     p.set_defaults(func=_cmd_client)
@@ -555,6 +599,12 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--seed", type=int, default=0, help="workload-mix seed")
     p.add_argument("--mix", default="BS:1,GS:1,MM:1,RG:1,TR:1",
                    help="weighted kernel mix, e.g. 'BS:2,MM:1'")
+    p.add_argument("--mix-mode", choices=["request", "client"], default="request",
+                   help="draw a kernel per request, or one per client "
+                        "(the shape that exercises shard placement)")
+    p.add_argument("--warmup", type=int, default=0,
+                   help="unmeasured requests per client before the "
+                        "measurement clock starts")
     p.add_argument("--task-size", type=int, default=None)
     p.add_argument("--duration", type=float, default=None,
                    help="per-client wall-clock budget for issuing requests")

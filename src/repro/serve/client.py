@@ -11,13 +11,22 @@ client thread.  Concurrency comes from running many client processes (see
 Typed server errors re-raise client-side as the same exception classes
 (:data:`repro.serve.protocol.ERROR_TYPES`), so ``except UnknownKernelError``
 behaves identically in-process and across the socket.  Backpressure replies
-(``ServerBusy`` / ``SessionLimit``) can be retried automatically with
-exponential backoff via ``launch(..., busy_retries=N)``.
+(``ServerBusy`` / ``SessionLimit`` / ``ShardDraining``) can be retried
+automatically via ``launch(..., busy_retries=N)``: each sleep honours the
+server's ``retry_after`` hint as a *floor* and adds deterministic, seeded
+exponential jitter on top (``backoff_seed``), so a thundering herd of
+rejected clients de-synchronizes reproducibly.
+
+Against a sharded daemon running shard *processes*, the router answers
+``hello`` with a ``redirect`` — the shard daemon's own socket path — and
+:meth:`SlateClient.connect` transparently reconnects there, keeping the
+router out of the data path.
 """
 
 from __future__ import annotations
 
 import itertools
+import random
 import socket
 import time
 from dataclasses import dataclass
@@ -71,6 +80,9 @@ class SlateClient:
         connect_retries: int = 100,
         connect_delay: float = 0.05,
         kernel_hint: Optional[str] = None,
+        affinity: Optional[str] = None,
+        shard: Optional[int] = None,
+        backoff_seed: Optional[str] = None,
     ) -> None:
         self.socket_path = socket_path
         self.name = name
@@ -78,20 +90,55 @@ class SlateClient:
         self.connect_retries = connect_retries
         self.connect_delay = connect_delay
         self.kernel_hint = kernel_hint
+        #: Opaque stickiness key: sessions sharing it land on one shard.
+        self.affinity = affinity
+        #: Explicit shard pin (validated server-side).
+        self.shard_pin = shard
+        #: Shard this session was placed on (None before connect, or
+        #: against a pre-shard v1 server).
+        self.shard: Optional[int] = None
         self.session: Optional[int] = None
         self.session_name: Optional[str] = None
         self._stream: Optional[MessageStream] = None
         self._rids = itertools.count(1)
+        self._backoff_rng = random.Random(
+            backoff_seed if backoff_seed is not None else (name or socket_path)
+        )
 
     # -- connection --------------------------------------------------------
 
     def connect(self) -> dict:
-        """Connect (retrying while the socket is absent) and handshake."""
+        """Connect (retrying while the socket is absent) and handshake.
+
+        Transparently follows one shard ``redirect``: against a router
+        fronting shard daemon processes, the first hello answers with the
+        shard's socket path and the client reconnects and re-greets there.
+        """
+        result = self._connect_once(self.socket_path)
+        redirect = result.get("redirect")
+        if redirect:
+            # No ``bye``: the router holds no session for us to close.
+            stream, self._stream, self.session = self._stream, None, None
+            if stream is not None:
+                try:
+                    stream.sock.close()
+                except OSError:
+                    pass
+            routed_shard = result.get("shard")
+            result = self._connect_once(redirect)
+            if routed_shard is not None:
+                # The shard daemon reports its *local* index (always 0);
+                # keep the router's fleet-level placement.
+                self.shard = routed_shard
+                result = dict(result, shard=routed_shard)
+        return result
+
+    def _connect_once(self, socket_path: str) -> dict:
         last: Optional[Exception] = None
         for attempt in range(self.connect_retries + 1):
             sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
             try:
-                sock.connect(self.socket_path)
+                sock.connect(socket_path)
             except (FileNotFoundError, ConnectionRefusedError) as exc:
                 sock.close()
                 last = exc
@@ -106,12 +153,18 @@ class SlateClient:
                 params["name"] = self.name
             if self.kernel_hint is not None:
                 params["kernel_hint"] = self.kernel_hint
+            if self.affinity is not None:
+                params["affinity"] = self.affinity
+            if self.shard_pin is not None:
+                params["shard"] = self.shard_pin
             result = self._call("hello", **params)
             self.session = result["session"]
             self.session_name = result["name"]
+            if result.get("shard") is not None:
+                self.shard = result["shard"]
             return result
         raise ConnectionError(
-            f"could not connect to Slate daemon at {self.socket_path!r} "
+            f"could not connect to Slate daemon at {socket_path!r} "
             f"after {self.connect_retries + 1} attempts: {last}"
         )
 
@@ -179,10 +232,13 @@ class SlateClient:
     ) -> LaunchReply:
         """Launch ``kernel`` and block until the daemon reports completion.
 
-        ``busy_retries`` > 0 retries backpressure rejections with
-        exponential backoff seeded by the server's ``retry_after`` hint
-        (capped at 1 s per sleep).  ``deadline`` is an absolute sim-time
-        completion deadline; deadline-aware server policies may reject it
+        ``busy_retries`` > 0 retries backpressure rejections.  Each sleep
+        is the server's ``retry_after`` hint (a floor, always honoured)
+        plus deterministic jitter drawn from the client's seeded RNG,
+        scaled by ``busy_backoff * 2**retries`` and capped at 1 s per
+        sleep — rejected clients back off reproducibly but not in
+        lockstep.  ``deadline`` is an absolute sim-time completion
+        deadline; deadline-aware server policies may reject it
         (``AdmissionRejected`` raises here, typed, like any server error).
         """
         params: dict = {"kernel": kernel, "priority": priority}
@@ -198,8 +254,9 @@ class SlateClient:
             except BackpressureError as exc:
                 if retries >= busy_retries:
                     raise
-                delay = max(exc.retry_after, busy_backoff * (2 ** retries))
-                time.sleep(min(delay, 1.0))
+                time.sleep(
+                    self._backoff_delay(exc.retry_after, retries, busy_backoff)
+                )
                 retries += 1
                 continue
             return LaunchReply(
@@ -214,6 +271,19 @@ class SlateClient:
                 preemptions=result.get("preemptions", 0),
                 retries=retries,
             )
+
+    def _backoff_delay(
+        self, retry_after: float, retries: int, busy_backoff: float = 0.01
+    ) -> float:
+        """Backoff sleep for retry ``retries``: the server's hint as a
+        floor plus seeded exponential jitter (``busy_backoff * 2**retries``
+        scale), capped at 1 s.
+
+        Exposed (privately) so the backoff regression tests can pin both
+        properties without sleeping.
+        """
+        jitter = self._backoff_rng.random()
+        return min(retry_after + jitter * busy_backoff * (2 ** retries), 1.0)
 
     def sync(self) -> dict:
         """Wait for every outstanding launch of this session."""

@@ -22,6 +22,17 @@ Two driving disciplines:
 The report aggregates wall-clock request latencies into p50/p90/p99 and
 requests/s — the numbers ``benchmarks/test_serve_perf.py`` pins into
 ``BENCH_serve.json``.
+
+Measurement hygiene: ``warmup`` requests per client are issued and
+discarded before the measurement clock starts, so connection setup,
+process spawn, and first-launch effects never pollute throughput rows,
+and the aggregate rate is computed over the *measured* window (the
+longest per-client measuring span), not the fleet-spawn wall time.
+Besides wall-clock numbers the report carries the *simulated* aggregate:
+``sim_requests_per_s`` sums per-shard completed/sim-span rates — with N
+shards there are N independent simulated GPUs, so this is the capacity
+number sharding actually scales (wall-clock throughput on a small host
+is bounded by CPU cores; see ``benchmarks/README.md``).
 """
 
 from __future__ import annotations
@@ -98,6 +109,13 @@ class LoadGenConfig:
     rate: float = 200.0
     seed: int = 0
     mix: str = DEFAULT_MIX
+    #: ``request`` draws a kernel per request; ``client`` draws one kernel
+    #: per *client* (every request the same) — the shape that exercises
+    #: placement, since a session's contention class is then well defined.
+    mix_mode: str = "request"
+    #: Unmeasured requests per client before the measurement clock starts
+    #: (absorbs connect, spawn, and first-launch costs).
+    warmup: int = 0
     task_size: Optional[int] = None
     #: Automatic backoff-retries per request on backpressure replies.
     busy_retries: int = 8
@@ -112,10 +130,16 @@ class LoadGenConfig:
     def __post_init__(self) -> None:
         if self.mode not in ("closed", "open"):
             raise ValueError(f"mode must be 'closed' or 'open', got {self.mode!r}")
+        if self.mix_mode not in ("request", "client"):
+            raise ValueError(
+                f"mix_mode must be 'request' or 'client', got {self.mix_mode!r}"
+            )
         if self.clients < 1:
             raise ValueError("clients must be >= 1")
         if self.requests < 1:
             raise ValueError("requests must be >= 1")
+        if self.warmup < 0:
+            raise ValueError("warmup must be >= 0")
         if self.rate <= 0:
             raise ValueError("rate must be positive")
         parse_mix(self.mix)  # fail fast on bad mixes
@@ -131,15 +155,19 @@ def plan_client(cfg: LoadGenConfig, client: int) -> tuple[list[str], list[float]
     names = [name for name, _ in pairs]
     weights = [weight for _, weight in pairs]
     rng = random.Random(f"{cfg.seed}:{client}")
-    kernels = rng.choices(names, weights=weights, k=cfg.requests)
+    total = cfg.warmup + cfg.requests
+    if cfg.mix_mode == "client":
+        kernels = rng.choices(names, weights=weights, k=1) * total
+    else:
+        kernels = rng.choices(names, weights=weights, k=total)
     offsets: list[float] = []
     if cfg.mode == "open":
         t = 0.0
-        for _ in range(cfg.requests):
+        for _ in range(total):
             t += rng.expovariate(cfg.rate)
             offsets.append(t)
     else:
-        offsets = [0.0] * cfg.requests
+        offsets = [0.0] * total
     return kernels, offsets
 
 
@@ -151,8 +179,17 @@ class ClientResult:
     completed: int = 0
     errors: int = 0
     busy_retries: int = 0
+    #: Measured wall span (excludes connect + warmup requests).
     elapsed: float = 0.0
+    #: Warmup requests completed (never counted in stats).
+    warmup: int = 0
+    #: Shard this client's session was placed on (None pre-v2 servers).
+    shard: Optional[int] = None
+    #: Simulated submit/finish span of the measured requests.
+    sim_first: Optional[float] = None
+    sim_last: Optional[float] = None
     latencies: list[float] = field(default_factory=list)
+    sim_latencies: list[float] = field(default_factory=list)
     kernels: dict[str, int] = field(default_factory=dict)
     error_messages: list[str] = field(default_factory=list)
 
@@ -163,11 +200,19 @@ def _run_client(cfg: LoadGenConfig, client: int) -> ClientResult:
     result = ClientResult(client=client)
     counts: Counter = Counter()
     start = time.perf_counter()
+    measure_start = start
     try:
         with SlateClient(
-            cfg.socket_path, name=f"{cfg.name_prefix}-{client}"
+            cfg.socket_path,
+            name=f"{cfg.name_prefix}-{client}",
+            kernel_hint=kernels[0] if kernels else None,
+            backoff_seed=f"{cfg.seed}:backoff:{client}",
         ) as conn:
+            result.shard = conn.shard
             for i, kernel in enumerate(kernels):
+                measuring = i >= cfg.warmup
+                if measuring and i == cfg.warmup:
+                    measure_start = time.perf_counter()
                 if cfg.duration is not None and (
                     time.perf_counter() - start
                 ) >= cfg.duration:
@@ -187,14 +232,25 @@ def _run_client(cfg: LoadGenConfig, client: int) -> ClientResult:
                     if len(result.error_messages) < 5:
                         result.error_messages.append(f"{type(exc).__name__}: {exc}")
                 else:
+                    if not measuring:
+                        result.warmup += 1
+                        continue
                     result.completed += 1
                     result.busy_retries += reply.retries
                     result.latencies.append(reply.latency)
+                    result.sim_latencies.append(reply.sim_latency)
+                    if result.sim_first is None:
+                        result.sim_first = reply.sim_submitted
+                    result.sim_first = min(result.sim_first, reply.sim_submitted)
+                    result.sim_last = max(
+                        result.sim_last if result.sim_last is not None else 0.0,
+                        reply.sim_finished,
+                    )
                     counts[kernel] += 1
     except Exception as exc:
         result.errors += 1
         result.error_messages.append(f"{type(exc).__name__}: {exc}")
-    result.elapsed = time.perf_counter() - start
+    result.elapsed = time.perf_counter() - measure_start
     result.kernels = dict(counts)
     return result
 
@@ -220,6 +276,20 @@ class LoadGenReport:
     kernels: dict[str, int]
     per_client: list[ClientResult]
     error_messages: list[str]
+    #: Warmup requests completed across clients (excluded from stats).
+    warmup_completed: int = 0
+    #: Longest per-client *measured* span — the denominator of
+    #: ``requests_per_s`` (excludes fleet spawn + warmup).
+    measure_wall: float = 0.0
+    #: Aggregate simulated throughput: per-shard completed/sim-span rates
+    #: summed.  N shards run N independent simulated GPUs, so this is the
+    #: capacity figure that scales with the shard count.
+    sim_requests_per_s: float = 0.0
+    sim_latency_mean: float = 0.0
+    sim_latency_p50: float = 0.0
+    sim_latency_p99: float = 0.0
+    #: Per-shard breakdown: completed counts, sim span, sim rate.
+    shards: dict = field(default_factory=dict)
 
     def to_dict(self) -> dict:
         body = asdict(self)
@@ -227,6 +297,7 @@ class LoadGenReport:
         # percentiles, so exports keep only counts per client.
         for client in body["per_client"]:
             client["latencies"] = len(client["latencies"])
+            client["sim_latencies"] = len(client["sim_latencies"])
         return body
 
     def to_json(self, indent: int = 2) -> str:
@@ -244,6 +315,9 @@ class LoadGenReport:
             f"p90 {self.latency_p90 * 1e3:.2f} ms, "
             f"p99 {self.latency_p99 * 1e3:.2f} ms, "
             f"max {self.latency_max * 1e3:.2f} ms",
+            f"  simulated: {self.sim_requests_per_s:.1f} req/s aggregate "
+            f"across {len(self.shards) or 1} shard(s), "
+            f"sim latency p50 {self.sim_latency_p50 * 1e3:.3f} ms",
             "  kernels: "
             + ", ".join(f"{k}:{n}" for k, n in sorted(self.kernels.items())),
         ]
@@ -276,11 +350,52 @@ def run_loadgen(cfg: LoadGenConfig) -> LoadGenReport:
     wall = time.perf_counter() - t0
 
     latencies = [lat for r in results for lat in r.latencies]
+    sim_latencies = [lat for r in results for lat in r.sim_latencies]
     completed = sum(r.completed for r in results)
     kernels: Counter = Counter()
     for r in results:
         kernels.update(r.kernels)
     messages = [m for r in results for m in r.error_messages]
+    # Throughput over the measured window: the longest per-client
+    # measuring span (clients overlap; spawn + warmup excluded).
+    measure_wall = max((r.elapsed for r in results), default=0.0)
+    # Simulated aggregate: shards run independent sim clocks, so rates
+    # are per-shard completed/sim-span, then summed across shards.
+    shard_groups: dict = {}
+    for r in results:
+        key = r.shard if r.shard is not None else 0
+        group = shard_groups.setdefault(
+            key, {"completed": 0, "clients": 0, "first": None, "last": None}
+        )
+        group["completed"] += r.completed
+        group["clients"] += 1
+        if r.sim_first is not None:
+            group["first"] = (
+                r.sim_first
+                if group["first"] is None
+                else min(group["first"], r.sim_first)
+            )
+            group["last"] = (
+                r.sim_last
+                if group["last"] is None
+                else max(group["last"], r.sim_last)
+            )
+    shards_out: dict = {}
+    sim_rps = 0.0
+    for key, group in sorted(shard_groups.items()):
+        span = (
+            group["last"] - group["first"]
+            if group["first"] is not None and group["last"] is not None
+            else 0.0
+        )
+        rate = group["completed"] / span if span > 0 else 0.0
+        sim_rps += rate
+        shards_out[str(key)] = {
+            "completed": group["completed"],
+            "clients": group["clients"],
+            "sim_span": span,
+            "sim_requests_per_s": rate,
+        }
     return LoadGenReport(
         clients=cfg.clients,
         mode=cfg.mode,
@@ -290,7 +405,7 @@ def run_loadgen(cfg: LoadGenConfig) -> LoadGenReport:
         errors=sum(r.errors for r in results),
         busy_retries=sum(r.busy_retries for r in results),
         wall=wall,
-        requests_per_s=completed / wall if wall > 0 else 0.0,
+        requests_per_s=completed / measure_wall if measure_wall > 0 else 0.0,
         latency_mean=sum(latencies) / len(latencies) if latencies else 0.0,
         latency_p50=percentile(latencies, 50),
         latency_p90=percentile(latencies, 90),
@@ -299,4 +414,13 @@ def run_loadgen(cfg: LoadGenConfig) -> LoadGenReport:
         kernels=dict(kernels),
         per_client=results,
         error_messages=messages[:10],
+        warmup_completed=sum(r.warmup for r in results),
+        measure_wall=measure_wall,
+        sim_requests_per_s=sim_rps,
+        sim_latency_mean=(
+            sum(sim_latencies) / len(sim_latencies) if sim_latencies else 0.0
+        ),
+        sim_latency_p50=percentile(sim_latencies, 50),
+        sim_latency_p99=percentile(sim_latencies, 99),
+        shards=shards_out,
     )

@@ -19,9 +19,29 @@ Requests and replies are JSON objects::
 
 ``id`` is chosen by the client and echoed verbatim so a client can match
 replies to requests.  ``op`` is one of :data:`OPS`.  The ``hello`` request
-carries ``{"version": PROTOCOL_VERSION}``; the server rejects any other
-version with a ``VersionMismatch`` error, which is what lets the format
-evolve without silent misdecodes.
+carries ``{"version": PROTOCOL_VERSION}``; the server rejects any version
+outside :data:`SUPPORTED_VERSIONS` with a ``VersionMismatch`` error, which
+is what lets the format evolve without silent misdecodes.
+
+Version 2 (sharded serving)
+---------------------------
+Version 2 adds the multi-shard vocabulary; version-1 clients are still
+accepted (the new fields are additive and v1 clients ignore unknown
+reply keys):
+
+* ``hello`` params gain optional routing hints: ``affinity`` (an opaque
+  string key — sessions sharing a key land on the same shard) and
+  ``shard`` (an explicit shard pin, validated server-side).
+* ``hello`` results gain ``shard`` (the placement decision) and — from a
+  router fronting per-shard daemon *processes* — ``redirect``, the shard
+  daemon's own socket path.  A v2 client reconnects there and re-greets;
+  a v1 client never sees either field because the router proxies its
+  whole connection instead.
+* ``stats`` no longer requires a session (the router polls shard
+  daemons for load without opening one); the reply's ``session`` field
+  is ``null`` on a session-less stats call.
+* A new typed backpressure error, ``ShardDraining``, reports placement
+  against a draining shard.
 
 Typed errors
 ------------
@@ -48,6 +68,7 @@ __all__ = [
     "MAX_FRAME",
     "OPS",
     "PROTOCOL_VERSION",
+    "SUPPORTED_VERSIONS",
     "BackpressureError",
     "FrameDecoder",
     "FrameError",
@@ -55,6 +76,7 @@ __all__ = [
     "ServerBusyError",
     "ServerError",
     "SessionLimitError",
+    "ShardDrainingError",
     "SessionStateError",
     "UnknownKernelError",
     "UnknownOperationError",
@@ -71,7 +93,13 @@ __all__ = [
 ]
 
 #: Bump on any incompatible change to the frame format or message schemas.
-PROTOCOL_VERSION = 1
+#: v2: shard ids, routing hints (``affinity``/``shard``), redirects,
+#: session-less ``stats`` — see "Version 2" above.
+PROTOCOL_VERSION = 2
+
+#: Versions the server accepts in ``hello``.  v1 predates sharding; its
+#: sessions simply never carry routing hints.
+SUPPORTED_VERSIONS = frozenset({1, 2})
 
 #: Upper bound on a single frame's payload (1 MiB).  Commands are small;
 #: anything bigger is a corrupt or hostile length prefix.
@@ -140,6 +168,13 @@ class SessionLimitError(BackpressureError):
     wire_type = "SessionLimit"
 
 
+class ShardDrainingError(BackpressureError):
+    """Placement targeted a draining shard (explicit pin or affinity to a
+    shard being stopped); retry places elsewhere."""
+
+    wire_type = "ShardDraining"
+
+
 class ServerError(Exception):
     """Uncategorized server-side failure relayed over the wire."""
 
@@ -156,6 +191,7 @@ ERROR_TYPES: dict[str, type] = {
     "Backpressure": BackpressureError,
     "ServerBusy": ServerBusyError,
     "SessionLimit": SessionLimitError,
+    "ShardDraining": ShardDrainingError,
     "UnknownKernel": UnknownKernelError,
     "AdmissionRejected": AdmissionRejected,
     "ServerError": ServerError,

@@ -7,9 +7,9 @@ around the simulator:
 
 * ``asyncio.start_unix_server`` accepts client connections; each connection
   gets a handler task and (after ``hello``) one :class:`~repro.slate.daemon.
-  SlateSession` from the shared :class:`~repro.slate.cluster.SlateCluster`,
+  SlateSession` from a :class:`~repro.slate.cluster.SlateCluster`,
   mirroring the paper's one-session-per-client-process design (§IV-A2).
-* :class:`SimDriver` steps the discrete-event engine in bounded batches,
+* :class:`SimDriver` steps a discrete-event engine in bounded batches,
   yielding to the loop between batches so new frames keep flowing while the
   simulated GPU grinds.  Request handlers never call ``env.run`` — they
   submit a process generator and await an :class:`asyncio.Future` resolved
@@ -19,14 +19,31 @@ around the simulator:
   run's sim-side numbers line up with an in-process (pure DES) run of the
   same operation sequence.
 
+Sharding
+--------
+With ``shards > 1`` the daemon runs N independent shards — each with its
+*own* environment, cluster, scheduler, and driver — and a
+:class:`~repro.serve.router.PlacementRouter` assigns every new session to
+one of them at ``hello`` time using the scheduling policy's Table-I
+placement scoring (see :mod:`repro.serve.router`).  By default shards
+live inside the daemon's event loop (:class:`~repro.serve.router.
+InLoopShard`); with ``shard_procs`` each shard is a separate OS process
+running a complete single-shard daemon on its own socket.  In that mode
+v2 clients are redirected to the shard socket at ``hello`` (the router
+leaves the data path) and v1 clients are transparently byte-proxied.
+
 Admission control
 -----------------
-Two bounded queues guard the scheduler: a global in-flight cap
-(``max_inflight``) and a per-session cap (``session_inflight``).  A launch
-over either bound is rejected *immediately* with a structured backpressure
-reply (``ServerBusy`` / ``SessionLimit``) carrying a ``retry_after`` hint —
+Bounded queues guard every scheduler: a global in-flight cap
+(``max_inflight``, aggregated *across shards*), a per-shard cap
+(``shard_inflight``, default the global cap split evenly), and a
+per-session cap (``session_inflight``).  A launch over any bound is
+rejected *immediately* with a structured backpressure reply
+(``ServerBusy`` / ``SessionLimit``) carrying a ``retry_after`` hint —
 the daemon never buffers unbounded work, clients decide whether to back
-off or shed.
+off or shed.  In ``shard_procs`` mode each shard daemon enforces its
+even slice of the global cap, so the aggregate budget stays
+``max_inflight``.
 
 Session reaping
 ---------------
@@ -44,7 +61,7 @@ import asyncio
 import itertools
 import os
 import time
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Generator, Optional
 
 from repro.kernels.kernel import KernelSpec
@@ -54,19 +71,28 @@ from repro.obs.registry import registry as obs_registry
 from repro.serve import protocol
 from repro.serve.protocol import (
     PROTOCOL_VERSION,
+    SUPPORTED_VERSIONS,
+    BackpressureError,
     FrameDecoder,
     FrameError,
     ProtocolError,
     ServerBusyError,
+    ServerError,
     SessionLimitError,
     SessionStateError,
+    ShardDrainingError,
     VersionMismatchError,
     error_reply,
     ok_reply,
     validate_request,
 )
+from repro.serve.router import (
+    InLoopShard,
+    PlacementRouter,
+    ShardProcess,
+    shard_socket_path,
+)
 from repro.sim import Environment
-from repro.slate.cluster import SlateCluster
 from repro.slate.daemon import SlateSession
 
 __all__ = ["ServeConfig", "ServerThread", "SimDriver", "SlateServer"]
@@ -78,12 +104,30 @@ class ServeConfig:
 
     socket_path: str
     num_devices: int = 1
-    placement: str = "least-loaded"
+    #: Router/cluster placement policy.  ``contention`` (the default) is
+    #: Table-I contention-penalized least-loaded scoring; ``round-robin``
+    #: and ``least-loaded`` are the class-blind baselines.  ``class-aware``
+    #: is accepted as an alias of ``contention``.
+    placement: str = "contention"
     #: Scheduling policy every per-device daemon runs (a registered name
     #: from :data:`repro.slate.policy.POLICIES`).
     policy: str = "table1"
+    #: Device shards: each owns its own cluster + scheduler + sim engine
+    #: and the placement router assigns sessions among them.
+    shards: int = 1
+    #: Run each shard as its own OS process (single-shard daemon on
+    #: ``<socket_path>.shard<i>``) instead of inside the daemon's loop.
+    shard_procs: bool = False
+    #: Per-shard in-flight cap; ``None`` splits ``max_inflight`` evenly
+    #: (ceiling division) so the aggregate budget stays ``max_inflight``.
+    shard_inflight: Optional[int] = None
+    #: Seed for the router's (deterministic) placement bookkeeping.
+    router_seed: int = 0
+    #: Per-shard Chrome-trace path template for ``shard_procs`` mode;
+    #: ``{shard}`` expands to the shard index.
+    shard_trace_template: Optional[str] = None
     #: Admission control: reject a launch when this many are in flight
-    #: across all sessions (queued + running in the scheduler)...
+    #: across all sessions and shards (queued + running in schedulers)...
     max_inflight: int = 256
     #: ...or this many for a single session.
     session_inflight: int = 32
@@ -103,6 +147,24 @@ class ServeConfig:
     duration: Optional[float] = None
     #: Extra keyword arguments forwarded to every per-device runtime.
     runtime_kwargs: dict = field(default_factory=dict)
+
+    def cluster_placement(self) -> str:
+        """The intra-shard (multi-device) cluster placement policy.
+
+        ``contention`` is the router-level name for the cluster's
+        ``class-aware`` scoring — both run the same
+        :func:`repro.slate.placement.choose_shard`.
+        """
+        return "class-aware" if self.placement == "contention" else self.placement
+
+    def shard_inflight_limit(self) -> int:
+        """Per-shard in-flight cap (explicit, or the global cap split
+        evenly with ceiling division — exactly ``max_inflight`` when
+        ``shards == 1``, so single-shard behavior is unchanged)."""
+        if self.shard_inflight is not None:
+            return self.shard_inflight
+        shards = max(1, self.shards)
+        return -(-self.max_inflight // shards)
 
 
 class SimDriver:
@@ -174,15 +236,63 @@ class SimDriver:
             await asyncio.sleep(0)
 
 
+async def _pump_bidirectional(
+    c_reader: asyncio.StreamReader,
+    c_writer: asyncio.StreamWriter,
+    s_reader: asyncio.StreamReader,
+    s_writer: asyncio.StreamWriter,
+) -> None:
+    """Copy bytes client<->shard until either side closes (v1 proxying)."""
+
+    async def copy(src: asyncio.StreamReader, dst: asyncio.StreamWriter) -> None:
+        try:
+            while True:
+                chunk = await src.read(65536)
+                if not chunk:
+                    break
+                dst.write(chunk)
+                await dst.drain()
+        except (ConnectionResetError, BrokenPipeError):
+            pass
+        finally:
+            try:
+                dst.write_eof()
+            except (OSError, RuntimeError):
+                pass
+
+    await asyncio.gather(copy(c_reader, s_writer), copy(s_reader, c_writer))
+
+
+def _sum_scheduler_stats(blocks, policy: str) -> dict:
+    """Sum per-shard scheduler counters into one fleet-wide block."""
+    totals: dict = {}
+    name = None
+    for block in blocks:
+        if not block:
+            continue
+        name = name or block.get("policy")
+        for key, value in block.items():
+            if isinstance(value, (int, float)) and not isinstance(value, bool):
+                totals[key] = totals.get(key, 0) + value
+    totals["policy"] = name if name is not None else str(policy)
+    return totals
+
+
 class _Session:
     """Daemon-side state for one connected client."""
 
-    __slots__ = ("sid", "name", "slate", "inflight", "connected", "launches", "errors")
+    __slots__ = (
+        "sid", "name", "slate", "shard", "inflight", "connected",
+        "launches", "errors",
+    )
 
-    def __init__(self, sid: int, name: str, slate: SlateSession) -> None:
+    def __init__(
+        self, sid: int, name: str, slate: SlateSession, shard: int = 0
+    ) -> None:
         self.sid = sid
         self.name = name
         self.slate = slate
+        self.shard = shard
         self.inflight = 0
         self.connected = True
         self.launches = 0
@@ -190,27 +300,51 @@ class _Session:
 
 
 class SlateServer:
-    """The daemon: one shared cluster + scheduler behind a Unix socket."""
+    """The daemon: N shards (cluster + scheduler + engine) behind a
+    placement router behind a Unix socket."""
 
     def __init__(self, config: ServeConfig) -> None:
+        if config.shards < 1:
+            raise ValueError("shards must be >= 1")
         self.config = config
-        self.env = Environment()
-        self.cluster = SlateCluster(
-            self.env,
-            num_devices=config.num_devices,
+        self._proc_mode = bool(config.shard_procs)
+        self.router = PlacementRouter(
+            config.shards,
             placement=config.placement,
             policy=config.policy,
-            log_limit=config.log_limit,
-            **config.runtime_kwargs,
+            device=config.runtime_kwargs.get("device"),
+            seed=config.router_seed,
         )
-        if config.preload_profiles:
-            self.cluster.preload_profiles([by_name(n) for n in SHORT_NAMES])
-        self.driver = SimDriver(self.env, config.step_batch)
+        self._shard_limit = config.shard_inflight_limit()
+        if self._proc_mode:
+            self.shards: list[InLoopShard] = []
+            self.procs = [
+                ShardProcess(i, self._shard_config(i), self._shard_trace(i))
+                for i in range(config.shards)
+            ]
+            # The front daemon runs no simulation of its own; ``ping``
+            # reports sim_time 0.0 and launches never reach it.
+            self.env = Environment()
+            self.cluster = None
+            self.driver = SimDriver(self.env, config.step_batch)
+            self._shard_stats: dict[int, dict] = {}
+        else:
+            self.shards = [InLoopShard(i, config) for i in range(config.shards)]
+            self.procs: list[ShardProcess] = []
+            # Single-shard compatibility aliases (tests, tools, and the
+            # pre-shard API poke server.env/cluster/driver — shard 0).
+            self.env = self.shards[0].env
+            self.cluster = self.shards[0].cluster
+            self.driver = self.shards[0].driver
+            self._shard_stats = {}
         self._sessions: dict[int, _Session] = {}
         self._sids = itertools.count(1)
         self._server: Optional[asyncio.AbstractServer] = None
         self._conn_tasks: set[asyncio.Task] = set()
+        self._bg_tasks: set[asyncio.Task] = set()
         self._driver_task: Optional[asyncio.Task] = None
+        self._poll_task: Optional[asyncio.Task] = None
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
         self._stop = asyncio.Event()
         self.started_at = 0.0
         # Serving metrics (process-wide registry; see docs/serving.md).
@@ -223,11 +357,38 @@ class SlateServer:
         self._m_reaped = reg.counter("serve.sessions_reaped")
         self._g_sessions = reg.gauge("serve.sessions")
         self._g_inflight = reg.gauge("serve.inflight")
+        self._g_shard_sessions = [
+            reg.gauge(f"serve.shard.{i}.sessions") for i in range(config.shards)
+        ]
+        self._g_shard_inflight = [
+            reg.gauge(f"serve.shard.{i}.inflight") for i in range(config.shards)
+        ]
         self._h_latency = {
             op: reg.histogram(f"serve.latency.{op}") for op in protocol.OPS
         }
         self._h_queue_depth = reg.histogram("serve.queue_depth")
         self._h_sim_latency = reg.histogram("serve.sim_latency.launch")
+
+    def _shard_config(self, index: int) -> ServeConfig:
+        """The single-shard daemon config for shard process ``index``."""
+        shards = max(1, self.config.shards)
+        return replace(
+            self.config,
+            socket_path=shard_socket_path(self.config.socket_path, index),
+            shards=1,
+            shard_procs=False,
+            shard_inflight=None,
+            shard_trace_template=None,
+            max_inflight=self._shard_limit,
+            max_sessions=-(-self.config.max_sessions // shards),
+            duration=None,
+        )
+
+    def _shard_trace(self, index: int) -> Optional[str]:
+        template = self.config.shard_trace_template
+        if template is None:
+            return None
+        return template.format(shard=index)
 
     # -- introspection -----------------------------------------------------
 
@@ -239,11 +400,56 @@ class SlateServer:
     def inflight(self) -> int:
         return sum(s.inflight for s in self._sessions.values())
 
+    def shard_inflight(self, index: int) -> int:
+        return sum(
+            s.inflight for s in self._sessions.values() if s.shard == index
+        )
+
+    def _shard_blocks(self) -> list[dict]:
+        """Per-shard stats blocks for :meth:`stats` (both shard modes)."""
+        blocks = []
+        for book in self.router.shards:
+            if self._proc_mode:
+                block = dict(self._shard_stats.get(book.index) or {})
+                block.setdefault("shard", book.index)
+            else:
+                block = self.shards[book.index].stats()
+                block["sessions"] = sum(
+                    1 for s in self._sessions.values() if s.shard == book.index
+                )
+                block["inflight"] = self.shard_inflight(book.index)
+            block["draining"] = book.draining
+            block["placed"] = book.placed
+            blocks.append(block)
+        return blocks
+
     def stats(self) -> dict:
         """Server-level snapshot (the ``stats`` op's result body)."""
+        if self._proc_mode:
+            shard_blocks = self._shard_blocks()
+            sim_time = max(
+                (b.get("sim_time", 0.0) for b in shard_blocks), default=0.0
+            )
+            sim_pending = sum(b.get("sim_pending", 0) for b in shard_blocks)
+            sim_errors = sum(b.get("sim_errors", 0) for b in shard_blocks)
+            scheduler = _sum_scheduler_stats(
+                [b.get("scheduler") for b in shard_blocks], self.config.policy
+            )
+        else:
+            shard_blocks = self._shard_blocks()
+            sim_time = max(shard.env.now for shard in self.shards)
+            sim_pending = sum(shard.driver.pending for shard in self.shards)
+            sim_errors = sum(shard.driver.sim_errors for shard in self.shards)
+            scheduler = _sum_scheduler_stats(
+                [shard.cluster.scheduler_stats() for shard in self.shards],
+                self.config.policy,
+            )
         return {
-            "sim_time": self.env.now,
+            "sim_time": sim_time,
             "policy": self.config.policy,
+            "placement": self.router.placement,
+            "shard_count": self.router.num_shards,
+            "shard_procs": self._proc_mode,
             "sessions": self.session_count,
             "inflight": self.inflight,
             "requests": self._m_requests.value,
@@ -252,22 +458,53 @@ class SlateServer:
             "launches": self._m_launches.value,
             "sessions_opened": self._m_opened.value,
             "sessions_reaped": self._m_reaped.value,
-            "sim_pending": self.driver.pending,
-            "sim_errors": self.driver.sim_errors,
-            "scheduler": self.cluster.scheduler_stats(),
+            "sim_pending": sim_pending,
+            "sim_errors": sim_errors,
+            "scheduler": scheduler,
+            "shards": shard_blocks,
             "uptime": time.monotonic() - self.started_at if self.started_at else 0.0,
         }
 
     # -- lifecycle ---------------------------------------------------------
 
     async def start(self) -> None:
-        """Bind the socket and start the driver task."""
+        """Bind the socket and start the shard pool."""
+        self._loop = asyncio.get_running_loop()
         path = self.config.socket_path
         if os.path.exists(path):
             os.unlink(path)
+        if self._proc_mode:
+            # Shard daemons come up concurrently (profile preloading is
+            # the slow part); the router socket binds only once every
+            # shard accepts connections.
+            await asyncio.gather(
+                *[
+                    self._loop.run_in_executor(None, proc.start)
+                    for proc in self.procs
+                ]
+            )
+            self._poll_task = asyncio.create_task(self._poll_shards())
+        else:
+            for shard in self.shards:
+                shard.start()
         self._server = await asyncio.start_unix_server(self._handle, path=path)
-        self._driver_task = asyncio.create_task(self.driver.run())
         self.started_at = time.monotonic()
+
+    async def _poll_shards(self, interval: float = 0.25) -> None:
+        """Refresh the router's load estimates from shard-daemon stats
+        (proc mode only; in-loop bookkeeping is exact)."""
+        while True:
+            for proc in self.procs:
+                block = await proc.fetch_stats()
+                if block is None:
+                    continue
+                self._shard_stats[proc.index] = block
+                sessions = int(block.get("sessions", 0))
+                inflight = int(block.get("inflight", 0))
+                self.router.refresh_load(proc.index, sessions, inflight)
+                self._g_shard_sessions[proc.index].set(sessions)
+                self._g_shard_inflight[proc.index].set(inflight)
+            await asyncio.sleep(interval)
 
     def request_stop(self) -> None:
         """Ask :meth:`serve_forever` to shut down (signal-handler safe
@@ -296,23 +533,63 @@ class SlateServer:
             self._server.close()
             await self._server.wait_closed()
             self._server = None
+        if self._poll_task is not None:
+            self._poll_task.cancel()
+            await asyncio.gather(self._poll_task, return_exceptions=True)
+            self._poll_task = None
         deadline = time.monotonic() + drain_timeout
-        while self.driver.pending and time.monotonic() < deadline:
+        while (
+            any(shard.driver.pending for shard in self.shards)
+            and time.monotonic() < deadline
+        ):
             await asyncio.sleep(0.01)
-        for task in list(self._conn_tasks):
+        for task in list(self._conn_tasks) + list(self._bg_tasks):
             task.cancel()
-        if self._conn_tasks:
-            await asyncio.gather(*self._conn_tasks, return_exceptions=True)
+        pending_tasks = list(self._conn_tasks) + list(self._bg_tasks)
+        if pending_tasks:
+            await asyncio.gather(*pending_tasks, return_exceptions=True)
         # Finalize anything a cancelled handler left behind.
         for sess in list(self._sessions.values()):
             sess.connected = False
             self._finalize(sess, force=True)
-        if self._driver_task is not None:
-            self.driver.stop()
-            await self._driver_task
-            self._driver_task = None
+        for shard in self.shards:
+            await shard.stop(drain_timeout)
+        if self.procs:
+            loop = asyncio.get_running_loop()
+            await asyncio.gather(
+                *[loop.run_in_executor(None, proc.stop) for proc in self.procs]
+            )
         if os.path.exists(self.config.socket_path):
             os.unlink(self.config.socket_path)
+
+    # -- shard draining ----------------------------------------------------
+
+    def request_drain(self, index: int) -> None:
+        """Start draining shard ``index`` (callable from any thread).
+
+        The shard stops receiving placements immediately; new launches on
+        its resident sessions get ``ShardDraining`` backpressure; launches
+        already in flight complete.  In proc mode the shard daemon is then
+        SIGTERMed (its own shutdown drains pending sim work).
+        """
+        if not 0 <= index < self.router.num_shards:
+            raise ValueError(f"no shard {index}")
+        self.router.set_draining(index)
+        if self._loop is not None:
+            self._loop.call_soon_threadsafe(self._spawn_drain, index)
+
+    def _spawn_drain(self, index: int) -> None:
+        task = asyncio.create_task(self._drain_shard(index))
+        self._bg_tasks.add(task)
+        task.add_done_callback(self._bg_tasks.discard)
+
+    async def _drain_shard(self, index: int) -> None:
+        if self._proc_mode:
+            proc = self.procs[index]
+            await asyncio.get_running_loop().run_in_executor(None, proc.stop)
+            return
+        while self.shard_inflight(index) > 0:
+            await asyncio.sleep(0.01)
 
     # -- session reaping ---------------------------------------------------
 
@@ -323,12 +600,27 @@ class SlateServer:
         if sess.sid in self._sessions:
             del self._sessions[sess.sid]
             sess.slate.close()
+            self.router.note_close(sess.shard, sess.name)
             self._m_reaped.inc()
             self._g_sessions.set(len(self._sessions))
+            self._g_shard_sessions[sess.shard].set(
+                self.router.shards[sess.shard].sessions
+            )
             if obs_trace.ENABLED:
                 obs_trace.instant(
-                    "session.close", self.env.now, "serve", sess.name, sid=sess.sid
+                    "session.close",
+                    self._shard_env(sess).now,
+                    "serve",
+                    sess.name,
+                    sid=sess.sid,
+                    shard=sess.shard,
                 )
+
+    def _shard_env(self, sess: _Session) -> Environment:
+        return self.shards[sess.shard].env if self.shards else self.env
+
+    def _shard_driver(self, sess: _Session) -> SimDriver:
+        return self.shards[sess.shard].driver if self.shards else self.driver
 
     # -- connection handling ----------------------------------------------
 
@@ -350,7 +642,21 @@ class SlateServer:
                     await self._send(writer, error_reply(None, exc))
                     break
                 stop = False
-                for msg in messages:
+                for i, msg in enumerate(messages):
+                    if (
+                        self._proc_mode
+                        and sess is None
+                        and msg.get("op") == "hello"
+                        and (msg.get("params") or {}).get("version") == 1
+                    ):
+                        # v1 clients predate redirects: route their hello,
+                        # then pump bytes between client and shard daemon
+                        # for the life of the connection.
+                        await self._proxy_v1(
+                            msg, messages[i + 1:], decoder, reader, writer
+                        )
+                        stop = True
+                        break
                     sess, stop = await self._dispatch(msg, writer, sess)
                     if stop:
                         break
@@ -399,6 +705,10 @@ class SlateServer:
                 sess, result = self._op_hello(params)
             elif op == "ping":
                 result = {"pong": True, "sim_time": self.env.now}
+            elif op == "stats":
+                # v2: session-less stats — the router (or any monitor)
+                # polls load without opening a session.
+                result = self._op_stats(sess)
             elif sess is None:
                 raise SessionStateError(f"op {op!r} requires a hello first")
             elif op == "register":
@@ -407,8 +717,6 @@ class SlateServer:
                 result = await self._op_launch(sess, rid, params)
             elif op == "sync":
                 result = await self._op_sync(sess)
-            elif op == "stats":
-                result = self._op_stats(sess)
             else:  # bye
                 result = {"bye": True}
         except asyncio.CancelledError:
@@ -417,7 +725,7 @@ class SlateServer:
             self._m_errors.inc()
             if sess is not None:
                 sess.errors += 1
-            if isinstance(exc, (ServerBusyError, SessionLimitError)):
+            if isinstance(exc, BackpressureError):
                 self._m_busy.inc()
             await self._send(writer, error_reply(rid, exc))
             # Protocol violations poison the stream; typed app errors don't.
@@ -433,38 +741,136 @@ class SlateServer:
 
     # -- operations --------------------------------------------------------
 
-    def _op_hello(self, params: dict) -> tuple[_Session, dict]:
+    def _op_hello(self, params: dict) -> tuple[Optional[_Session], dict]:
         version = params.get("version")
-        if version != PROTOCOL_VERSION:
+        if version not in SUPPORTED_VERSIONS:
             raise VersionMismatchError(
-                f"client protocol version {version!r} != server {PROTOCOL_VERSION}"
+                f"client protocol version {version!r} not supported "
+                f"(server speaks {PROTOCOL_VERSION}; accepts "
+                f"{sorted(SUPPORTED_VERSIONS)})"
             )
-        if len(self._sessions) >= self.config.max_sessions:
+        if not self._proc_mode and len(self._sessions) >= self.config.max_sessions:
             raise ServerBusyError(
                 f"session table full ({self.config.max_sessions})", retry_after=0.1
             )
         sid = next(self._sids)
         name = str(params.get("name") or f"client-{sid}")
-        spec_hint = None
+        session_name = f"{name}#{sid}"
         hint = params.get("kernel_hint")
-        if hint is not None:
-            spec_hint = by_name(str(hint))
-        slate = self.cluster.create_session(f"{name}#{sid}", spec_hint=spec_hint)
-        sess = _Session(sid, f"{name}#{sid}", slate)
+        candidate = self.router.classify(hint) if hint is not None else None
+        affinity = params.get("affinity")
+        pin = params.get("shard")
+        if pin is not None:
+            pin = int(pin)
+        shard_index = self.router.pick(
+            session_name, candidate, affinity=affinity, pin=pin
+        )
+        if obs_trace.ENABLED:
+            decision = self.router.decisions[-1]
+            obs_trace.instant(
+                "router.place",
+                self.env.now,
+                "serve",
+                session_name,
+                shard=shard_index,
+                reason=decision.reason,
+                score=decision.score,
+                kernel_hint=hint,
+            )
+        if self._proc_mode:
+            # v2 clients reconnect to the shard daemon themselves — the
+            # router answers hello and leaves the data path.  The shard
+            # runs its own session table; load flows back via stats polls.
+            self.router.note_open(shard_index, session_name, candidate)
+            return None, {
+                "session": None,
+                "name": session_name,
+                "version": PROTOCOL_VERSION,
+                "shard": shard_index,
+                "redirect": self.procs[shard_index].socket_path,
+                "devices": self.config.num_devices,
+                "device": None,
+            }
+        shard = self.shards[shard_index]
+        spec_hint = by_name(str(hint)) if hint is not None else None
+        slate = shard.cluster.create_session(session_name, spec_hint=spec_hint)
+        sess = _Session(sid, session_name, slate, shard=shard_index)
         self._sessions[sid] = sess
+        self.router.note_open(shard_index, session_name, candidate)
         self._m_opened.inc()
         self._g_sessions.set(len(self._sessions))
+        self._g_shard_sessions[shard_index].set(
+            self.router.shards[shard_index].sessions
+        )
         if obs_trace.ENABLED:
             obs_trace.instant(
-                "session.open", self.env.now, "serve", sess.name, sid=sid
+                "session.open", shard.env.now, "serve", sess.name,
+                sid=sid, shard=shard_index,
             )
         return sess, {
             "session": sid,
             "name": sess.name,
             "version": PROTOCOL_VERSION,
-            "devices": self.cluster.num_devices,
-            "device": self.cluster.placements.get(sess.name),
+            "shard": shard_index,
+            "devices": shard.cluster.num_devices,
+            "device": shard.cluster.placements.get(sess.name),
         }
+
+    async def _proxy_v1(
+        self,
+        hello_msg: dict,
+        rest: list,
+        decoder: FrameDecoder,
+        reader: asyncio.StreamReader,
+        writer: asyncio.StreamWriter,
+    ) -> None:
+        """Transparently proxy a v1 client's whole connection to a shard
+        daemon (proc mode): route its hello, forward everything already
+        read, then pump bytes both ways until either side hangs up."""
+        rid = hello_msg.get("id")
+        params = hello_msg.get("params") or {}
+        name = str(params.get("name") or "v1-client")
+        try:
+            hint = params.get("kernel_hint")
+            candidate = self.router.classify(hint) if hint is not None else None
+            index = self.router.pick(
+                name, candidate, affinity=params.get("affinity")
+            )
+        except Exception as exc:
+            self._m_errors.inc()
+            await self._send(writer, error_reply(rid, exc))
+            return
+        self.router.note_open(index, name, candidate)
+        try:
+            try:
+                s_reader, s_writer = await asyncio.open_unix_connection(
+                    self.procs[index].socket_path
+                )
+            except OSError as exc:
+                self._m_errors.inc()
+                await self._send(
+                    writer,
+                    error_reply(rid, ServerError(f"shard {index} unreachable: {exc}")),
+                )
+                return
+            try:
+                s_writer.write(protocol.encode_frame(hello_msg))
+                for msg in rest:
+                    s_writer.write(protocol.encode_frame(msg))
+                # Bytes of a frame the decoder had only partially seen.
+                leftover = bytes(decoder._buf)
+                if leftover:
+                    s_writer.write(leftover)
+                await s_writer.drain()
+                await _pump_bidirectional(reader, writer, s_reader, s_writer)
+            finally:
+                s_writer.close()
+                try:
+                    await s_writer.wait_closed()
+                except Exception:
+                    pass
+        finally:
+            self.router.note_close(index, name)
 
     def _resolve_spec(self, params: dict) -> KernelSpec:
         kernel = params.get("kernel")
@@ -474,7 +880,7 @@ class SlateServer:
 
     async def _op_register(self, sess: _Session, params: dict) -> dict:
         spec = self._resolve_spec(params)
-        env = self.env
+        env = self._shard_env(sess)
 
         def gen() -> Generator:
             yield from sess.slate.pipe.command()
@@ -482,15 +888,28 @@ class SlateServer:
             yield from sess.slate.runtime.prepare_kernel(spec)
             return env.now - t0
 
-        compile_time = await self.driver.submit(gen())
+        compile_time = await self._shard_driver(sess).submit(gen())
         return {"kernel": spec.name, "compile_time": compile_time}
 
     def _admit(self, sess: _Session) -> None:
+        if self.router.shards[sess.shard].draining:
+            raise ShardDrainingError(
+                f"shard {sess.shard} is draining; reconnect to be placed "
+                "elsewhere",
+                retry_after=0.05,
+            )
         total = self.inflight
         self._h_queue_depth.observe(total)
         if total >= self.config.max_inflight:
             raise ServerBusyError(
                 f"{total} launches in flight (max {self.config.max_inflight})",
+                retry_after=0.02,
+            )
+        shard_total = self.shard_inflight(sess.shard)
+        if shard_total >= self._shard_limit:
+            raise ServerBusyError(
+                f"shard {sess.shard} has {shard_total} launches in flight "
+                f"(max {self._shard_limit})",
                 retry_after=0.02,
             )
         if sess.inflight >= self.config.session_inflight:
@@ -510,8 +929,9 @@ class SlateServer:
         if deadline is not None:
             deadline = float(deadline)
         self._admit(sess)
-        env = self.env
+        env = self._shard_env(sess)
         slate = sess.slate
+        shard_index = sess.shard
 
         def gen() -> Generator:
             t0 = env.now
@@ -531,17 +951,23 @@ class SlateServer:
             if obs_trace.ENABLED:
                 obs_trace.complete(
                     "request.launch", t0, env.now - t0, "serve", sess.name,
-                    kernel=spec.name, rid=rid,
+                    kernel=spec.name, rid=rid, shard=shard_index,
                 )
             return ticket, t0, env.now
 
         sess.inflight += 1
+        self.router.note_launch(shard_index, 1)
         self._g_inflight.set(self.inflight)
+        self._g_shard_inflight[shard_index].set(self.shard_inflight(shard_index))
         try:
-            ticket, sim_start, sim_end = await self.driver.submit(gen())
+            ticket, sim_start, sim_end = await self._shard_driver(sess).submit(gen())
         finally:
             sess.inflight -= 1
+            self.router.note_launch(shard_index, -1)
             self._g_inflight.set(self.inflight)
+            self._g_shard_inflight[shard_index].set(
+                self.shard_inflight(shard_index)
+            )
             self._finalize(sess)
         sess.launches += 1
         self._m_launches.inc()
@@ -561,29 +987,30 @@ class SlateServer:
 
     async def _op_sync(self, sess: _Session) -> dict:
         slate = sess.slate
-        env = self.env
+        env = self._shard_env(sess)
 
         def gen() -> Generator:
             t0 = env.now
             yield from slate.synchronize()
             return env.now - t0
 
-        waited = await self.driver.submit(gen())
+        waited = await self._shard_driver(sess).submit(gen())
         return {"waited": waited, "sim_time": env.now}
 
-    def _op_stats(self, sess: _Session) -> dict:
-        return {
-            "server": self.stats(),
-            "session": {
+    def _op_stats(self, sess: Optional[_Session]) -> dict:
+        session_block = None
+        if sess is not None:
+            session_block = {
                 "sid": sess.sid,
                 "name": sess.name,
+                "shard": sess.shard,
                 "inflight": sess.inflight,
                 "launches": sess.launches,
                 "errors": sess.errors,
                 "comm_time": sess.slate.comm_time,
                 "compile_time": sess.slate.compile_time,
-            },
-        }
+            }
+        return {"server": self.stats(), "session": session_block}
 
 
 class ServerThread:

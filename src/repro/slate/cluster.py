@@ -27,6 +27,7 @@ from repro.config import CostModel, DeviceConfig, HostConfig, TITAN_XP
 from repro.kernels.kernel import KernelSpec
 from repro.sim import Environment
 from repro.slate.daemon import SlateRuntime, SlateSession
+from repro.slate.placement import ShardView, choose_shard
 from repro.slate.policy import SchedulingPolicy, make_policy
 from repro.slate.profiler import offline_profile
 
@@ -172,23 +173,21 @@ class SlateCluster:
             # class-aware without a hint degrades to least-loaded.
             return min(range(self.num_devices), key=self.load)
 
-        new_class = self._class_of(spec_hint)
-        best, best_key = 0, None
-        for i, state in enumerate(self._devices):
-            residents = list(state.residents.values())
-            # Every resident must be policy-compatible.  Placement has no
-            # "running" side, so this goes through the canonical
-            # order-insensitive lookup (PolicyTable.mutual_corun) rather
-            # than a pair of order-sensitive should_corun calls.
-            compatible = all(
-                self._placement_policy.placement_compatible(r, new_class)
-                for r in residents
+        # Contention-penalized least-loaded scoring over device snapshots:
+        # the same policy surface (SchedulingPolicy.placement_score, via
+        # the canonical order-insensitive PolicyTable.mutual_corun) the
+        # serving router uses for shard placement.
+        views = [
+            ShardView(
+                ident=i,
+                residents=tuple(state.residents.values()),
+                load=float(len(state.residents)),
             )
-            # Prefer: compatible, then fewer residents, then lower index.
-            key = (0 if compatible else 1, len(residents), i)
-            if best_key is None or key < best_key:
-                best, best_key = i, key
-        return best
+            for i, state in enumerate(self._devices)
+        ]
+        return choose_shard(
+            self._placement_policy, views, self._class_of(spec_hint)
+        ).shard
 
     # -- sessions -----------------------------------------------------------
 

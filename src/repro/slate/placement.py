@@ -1,0 +1,137 @@
+"""Fleet-level placement scoring: which shard/device gets a new tenant.
+
+Slate's core insight is that *which kernels share a GPU* decides
+efficiency (Table I, §III-B2).  Within one device the scheduler consults
+the policy per launch; at the fleet level the same question appears once
+per *session*: a new client must be assigned to one of N shards (or
+devices), each already holding residents of known intensity classes.
+This module lifts the per-GPU pairing decision to that
+partition/allocate formulation — the contention-aware GPU-partitioning
+problem — as a pure scoring function over shard snapshots, shared by
+:class:`repro.slate.cluster.SlateCluster` (multi-device placement) and
+:class:`repro.serve.router.PlacementRouter` (multi-shard serving).
+
+Scoring
+-------
+The score of placing a candidate class on a shard is the policy's
+:meth:`~repro.slate.policy.SchedulingPolicy.placement_score`: by default
+one :data:`INCOMPATIBILITY_PENALTY` per resident the candidate must not
+share with (derived from the same Table-I machinery as ``may_corun``,
+via the order-insensitive ``placement_compatible``), plus the shard's
+load.  Lower is better, so the chooser
+
+* co-locates compatible kernel classes (zero penalty beats any load),
+* spreads antagonists (each incompatible resident costs a full
+  penalty — an empty or compatible shard always wins), and
+* balances load among equally-compatible shards (the contention-
+  penalized least-loaded score).
+
+Everything here is deterministic: ties break on (score, load, index),
+never on iteration order or randomness, so a fixed arrival sequence
+always places identically — the router property tests pin this.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Optional, Sequence
+
+from repro.slate.classify import IntensityClass as C
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.slate.policy import SchedulingPolicy
+
+__all__ = [
+    "INCOMPATIBILITY_PENALTY",
+    "PlacementDecision",
+    "ShardView",
+    "choose_shard",
+    "contention_score",
+]
+
+#: Cost of one policy-incompatible co-resident.  Any load difference a
+#: realistic shard can show is far below this, so compatibility strictly
+#: dominates balance (a compatible-but-busy shard beats an antagonist-
+#: but-idle one).
+INCOMPATIBILITY_PENALTY = 1024.0
+
+
+@dataclass(frozen=True)
+class ShardView:
+    """A placement-relevant snapshot of one shard (or device).
+
+    The scorer never touches live scheduler state — callers build views
+    from whatever bookkeeping they own (cluster residents, router
+    session table, polled shard stats), which keeps the scoring pure and
+    unit-testable.
+    """
+
+    ident: int
+    #: Intensity classes of the resident sessions (hint-less residents
+    #: are simply absent — they carry no contention information).
+    residents: tuple = ()
+    #: Load proxy: active sessions + in-flight launches work well; any
+    #: monotone congestion measure does.
+    load: float = 0.0
+    #: Draining shards accept no new placements.
+    draining: bool = False
+
+
+@dataclass(frozen=True)
+class PlacementDecision:
+    """The chooser's verdict, kept for traces and tests."""
+
+    shard: int
+    score: float
+    candidate: Optional[C]
+    #: Scores of every eligible shard, ``{ident: score}``.
+    scores: dict = field(default_factory=dict)
+
+
+def contention_score(
+    policy: "SchedulingPolicy",
+    residents: Sequence[C],
+    candidate: Optional[C],
+    load: float = 0.0,
+) -> float:
+    """Default contention-penalized least-loaded score (lower is better).
+
+    Delegates to ``policy.placement_compatible`` per resident, so a
+    policy that shares blindly (``mps-leftover``) degrades this to plain
+    least-loaded, and a custom :class:`~repro.slate.policy.PolicyTable`
+    changes the antagonist set everywhere at once.
+    """
+    if candidate is None:
+        return float(load)
+    conflicts = sum(
+        1 for resident in residents
+        if not policy.placement_compatible(resident, candidate)
+    )
+    return conflicts * INCOMPATIBILITY_PENALTY + float(load)
+
+
+def choose_shard(
+    policy: "SchedulingPolicy",
+    shards: Sequence[ShardView],
+    candidate: Optional[C],
+) -> PlacementDecision:
+    """Pick the best shard for ``candidate`` under ``policy``.
+
+    Deterministic: minimizes ``(score, load, ident)`` over non-draining
+    shards.  Raises :class:`ValueError` when every shard is draining —
+    the caller decides whether that is backpressure or shutdown.
+    """
+    eligible = [s for s in shards if not s.draining]
+    if not eligible:
+        raise ValueError("no shard accepts placements (all draining)")
+    scores = {
+        view.ident: policy.placement_score(view.residents, candidate, view.load)
+        for view in eligible
+    }
+    best = min(eligible, key=lambda view: (scores[view.ident], view.load, view.ident))
+    return PlacementDecision(
+        shard=best.ident,
+        score=scores[best.ident],
+        candidate=candidate,
+        scores=scores,
+    )

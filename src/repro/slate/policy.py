@@ -368,11 +368,34 @@ class SchedulingPolicy:
         ``scheduler.resize_entry``; the default does nothing.
         """
 
-    # -- placement (cluster layer) ----------------------------------------
+    # -- placement (cluster / router layer) --------------------------------
 
     def placement_compatible(self, a: C, b: C) -> bool:
-        """Order-insensitive class compatibility for cluster placement."""
+        """Order-insensitive class compatibility for cluster placement.
+
+        The fleet-level analogue of :meth:`may_corun`: placement has no
+        "running" side, so the default resolves the pair canonically via
+        :meth:`PolicyTable.mutual_corun` instead of a one-way lookup.
+        """
         return self.table.mutual_corun(a, b)
+
+    def placement_score(
+        self, residents, candidate: "Optional[C]", load: float = 0.0
+    ) -> float:
+        """Score placing ``candidate`` on a shard (lower is better).
+
+        The policy surface the multi-shard serving router and the
+        multi-device cluster rank shards with.  Default: the contention-
+        penalized least-loaded score derived from
+        :meth:`placement_compatible` (and therefore from the same Table-I
+        machinery as :meth:`may_corun`) — one large penalty per resident
+        the candidate must not share with, plus the load.  Policies that
+        share blindly (``mps-leftover``) inherit pure least-loaded
+        behaviour through their ``placement_compatible`` override.
+        """
+        from repro.slate.placement import contention_score
+
+        return contention_score(self, residents, candidate, load)
 
     def describe(self) -> str:
         return type(self).__doc__.strip().splitlines()[0]

@@ -1,0 +1,70 @@
+"""Client backoff regression tests: the server's ``retry_after`` hint is
+always honoured as a floor, and the jitter on top is deterministic per
+seed — rejected clients de-synchronize, reproducibly."""
+
+import pytest
+
+from repro.serve import client as client_mod
+from repro.serve.client import SlateClient
+from repro.serve.protocol import ServerBusyError
+from repro.serve.server import ServeConfig, ServerThread
+
+
+@pytest.fixture
+def sock_path(tmp_path):
+    path = tmp_path / "slate.sock"
+    assert len(str(path)) < 100, f"socket path too long: {path}"
+    return str(path)
+
+
+class TestBackoffDelay:
+    def test_retry_after_is_a_floor(self):
+        client = SlateClient("/tmp/x.sock", backoff_seed="s")
+        for retries in range(6):
+            delay = client._backoff_delay(0.25, retries)
+            assert delay >= 0.25
+
+    def test_capped_at_one_second(self):
+        client = SlateClient("/tmp/x.sock", backoff_seed="s")
+        assert client._backoff_delay(5.0, 0) == 1.0
+        assert client._backoff_delay(0.01, 30) <= 1.0
+
+    def test_deterministic_per_seed(self):
+        a = SlateClient("/tmp/x.sock", backoff_seed="alpha")
+        b = SlateClient("/tmp/x.sock", backoff_seed="alpha")
+        sequence_a = [a._backoff_delay(0.02, i) for i in range(8)]
+        sequence_b = [b._backoff_delay(0.02, i) for i in range(8)]
+        assert sequence_a == sequence_b
+
+    def test_different_seeds_desynchronize(self):
+        a = SlateClient("/tmp/x.sock", backoff_seed="alpha")
+        b = SlateClient("/tmp/x.sock", backoff_seed="beta")
+        sequence_a = [a._backoff_delay(0.02, i) for i in range(8)]
+        sequence_b = [b._backoff_delay(0.02, i) for i in range(8)]
+        assert sequence_a != sequence_b
+
+    def test_jitter_scale_grows_exponentially(self):
+        # With the RNG pinned to 1.0, the delay is exactly the hint plus
+        # busy_backoff * 2**retries — the exponential envelope.
+        client = SlateClient("/tmp/x.sock", backoff_seed="s")
+        client._backoff_rng.random = lambda: 1.0
+        assert client._backoff_delay(0.1, 0, busy_backoff=0.01) == pytest.approx(0.11)
+        assert client._backoff_delay(0.1, 3, busy_backoff=0.01) == pytest.approx(0.18)
+
+
+class TestBackoffOverTheWire:
+    def test_sleeps_honour_server_hint(self, sock_path, monkeypatch):
+        """Against a saturated daemon every retry sleep is >= the typed
+        reply's retry_after, and the sequence is the seeded one."""
+        sleeps = []
+        monkeypatch.setattr(client_mod.time, "sleep", sleeps.append)
+        with ServerThread(ServeConfig(socket_path=sock_path, max_inflight=0)):
+            with SlateClient(sock_path, backoff_seed="pinned") as client:
+                with pytest.raises(ServerBusyError) as excinfo:
+                    client.launch("BS", busy_retries=4)
+        hint = excinfo.value.retry_after
+        assert hint > 0
+        assert len(sleeps) == 4
+        assert all(delay >= hint for delay in sleeps)
+        expected = SlateClient("/tmp/x.sock", backoff_seed="pinned")
+        assert sleeps == [expected._backoff_delay(hint, i) for i in range(4)]

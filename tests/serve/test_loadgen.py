@@ -177,3 +177,78 @@ class TestEndToEnd:
             )
             assert report.completed == 12
             assert report.errors == 0
+
+
+class TestWarmupAndMixMode:
+    def test_warmup_requests_excluded_from_stats(self, sock_path):
+        with ServerThread(ServeConfig(socket_path=sock_path)) as server:
+            report = run_loadgen(
+                LoadGenConfig(
+                    socket_path=sock_path,
+                    clients=2,
+                    requests=4,
+                    warmup=3,
+                    processes=False,
+                )
+            )
+            # Warmup launches hit the server but never the statistics.
+            assert report.completed == 8
+            assert report.warmup_completed == 6
+            assert len(report.per_client[0].latencies) == 4
+            assert server._m_launches.value >= 14
+
+    def test_measure_wall_excludes_spawn(self, sock_path):
+        with ServerThread(ServeConfig(socket_path=sock_path)):
+            report = run_loadgen(
+                LoadGenConfig(
+                    socket_path=sock_path,
+                    clients=2,
+                    requests=3,
+                    warmup=1,
+                    processes=False,
+                )
+            )
+            assert 0 < report.measure_wall <= report.wall
+            assert report.requests_per_s == pytest.approx(
+                report.completed / report.measure_wall
+            )
+
+    def test_client_mix_mode_gives_each_client_one_kernel(self):
+        cfg = LoadGenConfig(
+            socket_path="/tmp/x.sock",
+            requests=20,
+            warmup=2,
+            mix_mode="client",
+            seed=5,
+        )
+        kernels, offsets = plan_client(cfg, 0)
+        assert len(kernels) == 22  # warmup + requests
+        assert len(set(kernels)) == 1
+        # Different clients can draw different kernels, deterministically.
+        assert plan_client(cfg, 1) == plan_client(cfg, 1)
+
+    def test_mix_mode_validated(self):
+        with pytest.raises(ValueError):
+            LoadGenConfig(socket_path="/tmp/x.sock", mix_mode="chaotic")
+        with pytest.raises(ValueError):
+            LoadGenConfig(socket_path="/tmp/x.sock", warmup=-1)
+
+    def test_sim_throughput_reported_per_shard(self, sock_path):
+        with ServerThread(ServeConfig(socket_path=sock_path, shards=2)):
+            report = run_loadgen(
+                LoadGenConfig(
+                    socket_path=sock_path,
+                    clients=4,
+                    requests=5,
+                    mix="MM:1,RG:1",
+                    mix_mode="client",
+                    processes=False,
+                    seed=2,
+                )
+            )
+            assert report.errors == 0
+            assert report.sim_requests_per_s > 0
+            assert report.sim_latency_p50 > 0
+            assert sum(b["completed"] for b in report.shards.values()) == 20
+            # Sessions landed on real shards and the report says which.
+            assert set(report.shards) <= {"0", "1"}
