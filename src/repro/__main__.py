@@ -11,15 +11,17 @@ pair         Run one application pairing under all three runtimes.
 report       Write a consolidated REPORT.md across all experiments.
 trace        Replay an arrival trace and render the SM timeline.
 tune         Predicted task-size sweep for a benchmark kernel.
-obs          Observability: dump the metrics registry, validate traces.
+obs          Observability: dump/export metrics, validate traces/exposition.
 serve        Run the Slate serving daemon on a Unix domain socket.
 client       Connect to a running daemon and launch kernels.
 loadgen      Drive a running daemon with multi-process load.
+top          Live fleet dashboard over a running daemon's telemetry feed.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 
 
@@ -219,22 +221,116 @@ def _cmd_trace(args: argparse.Namespace) -> int:
     return 0
 
 
+def _obs_scrape(socket_path: str, recent: int | None = None) -> dict | None:
+    """Session-less ``metrics`` scrape of a live daemon (None on failure).
+
+    One-shot operator scrapes always ask for ``fresh`` shard state — an
+    export or dump should reflect *now*, not the router's poll cache.
+    """
+    from repro.serve.loadgen import fetch_server_metrics
+
+    return fetch_server_metrics(socket_path, recent=recent, fresh=True)
+
+
 def _cmd_obs(args: argparse.Namespace) -> int:
     if args.obs_command == "dump":
+        recent = getattr(args, "recent", None)
+        if recent:
+            return _cmd_obs_dump_recent(args, recent)
+        if args.socket:
+            scrape = _obs_scrape(args.socket)
+            if scrape is None:
+                print(f"could not scrape {args.socket}", file=sys.stderr)
+                return 1
+            print(json.dumps(scrape, indent=2, sort_keys=True))
+            return 0
         from repro.obs.registry import registry
 
         print(registry().to_json())
         return 0
-    from repro.obs.validate import validate_file
+    if args.obs_command == "export":
+        return _cmd_obs_export(args)
+    if getattr(args, "prom", False):
+        from repro.obs.validate import validate_prometheus_file
 
-    problems = validate_file(args.file)
+        problems = validate_prometheus_file(args.file)
+        label = "Prometheus exposition"
+    else:
+        from repro.obs.validate import validate_file
+
+        problems = validate_file(args.file)
+        label = "trace-event JSON"
     if problems:
         for problem in problems:
             print(problem, file=sys.stderr)
         print(f"{args.file}: {len(problems)} problem(s)", file=sys.stderr)
         return 1
-    print(f"{args.file}: valid trace-event JSON")
+    print(f"{args.file}: valid {label}")
     return 0
+
+
+def _cmd_obs_dump_recent(args: argparse.Namespace, recent: int) -> int:
+    """Dump the flight recorder's recent events as Perfetto JSON."""
+    from repro.obs.export import write_chrome_trace
+    from repro.obs.recorder import events_from_wire, get_recorder
+
+    out = args.out or "flight-recent.json"
+    if args.socket:
+        scrape = _obs_scrape(args.socket, recent=recent)
+        if scrape is None:
+            print(f"could not scrape {args.socket}", file=sys.stderr)
+            return 1
+        events = scrape.get("recent") or []
+        sink = events_from_wire(
+            events, metadata={"source": args.socket, **(scrape.get("recorder") or {})}
+        )
+        write_chrome_trace(out, sink)
+        print(f"{len(events)} recent event(s) written to {out}")
+        return 0
+    recorder = get_recorder()
+    if recorder is None:
+        print("no flight recorder installed in this process "
+              "(use --socket to pull from a daemon)", file=sys.stderr)
+        return 1
+    n = recorder.dump(out, reason="obs-dump")
+    print(f"{n} recent event(s) written to {out}")
+    return 0
+
+
+def _cmd_obs_export(args: argparse.Namespace) -> int:
+    """Export metrics — Prometheus text with --prom, JSON otherwise."""
+    from repro.obs.aggregate import to_prometheus
+    from repro.obs.registry import registry
+
+    if args.socket:
+        scrape = _obs_scrape(args.socket)
+        if scrape is None:
+            print(f"could not scrape {args.socket}", file=sys.stderr)
+            return 1
+        state = scrape.get("registry") or {}
+    else:
+        state = registry().export_state()
+    text = to_prometheus(state) if args.prom else json.dumps(
+        state, indent=2, sort_keys=True
+    )
+    if args.out:
+        with open(args.out, "w") as fh:
+            fh.write(text if text.endswith("\n") else text + "\n")
+        print(f"metrics written to {args.out}")
+    else:
+        print(text, end="" if text.endswith("\n") else "\n")
+    return 0
+
+
+def _cmd_top(args: argparse.Namespace) -> int:
+    from repro.serve.top import run_top
+
+    return run_top(
+        args.socket,
+        interval=args.interval,
+        iterations=args.iterations,
+        plain=args.plain,
+    )
 
 
 def _cmd_tune(args: argparse.Namespace) -> int:
@@ -307,9 +403,9 @@ def _cmd_pair(args: argparse.Namespace) -> int:
 
 def _cmd_serve(args: argparse.Namespace) -> int:
     import asyncio
-    import json
     import signal
 
+    from repro.obs import recorder as obs_recorder
     from repro.obs import trace as obs_trace
     from repro.obs.export import run_metadata, write_chrome_trace
     from repro.obs.registry import registry
@@ -334,7 +430,26 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         max_sessions=args.max_sessions,
         log_limit=args.log_limit,
         duration=args.duration,
+        slo=args.slo,
+        flight_recorder=args.flight_recorder,
+        flight_dump=args.flight_dump,
     )
+
+    meta = run_metadata(
+        command="serve", socket=args.socket, devices=args.devices,
+        shards=args.shards,
+    )
+    # Always-on flight recorder (bounded ring, ~free) stacked over the
+    # optional full-capture sink; dumped on crash or SIGUSR1.
+    sink = obs_trace.TraceSink(metadata=meta) if args.trace else None
+    dump_path = config.flight_dump_path()
+    recorder = None
+    if dump_path is not None:
+        recorder = obs_recorder.install(
+            config.flight_recorder, forward=sink, metadata=meta
+        )
+    elif sink is not None:
+        obs_trace.set_sink(sink)
 
     async def serve(server: SlateServer) -> None:
         loop = asyncio.get_running_loop()
@@ -343,24 +458,37 @@ def _cmd_serve(args: argparse.Namespace) -> int:
                 loop.add_signal_handler(sig, server.request_stop)
             except NotImplementedError:  # pragma: no cover - non-POSIX
                 pass
+        if recorder is not None:
+            try:
+                loop.add_signal_handler(
+                    signal.SIGUSR1,
+                    lambda: recorder.dump(dump_path, reason="SIGUSR1"),
+                )
+            except NotImplementedError:  # pragma: no cover - non-POSIX
+                pass
         print(f"slate daemon listening on {args.socket}", flush=True)
         await server.serve_forever()
 
     server = SlateServer(config)
-    if args.trace:
-        meta = run_metadata(
-            command="serve", socket=args.socket, devices=args.devices,
-            shards=args.shards,
-        )
-        with obs_trace.capture(metadata=meta) as sink:
-            asyncio.run(serve(server))
+    try:
+        asyncio.run(serve(server))
+    except BaseException:
+        if recorder is not None:
+            try:
+                recorder.dump(dump_path, reason="crash")
+            except Exception:  # pragma: no cover - dump must not mask the crash
+                pass
+        raise
+    finally:
+        if recorder is not None:
+            obs_recorder.uninstall()
+        obs_trace.set_sink(None)
+    if sink is not None:
         write_chrome_trace(args.trace, sink)
         print(f"perfetto trace written to {args.trace} ({len(sink)} events)")
         if shard_trace_template is not None:
             for i in range(args.shards):
                 print(f"  shard {i} trace: {shard_trace_template.format(shard=i)}")
-    else:
-        asyncio.run(serve(server))
     stats = server.stats()
     print(
         f"served {stats['requests']} requests ({stats['launches']} launches, "
@@ -572,6 +700,14 @@ def build_parser() -> argparse.ArgumentParser:
                    help="capture request-lifecycle tracing; write Perfetto JSON on shutdown")
     p.add_argument("--dump-metrics", metavar="PATH",
                    help="write a metrics-registry snapshot here on shutdown")
+    p.add_argument("--slo", metavar="PATH_OR_JSON", default=None,
+                   help="SLO targets (JSON file or inline array; default: "
+                        "built-in launch-latency targets)")
+    p.add_argument("--flight-recorder", type=int, default=4096, metavar="N",
+                   help="always-on flight-recorder ring capacity "
+                        "(0 disables; dumped on crash/SIGUSR1)")
+    p.add_argument("--flight-dump", metavar="PATH", default=None,
+                   help="flight-recorder dump path (default: <socket>.flight.json)")
     p.set_defaults(func=_cmd_serve)
 
     p = sub.add_parser("client", help="connect to a running daemon and launch kernels")
@@ -613,13 +749,43 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--json", metavar="PATH", help="write the aggregated report here")
     p.set_defaults(func=_cmd_loadgen)
 
-    p = sub.add_parser("obs", help="observability: registry dump, trace validation")
+    p = sub.add_parser("obs", help="observability: registry dump/export, validation")
     obs_sub = p.add_subparsers(dest="obs_command", required=True)
     q = obs_sub.add_parser("dump", help="print the metrics-registry snapshot as JSON")
+    q.add_argument("--socket", default=None, metavar="PATH",
+                   help="scrape a live daemon's aggregated fleet metrics "
+                        "instead of this process's registry")
+    q.add_argument("--recent", type=int, default=None, metavar="N",
+                   help="dump the last N flight-recorder events as Perfetto "
+                        "JSON instead of the registry")
+    q.add_argument("--out", default=None, metavar="PATH",
+                   help="output path for --recent (default flight-recent.json)")
     q.set_defaults(func=_cmd_obs)
-    q = obs_sub.add_parser("validate", help="validate a trace-event JSON file")
-    q.add_argument("file", help="path to an exported trace")
+    q = obs_sub.add_parser("export", help="export metrics (Prometheus text or JSON)")
+    q.add_argument("--prom", action="store_true",
+                   help="Prometheus text exposition instead of JSON")
+    q.add_argument("--socket", default=None, metavar="PATH",
+                   help="scrape a live daemon (default: this process's registry)")
+    q.add_argument("--out", default=None, metavar="PATH",
+                   help="write here instead of stdout")
     q.set_defaults(func=_cmd_obs)
+    q = obs_sub.add_parser(
+        "validate", help="validate a trace-event JSON or Prometheus text file"
+    )
+    q.add_argument("file", help="path to an exported trace or exposition")
+    q.add_argument("--prom", action="store_true",
+                   help="validate as Prometheus text exposition")
+    q.set_defaults(func=_cmd_obs)
+
+    p = sub.add_parser("top", help="live fleet dashboard for a running daemon")
+    p.add_argument("--socket", default="/tmp/slate.sock")
+    p.add_argument("--interval", type=float, default=1.0,
+                   help="seconds between refreshes")
+    p.add_argument("--iterations", type=int, default=None,
+                   help="stop after N refreshes (default: until q/Ctrl-C)")
+    p.add_argument("--plain", action="store_true",
+                   help="print frames to stdout instead of the curses UI")
+    p.set_defaults(func=_cmd_top)
 
     return parser
 

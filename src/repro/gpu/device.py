@@ -392,7 +392,9 @@ class SimulatedGPU:
         execution._resize_target = sms
         self._alloc_epoch += 1
         execution.counters.resizes += 1
-        if obs_trace.ENABLED:
+        # Paired with the scheduler's resize instants: per-corun-decision
+        # churn that only full-detail captures record.
+        if obs_trace.DETAILED:
             obs_trace.instant(
                 "kernel.retreat",
                 self.env.now,
@@ -556,7 +558,9 @@ class SimulatedGPU:
                 sample = {k.work.name: k._rates.rate for k in active}
         else:
             stats.rate_recomputes += 1
-            if obs_trace.ENABLED:
+            # Per-epoch instant: micro-event rate (several per launch),
+            # full-detail captures only.
+            if obs_trace.DETAILED:
                 obs_trace.instant(
                     "epoch",
                     self.env.now,
@@ -721,7 +725,9 @@ class SimulatedGPU:
         k.state = ExecState.TAIL
         self._alloc_epoch += 1
         tail = self._tail_time(k)
-        if obs_trace.ENABLED:
+        # Tail entry is covered by the completion span's duration; the
+        # per-launch instant is full-detail only.
+        if obs_trace.DETAILED:
             obs_trace.instant(
                 "kernel.tail",
                 self.env.now,

@@ -19,8 +19,16 @@ samples).  This package gives them one home:
   cache counters (as pull *sources*) and the scheduler/daemon/monitor
   counters (as push counters).  ``runner --profile`` and the
   ``repro obs dump`` CLI read from it.
-* :mod:`repro.obs.validate` — trace-event schema validation used by tests
-  and the CI smoke job.
+* :mod:`repro.obs.validate` — trace-event schema and Prometheus
+  exposition validation used by tests and the CI smoke job.
+* :mod:`repro.obs.aggregate` — cross-shard registry merging (log-bucket
+  histograms merge losslessly), per-shard wall-vs-sim skew tracking, and
+  the Prometheus text exposition behind ``repro obs export --prom``.
+* :mod:`repro.obs.slo` — declarative SLO targets with sliding-window,
+  multi-window burn-rate alerting surfaced as ``slo.*`` gauges.
+* :mod:`repro.obs.recorder` — the always-on flight recorder: a bounded
+  ring of recent trace events dumped to Perfetto on crash, ``SIGUSR1``,
+  or ``repro obs dump --recent``.
 
 Quick start::
 
@@ -33,12 +41,20 @@ Quick start::
     print(obs.registry().to_json())
 """
 
+from repro.obs.aggregate import (
+    ShardScrape,
+    aggregate_fleet,
+    merge_registry_states,
+    to_prometheus,
+)
 from repro.obs.export import (
     run_metadata,
     to_chrome_events,
     write_chrome_trace,
     write_jsonl,
 )
+from repro.obs.recorder import FlightRecorder
+from repro.obs.slo import SLOTarget, SLOTracker, load_slo_config
 from repro.obs.registry import (
     Counter,
     Gauge,
@@ -56,25 +72,34 @@ from repro.obs.trace import (
     get_sink,
     set_sink,
 )
-from repro.obs.validate import validate_chrome_trace
+from repro.obs.validate import validate_chrome_trace, validate_prometheus
 
 __all__ = [
     "Counter",
     "EnvTracerAdapter",
+    "FlightRecorder",
     "Gauge",
     "Histogram",
     "MetricsRegistry",
     "NULL_SINK",
     "NullSink",
+    "SLOTarget",
+    "SLOTracker",
+    "ShardScrape",
     "TraceEvent",
     "TraceSink",
+    "aggregate_fleet",
     "capture",
     "get_sink",
+    "load_slo_config",
+    "merge_registry_states",
     "registry",
     "run_metadata",
     "set_sink",
+    "to_prometheus",
     "to_chrome_events",
     "validate_chrome_trace",
+    "validate_prometheus",
     "write_chrome_trace",
     "write_jsonl",
 ]

@@ -1,0 +1,245 @@
+"""Always-on flight recorder: a bounded ring of recent trace events.
+
+A full :class:`~repro.obs.trace.TraceSink` capture is opt-in because it
+grows without bound; the flight recorder is the complement — a
+:class:`collections.deque` ring of the last ``capacity`` events that is
+cheap enough to leave installed for the life of a daemon.  Events are
+stored as raw tuples (no :class:`~repro.obs.trace.TraceEvent` objects,
+no per-event allocation beyond the tuple) and only materialized when
+someone asks for them:
+
+* ``SIGUSR1`` on the serving daemon dumps the ring to a Perfetto file;
+* a crash on the serve path dumps it before the process dies (the
+  post-hoc "what were the last N things the scheduler did");
+* ``repro obs dump --recent [--socket]`` pulls it ad hoc — over the
+  socket via the session-less ``metrics`` op's ``recent`` param, where
+  the reply is trimmed to fit the 1 MiB frame bound.
+
+Ring evictions are counted both on the recorder (``evicted``) and in the
+metrics registry (``obs.recorder.evicted``), so the fleet scrape can tell
+"the ring wrapped" from "events were lost" (``obs.trace.dropped``).
+
+The recorder satisfies the sink protocol, so :func:`install` simply makes
+it *the* process sink; an optional ``forward`` sink lets it stack under a
+full capture (``--trace`` keeps working with the recorder installed —
+events land in both).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Optional
+
+from repro.obs import trace as obs_trace
+from repro.obs.registry import registry as obs_registry
+from repro.obs.trace import ALLOCATION_EVENT, NullSink, TraceEvent, TraceSink
+
+__all__ = [
+    "FlightRecorder",
+    "dump_recent",
+    "events_from_wire",
+    "get_recorder",
+    "install",
+    "uninstall",
+]
+
+DEFAULT_CAPACITY = 4096
+
+
+class FlightRecorder:
+    """A bounded, always-cheap ring of the most recent trace events."""
+
+    enabled = True
+
+    __slots__ = (
+        "capacity", "ring", "pushed", "forward", "metadata", "detail",
+        "_evicted_counter", "_evicted_synced",
+    )
+
+    def __init__(
+        self,
+        capacity: int = DEFAULT_CAPACITY,
+        forward: "TraceSink | NullSink | None" = None,
+        metadata: Optional[dict] = None,
+        detail: str = "light",
+    ) -> None:
+        if capacity < 1:
+            raise ValueError("flight recorder capacity must be >= 1")
+        self.capacity = capacity
+        self.ring: deque = deque(maxlen=capacity)
+        self.pushed = 0
+        self.forward = forward if forward is not None and getattr(forward, "enabled", False) else None
+        self.metadata = dict(metadata or {})
+        # Always-on by itself, the ring records decision-level events only
+        # (the ≤5% overhead budget); stacked under a full ``--trace``
+        # capture it must pass the micro-events through to the forward
+        # sink, so the pair runs at the forward sink's detail.
+        self.detail = (
+            getattr(self.forward, "detail", "full")
+            if self.forward is not None
+            else detail
+        )
+        self._evicted_counter = obs_registry().counter("obs.recorder.evicted")
+        self._evicted_synced = 0
+
+    # -- sink protocol (hot path: one tuple + deque append; the maxlen
+    # deque evicts the oldest record itself, so no bound check here) -------
+
+    def _push(self, rec: tuple) -> None:
+        self.pushed += 1
+        self.ring.append(rec)
+
+    @property
+    def evicted(self) -> int:
+        """Records the ring has discarded; reading syncs the registry's
+        ``obs.recorder.evicted`` counter (every read path — scrapes,
+        dumps, snapshots — comes through here, so the counter is fresh
+        wherever it is observed without taxing the per-event push)."""
+        n = self.pushed - len(self.ring)
+        behind = n - self._evicted_synced
+        if behind > 0:
+            self._evicted_counter.inc(behind)
+            self._evicted_synced = n
+        return n
+
+    def instant(self, name, ts, pid, tid, **args) -> None:
+        self._push((name, "i", ts, pid, tid, 0.0, args or None))
+        if self.forward is not None:
+            self.forward.instant(name, ts, pid, tid, **args)
+
+    def begin(self, name, ts, pid, tid, **args) -> None:
+        self._push((name, "B", ts, pid, tid, 0.0, args or None))
+        if self.forward is not None:
+            self.forward.begin(name, ts, pid, tid, **args)
+
+    def end(self, name, ts, pid, tid) -> None:
+        self._push((name, "E", ts, pid, tid, 0.0, None))
+        if self.forward is not None:
+            self.forward.end(name, ts, pid, tid)
+
+    def complete(self, name, ts, dur, pid, tid, **args) -> None:
+        self._push((name, "X", ts, pid, tid, dur, args or None))
+        if self.forward is not None:
+            self.forward.complete(name, ts, dur, pid, tid, **args)
+
+    def counter(self, name, ts, pid, tid, **values) -> None:
+        self._push((name, "C", ts, pid, tid, 0.0, values))
+        if self.forward is not None:
+            self.forward.counter(name, ts, pid, tid, **values)
+
+    def allocation(self, ts, snapshot) -> None:
+        self._push(
+            (ALLOCATION_EVENT, "i", ts, "scheduler", "allocation", 0.0,
+             {"allocation": dict(snapshot)})
+        )
+        if self.forward is not None:
+            self.forward.allocation(ts, snapshot)
+
+    # -- reads -------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self.ring)
+
+    def events(self, limit: Optional[int] = None) -> list:
+        """The newest ``limit`` events (oldest first) as :class:`TraceEvent`."""
+        records = list(self.ring)
+        if limit is not None and limit < len(records):
+            records = records[-limit:]
+        return [TraceEvent(*rec) for rec in records]
+
+    def serialize(self, limit: Optional[int] = None) -> list:
+        """JSON-safe event dicts for the ``metrics`` op's ``recent`` reply."""
+        out = []
+        for e in self.events(limit):
+            rec = {"name": e.name, "ph": e.ph, "ts": e.ts, "pid": e.pid, "tid": e.tid}
+            if e.dur:
+                rec["dur"] = e.dur
+            if e.args:
+                rec["args"] = e.args
+            out.append(rec)
+        return out
+
+    def snapshot_sink(self, limit: Optional[int] = None) -> TraceSink:
+        """A :class:`TraceSink` view of the ring (feeds the exporters)."""
+        sink = TraceSink(metadata=dict(self.metadata))
+        sink.events = self.events(limit)
+        sink.dropped = self.evicted
+        return sink
+
+    def dump(self, path: str, **metadata) -> int:
+        """Write the ring as a Perfetto-loadable Chrome trace; returns #events."""
+        from repro.obs.export import write_chrome_trace
+
+        sink = self.snapshot_sink()
+        sink.metadata.update(metadata)
+        sink.metadata.setdefault("flight_recorder", True)
+        sink.metadata.setdefault("ring_capacity", self.capacity)
+        write_chrome_trace(path, sink)
+        return len(sink.events)
+
+    def clear(self) -> None:
+        # Cleared records are not evictions: shrink ``pushed`` in step so
+        # the ``evicted`` arithmetic (and the registry counter) stand.
+        self.pushed -= len(self.ring)
+        self.ring.clear()
+
+
+def events_from_wire(records: list, metadata: Optional[dict] = None) -> TraceSink:
+    """Rebuild a sink from :meth:`FlightRecorder.serialize` wire dicts."""
+    sink = TraceSink(metadata=dict(metadata or {}))
+    for rec in records:
+        sink.events.append(
+            TraceEvent(
+                rec.get("name", "?"), rec.get("ph", "i"), rec.get("ts", 0.0),
+                rec.get("pid", "?"), rec.get("tid", "?"),
+                rec.get("dur", 0.0), rec.get("args"),
+            )
+        )
+    return sink
+
+
+# -- process-wide recorder management ---------------------------------------
+
+_RECORDER: Optional[FlightRecorder] = None
+
+
+def install(
+    capacity: int = DEFAULT_CAPACITY,
+    forward: "TraceSink | NullSink | None" = None,
+    metadata: Optional[dict] = None,
+    detail: str = "light",
+) -> FlightRecorder:
+    """Create a recorder and make it the process trace sink.
+
+    ``forward`` stacks an existing recording sink underneath, so a full
+    ``--trace`` capture and the flight recorder can run together.
+    """
+    global _RECORDER
+    recorder = FlightRecorder(
+        capacity, forward=forward, metadata=metadata, detail=detail
+    )
+    _RECORDER = recorder
+    obs_trace.set_sink(recorder)
+    return recorder
+
+
+def uninstall() -> None:
+    """Remove the installed recorder, restoring its forward sink (if any)."""
+    global _RECORDER
+    if _RECORDER is None:
+        return
+    obs_trace.set_sink(_RECORDER.forward)
+    _RECORDER = None
+
+
+def get_recorder() -> Optional[FlightRecorder]:
+    """The process's installed flight recorder, if :func:`install` ran."""
+    return _RECORDER
+
+
+def dump_recent(path: str, **metadata) -> int:
+    """Dump the installed recorder (0 events written when none installed)."""
+    recorder = get_recorder()
+    if recorder is None:
+        return 0
+    return recorder.dump(path, **metadata)

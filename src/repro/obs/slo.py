@@ -1,0 +1,293 @@
+"""Declarative SLO targets with sliding-window burn-rate alerting.
+
+An :class:`SLOTarget` says "for metric M, at least ``objective`` of
+observations must be good (``value <= threshold``)".  The
+:class:`SLOTracker` scores every recorded observation into per-window
+good/bad tallies and derives the SRE-style **burn rate** per window::
+
+    burn = bad_fraction / error_budget        (error_budget = 1 - objective)
+
+A burn rate of 1.0 means the error budget is being consumed exactly as
+fast as the objective allows; 2.0 means twice as fast.  Alerts use the
+classic multi-window AND: a target is *burning* only when **every**
+configured window exceeds ``alert_burn`` — the short window proves the
+problem is current, the long window proves it is not a blip.  Alert
+transitions surface three ways so both dashboards and traces see them:
+
+* gauges ``slo.<name>.burn.<N>s`` (one per window), ``slo.<name>.good_ratio``
+  and ``slo.<name>.burning`` in the metrics registry;
+* a counter ``slo.alerts.fired``;
+* trace instants ``slo.alert`` / ``slo.ok`` on the ``slo`` track (when
+  tracing is enabled).
+
+Windows are time-bucketed rings (1-second slices by default), so
+recording is O(1) and evaluation touches at most
+``window / slice`` buckets.  The tracker takes an explicit clock for
+determinism in tests; the serving daemon feeds it wall time.
+
+Config format (``repro serve --slo targets.json``)::
+
+    [{"name": "launch-wall-p99", "metric": "serve.latency.launch",
+      "threshold_ms": 250, "objective": 0.99,
+      "windows_s": [30, 120], "alert_burn": 2.0}, ...]
+
+``threshold`` (seconds) is accepted in place of ``threshold_ms``.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Iterable, Optional
+
+from repro.obs import trace as obs_trace
+from repro.obs.registry import MetricsRegistry, registry as obs_registry
+
+__all__ = [
+    "DEFAULT_TARGETS",
+    "SLOTarget",
+    "SLOTracker",
+    "load_slo_config",
+]
+
+
+@dataclass(frozen=True)
+class SLOTarget:
+    """One service-level objective over a single metric."""
+
+    name: str
+    #: Metric name whose observations are scored (e.g. ``serve.latency.launch``).
+    metric: str
+    #: Good/bad cut: an observation is *good* when ``value <= threshold``.
+    threshold: float
+    #: Required good fraction (0 < objective < 1).
+    objective: float = 0.99
+    #: Sliding windows in seconds, shortest first; the alert fires only
+    #: when every window burns.
+    windows: tuple = (30.0, 120.0)
+    #: Burn-rate multiple that counts as burning.
+    alert_burn: float = 2.0
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.objective < 1.0:
+            raise ValueError(f"objective must be in (0, 1), got {self.objective}")
+        if not self.windows:
+            raise ValueError("at least one window required")
+        object.__setattr__(self, "windows", tuple(sorted(float(w) for w in self.windows)))
+
+    @property
+    def error_budget(self) -> float:
+        return 1.0 - self.objective
+
+
+#: Targets the serving daemon tracks when no ``--slo`` config is given.
+DEFAULT_TARGETS = (
+    SLOTarget(
+        name="launch-wall-p99",
+        metric="serve.latency.launch",
+        threshold=0.250,
+        objective=0.99,
+        windows=(30.0, 120.0),
+    ),
+    SLOTarget(
+        name="launch-sim-p95",
+        metric="serve.sim_latency.launch",
+        threshold=0.500,
+        objective=0.95,
+        windows=(30.0, 120.0),
+    ),
+)
+
+
+def load_slo_config(source) -> tuple:
+    """Parse SLO targets from a JSON path, JSON text, or parsed list."""
+    if isinstance(source, str):
+        text = source
+        if not source.lstrip().startswith(("[", "{")):
+            with open(source) as fh:
+                text = fh.read()
+        data = json.loads(text)
+    else:
+        data = source
+    if not isinstance(data, list):
+        raise ValueError("SLO config must be a JSON array of target objects")
+    targets = []
+    for i, item in enumerate(data):
+        if not isinstance(item, dict):
+            raise ValueError(f"SLO target {i} must be an object")
+        if "threshold_ms" in item:
+            threshold = float(item["threshold_ms"]) / 1000.0
+        elif "threshold" in item:
+            threshold = float(item["threshold"])
+        else:
+            raise ValueError(f"SLO target {i} needs threshold or threshold_ms")
+        targets.append(
+            SLOTarget(
+                name=str(item.get("name") or f"slo-{i}"),
+                metric=str(item["metric"]),
+                threshold=threshold,
+                objective=float(item.get("objective", 0.99)),
+                windows=tuple(item.get("windows_s", (30.0, 120.0))),
+                alert_burn=float(item.get("alert_burn", 2.0)),
+            )
+        )
+    return tuple(targets)
+
+
+class _WindowRing:
+    """Good/bad tallies in fixed time slices covering the longest window."""
+
+    __slots__ = ("slice_w", "max_slices", "slices")
+
+    def __init__(self, max_window: float, slice_w: float = 1.0) -> None:
+        self.slice_w = slice_w
+        self.max_slices = max(1, math.ceil(max_window / slice_w)) + 1
+        # [slice_index, good, bad], newest last; bounded by max_slices.
+        self.slices: list[list] = []
+
+    def add(self, now: float, good: bool) -> None:
+        idx = int(now / self.slice_w)
+        slices = self.slices
+        if slices and slices[-1][0] == idx:
+            row = slices[-1]
+        elif slices and slices[-1][0] > idx:
+            row = slices[-1]  # clock went backwards; fold into newest
+        else:
+            row = [idx, 0, 0]
+            slices.append(row)
+            if len(slices) > self.max_slices:
+                del slices[: len(slices) - self.max_slices]
+        if good:
+            row[1] += 1
+        else:
+            row[2] += 1
+
+    def totals(self, window: float, now: float) -> tuple:
+        """(good, bad) within the trailing ``window`` seconds."""
+        cutoff = int((now - window) / self.slice_w)
+        good = bad = 0
+        for idx, g, b in reversed(self.slices):
+            if idx <= cutoff:
+                break
+            good += g
+            bad += b
+        return good, bad
+
+
+@dataclass
+class _TargetState:
+    target: SLOTarget
+    ring: _WindowRing
+    burning: bool = False
+    burn_rates: dict = field(default_factory=dict)
+    good_ratio: float = 1.0
+
+
+class SLOTracker:
+    """Score observations against SLO targets and keep burn gauges fresh."""
+
+    def __init__(
+        self,
+        targets: Iterable[SLOTarget] = DEFAULT_TARGETS,
+        registry: Optional[MetricsRegistry] = None,
+        clock: Callable[[], float] = time.time,
+        eval_interval: float = 0.25,
+    ) -> None:
+        self.registry = registry if registry is not None else obs_registry()
+        self.clock = clock
+        self.eval_interval = eval_interval
+        self._states: list[_TargetState] = []
+        self._by_metric: dict[str, list[_TargetState]] = {}
+        self._alerts = self.registry.counter("slo.alerts.fired")
+        self._last_eval = -math.inf
+        for target in targets:
+            state = _TargetState(target, _WindowRing(max(target.windows)))
+            self._states.append(state)
+            self._by_metric.setdefault(target.metric, []).append(state)
+            for w in target.windows:
+                self.registry.gauge(f"slo.{target.name}.burn.{w:g}s")
+            self.registry.gauge(f"slo.{target.name}.good_ratio").set(1.0)
+            self.registry.gauge(f"slo.{target.name}.burning")
+
+    @property
+    def targets(self) -> list[SLOTarget]:
+        return [s.target for s in self._states]
+
+    @property
+    def metrics(self) -> frozenset:
+        return frozenset(self._by_metric)
+
+    def record(self, metric: str, value: float, now: Optional[float] = None) -> None:
+        """Score one observation; cheap no-op for untracked metrics."""
+        states = self._by_metric.get(metric)
+        if not states:
+            return
+        if now is None:
+            now = self.clock()
+        for state in states:
+            state.ring.add(now, value <= state.target.threshold)
+        if now - self._last_eval >= self.eval_interval:
+            self.evaluate(now)
+
+    def evaluate(self, now: Optional[float] = None) -> list[dict]:
+        """Recompute burn rates, update gauges, fire/clear alerts."""
+        if now is None:
+            now = self.clock()
+        self._last_eval = now
+        rows = []
+        for state in self._states:
+            target = state.target
+            burns = {}
+            worst_ratio = 1.0
+            all_burning = True
+            for w in target.windows:
+                good, bad = state.ring.totals(w, now)
+                total = good + bad
+                ratio = good / total if total else 1.0
+                worst_ratio = min(worst_ratio, ratio)
+                burn = ((1.0 - ratio) / target.error_budget) if total else 0.0
+                burns[w] = burn
+                if burn < target.alert_burn:
+                    all_burning = False
+                self.registry.gauge(f"slo.{target.name}.burn.{w:g}s").set(burn)
+            state.burn_rates = burns
+            state.good_ratio = worst_ratio
+            self.registry.gauge(f"slo.{target.name}.good_ratio").set(worst_ratio)
+            self.registry.gauge(f"slo.{target.name}.burning").set(
+                1.0 if all_burning else 0.0
+            )
+            if all_burning and not state.burning:
+                self._alerts.inc()
+                if obs_trace.ENABLED:
+                    obs_trace.instant(
+                        "slo.alert", now, "slo", target.name,
+                        metric=target.metric,
+                        burn=max(burns.values()),
+                        objective=target.objective,
+                    )
+            elif state.burning and not all_burning and obs_trace.ENABLED:
+                obs_trace.instant(
+                    "slo.ok", now, "slo", target.name, metric=target.metric
+                )
+            state.burning = all_burning
+            rows.append(
+                {
+                    "name": target.name,
+                    "metric": target.metric,
+                    "threshold": target.threshold,
+                    "objective": target.objective,
+                    "burning": all_burning,
+                    "good_ratio": worst_ratio,
+                    "burn": {f"{w:g}s": b for w, b in burns.items()},
+                }
+            )
+        return rows
+
+    def snapshot(self, now: Optional[float] = None) -> dict:
+        """The ``metrics`` op's ``slo`` block: fresh evaluation of each target."""
+        return {
+            "targets": self.evaluate(now),
+            "alerts_fired": self._alerts.value,
+        }

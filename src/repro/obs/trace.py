@@ -36,6 +36,16 @@ so the disabled path is one module-attribute load and a branch — no kwargs
 dict, no event object, no call into the sink.  Golden results and the
 committed BENCH numbers are unaffected when tracing is off (the default).
 
+A second flag, :data:`DETAILED`, gates the *high-frequency micro-events*
+(per-epoch device instants, per-decision SM-allocation snapshots) that
+fire several times per launch.  A full ``--trace`` capture wants them; the
+always-on flight recorder does not — its job is the decision-level tail,
+and paying dict-building cost on every engine epoch would blow the ≤5%
+overhead budget.  Sinks declare their appetite via a ``detail`` attribute
+(``"full"`` or ``"light"``); :func:`set_sink` derives ``DETAILED`` from
+it.  Guard hot micro-events with ``if obs_trace.DETAILED:`` and
+decision-level events with ``if obs_trace.ENABLED:``.
+
 Use :func:`capture` to install a recording sink for a ``with`` block, or
 :func:`set_sink` to manage it manually.
 """
@@ -47,6 +57,7 @@ from dataclasses import dataclass, field
 from typing import Any, Iterator, Optional
 
 __all__ = [
+    "DETAILED",
     "ENABLED",
     "NULL_SINK",
     "EnvTracerAdapter",
@@ -88,6 +99,7 @@ class NullSink:
     """The disabled sink: records nothing, allocates nothing."""
 
     enabled = False
+    detail = "off"
     __slots__ = ()
 
     def instant(self, name, ts, pid, tid, **args) -> None:
@@ -131,6 +143,8 @@ class TraceSink:
     """
 
     enabled = True
+    #: A recording sink wants everything, micro-events included.
+    detail = "full"
 
     limit: Optional[int] = None
     metadata: dict = field(default_factory=dict)
@@ -146,6 +160,11 @@ class TraceSink:
             cut = max(1, len(events) // 2)
             del events[0:cut]
             self.dropped += cut
+            # Mirror into the registry so a fleet scrape sees trace-loss
+            # without reading the sink (rare branch; cost is off hot path).
+            from repro.obs.registry import registry as _registry
+
+            _registry().counter("obs.trace.dropped").inc(cut)
         events.append(event)
 
     def instant(self, name: str, ts: float, pid: str, tid, **args) -> None:
@@ -206,12 +225,27 @@ _sink: "TraceSink | NullSink" = NULL_SINK
 #: guards on this so the disabled path never builds kwargs or calls out.
 ENABLED = False
 
+#: High-frequency micro-events (see the module docstring's contract) emit
+#: only when the installed sink declares ``detail == "full"``.
+DETAILED = False
+
 
 def set_sink(sink: "TraceSink | NullSink | None") -> None:
     """Install ``sink`` process-wide (``None`` restores the null sink)."""
-    global _sink, ENABLED
+    global _sink, ENABLED, DETAILED
+    global instant, begin, end, complete, counter, allocation
     _sink = sink if sink is not None else NULL_SINK
     ENABLED = bool(getattr(_sink, "enabled", False))
+    DETAILED = ENABLED and getattr(_sink, "detail", "full") == "full"
+    instant = _sink.instant
+    begin = _sink.begin
+    end = _sink.end
+    complete = _sink.complete
+    counter = _sink.counter
+    allocation = _sink.allocation
+
+
+set_sink(None)  # bind the emit helpers to the null sink at import
 
 
 def get_sink() -> "TraceSink | NullSink":
@@ -237,30 +271,16 @@ def capture(
         set_sink(previous)
 
 
-# -- module-level emit helpers (forward to the installed sink) --------------
-
-def instant(name: str, ts: float, pid: str, tid, **args) -> None:
-    _sink.instant(name, ts, pid, tid, **args)
-
-
-def begin(name: str, ts: float, pid: str, tid, **args) -> None:
-    _sink.begin(name, ts, pid, tid, **args)
-
-
-def end(name: str, ts: float, pid: str, tid) -> None:
-    _sink.end(name, ts, pid, tid)
-
-
-def complete(name: str, ts: float, dur: float, pid: str, tid, **args) -> None:
-    _sink.complete(name, ts, dur, pid, tid, **args)
-
-
-def counter(name: str, ts: float, pid: str, tid, **values) -> None:
-    _sink.counter(name, ts, pid, tid, **values)
-
-
-def allocation(ts: float, snapshot: dict) -> None:
-    _sink.allocation(ts, snapshot)
+# -- module-level emit helpers ----------------------------------------------
+#
+# ``instant``/``begin``/``end``/``complete``/``counter``/``allocation`` are
+# rebound by :func:`set_sink` to the installed sink's *bound methods*, so a
+# guarded emit is one module-attribute load plus a direct method call — no
+# wrapper frame and no second ``**kwargs`` repack.  At several events per
+# launch that indirection is what separates the always-on flight recorder
+# from the ≤5% overhead budget.  Always call these as ``obs_trace.instant``
+# (module attribute); a ``from ... import instant`` would freeze the
+# binding to whichever sink was installed at import time.
 
 
 @contextmanager

@@ -17,9 +17,15 @@ will load cleanly in Perfetto / ``chrome://tracing``.
 from __future__ import annotations
 
 import json
+import re
 from typing import Any
 
-__all__ = ["validate_chrome_trace", "validate_file"]
+__all__ = [
+    "validate_chrome_trace",
+    "validate_file",
+    "validate_prometheus",
+    "validate_prometheus_file",
+]
 
 _REQUIRED = ("ph", "ts", "pid", "tid")
 
@@ -75,3 +81,124 @@ def validate_file(path) -> list[str]:
     except (OSError, json.JSONDecodeError) as exc:
         return [f"cannot load {path}: {exc}"]
     return validate_chrome_trace(payload)
+
+
+# -- Prometheus text exposition ----------------------------------------------
+
+_PROM_NAME = r"[a-zA-Z_:][a-zA-Z0-9_:]*"
+_PROM_SAMPLE = re.compile(
+    rf"^(?P<name>{_PROM_NAME})"
+    r"(?:\{(?P<labels>[^{}]*)\})?"
+    r"\s+(?P<value>[^\s]+)"
+    r"(?:\s+(?P<ts>-?\d+))?$"
+)
+_PROM_TYPES = frozenset({"counter", "gauge", "histogram", "summary", "untyped"})
+
+
+def _parse_prom_value(raw: str) -> float:
+    if raw == "+Inf":
+        return float("inf")
+    if raw == "-Inf":
+        return float("-inf")
+    if raw == "NaN":
+        return float("nan")
+    return float(raw)
+
+
+def validate_prometheus(text: str) -> list[str]:
+    """Check a Prometheus text exposition; returns problems (empty = valid).
+
+    Enforces the format rules a scraper relies on: sample lines match the
+    exposition grammar with parseable values, ``# TYPE`` declares a known
+    type at most once per family and before its samples, no duplicate
+    ``name{labels}`` series, and for every histogram family the
+    ``_bucket`` series are cumulative (non-decreasing in ``le``), include
+    ``le="+Inf"``, and agree with ``_count``.
+    """
+    problems: list[str] = []
+    types: dict[str, str] = {}
+    seen_series: set[str] = set()
+    # histogram family -> list of (le, cumulative_count); plus _count values
+    hist_buckets: dict[str, list[tuple[float, float]]] = {}
+    hist_counts: dict[str, float] = {}
+
+    def family_of(name: str) -> str:
+        for suffix in ("_bucket", "_sum", "_count"):
+            if name.endswith(suffix) and name[: -len(suffix)] in types:
+                return name[: -len(suffix)]
+        return name
+
+    for lineno, line in enumerate(text.splitlines(), start=1):
+        if not line.strip():
+            continue
+        if line.startswith("#"):
+            parts = line.split(None, 3)
+            if len(parts) >= 2 and parts[1] == "TYPE":
+                if len(parts) < 4:
+                    problems.append(f"line {lineno}: malformed TYPE comment")
+                    continue
+                name, kind = parts[2], parts[3].strip()
+                if not re.fullmatch(_PROM_NAME, name):
+                    problems.append(f"line {lineno}: bad metric name {name!r}")
+                if kind not in _PROM_TYPES:
+                    problems.append(f"line {lineno}: unknown type {kind!r}")
+                if name in types:
+                    problems.append(f"line {lineno}: duplicate TYPE for {name}")
+                types[name] = kind
+            continue
+        m = _PROM_SAMPLE.match(line)
+        if not m:
+            problems.append(f"line {lineno}: unparseable sample {line!r}")
+            continue
+        name, labels, raw_value = m.group("name"), m.group("labels"), m.group("value")
+        try:
+            value = _parse_prom_value(raw_value)
+        except ValueError:
+            problems.append(f"line {lineno}: unparseable value {raw_value!r}")
+            continue
+        series = f"{name}{{{labels or ''}}}"
+        if series in seen_series:
+            problems.append(f"line {lineno}: duplicate series {series}")
+        seen_series.add(series)
+        family = family_of(name)
+        if family not in types and name not in types:
+            problems.append(f"line {lineno}: sample {name} has no preceding TYPE")
+        if types.get(family) == "histogram":
+            if name.endswith("_bucket"):
+                le_match = re.search(r'le="([^"]*)"', labels or "")
+                if not le_match:
+                    problems.append(f"line {lineno}: histogram bucket without le label")
+                    continue
+                try:
+                    le = _parse_prom_value(le_match.group(1))
+                except ValueError:
+                    problems.append(f"line {lineno}: unparseable le {le_match.group(1)!r}")
+                    continue
+                hist_buckets.setdefault(family, []).append((le, value))
+            elif name.endswith("_count"):
+                hist_counts[family] = value
+
+    for family, buckets in sorted(hist_buckets.items()):
+        les = [le for le, _ in buckets]
+        if les != sorted(les):
+            problems.append(f"histogram {family}: le bounds not sorted")
+        counts = [c for _, c in buckets]
+        if any(b < a for a, b in zip(counts, counts[1:])):
+            problems.append(f"histogram {family}: bucket counts not cumulative")
+        if not les or les[-1] != float("inf"):
+            problems.append(f"histogram {family}: missing le=\"+Inf\" bucket")
+        elif family in hist_counts and counts[-1] != hist_counts[family]:
+            problems.append(
+                f"histogram {family}: +Inf bucket {counts[-1]:g} != _count {hist_counts[family]:g}"
+            )
+    return problems
+
+
+def validate_prometheus_file(path) -> list[str]:
+    """Read ``path`` and run :func:`validate_prometheus` on it."""
+    try:
+        with open(path) as fh:
+            text = fh.read()
+    except OSError as exc:
+        return [f"cannot load {path}: {exc}"]
+    return validate_prometheus(text)

@@ -49,7 +49,8 @@ class LaunchReply:
     """One completed launch as seen by the client."""
 
     kernel: str
-    #: Wall-clock request latency (send -> reply), seconds.
+    #: Wall-clock request latency (send -> reply), seconds.  Excludes
+    #: backoff sleeps: it times only the attempt that was admitted.
     latency: float
     #: Simulated timestamps from the daemon's DES clock.
     sim_submitted: float
@@ -62,6 +63,9 @@ class LaunchReply:
     preemptions: int = 0
     #: Busy/backpressure retries spent before this launch was admitted.
     retries: int = 0
+    #: Wall-clock latency including every backoff sleep and retried
+    #: attempt (first send -> final reply) — what the *user* waited.
+    total_latency: float = 0.0
 
     @property
     def sim_latency(self) -> float:
@@ -247,6 +251,7 @@ class SlateClient:
         if deadline is not None:
             params["deadline"] = deadline
         retries = 0
+        t_first = time.perf_counter()
         while True:
             t0 = time.perf_counter()
             try:
@@ -259,9 +264,10 @@ class SlateClient:
                 )
                 retries += 1
                 continue
+            now = time.perf_counter()
             return LaunchReply(
                 kernel=result["kernel"],
-                latency=time.perf_counter() - t0,
+                latency=now - t0,
                 sim_submitted=result["sim_submitted"],
                 sim_finished=result["sim_finished"],
                 sim_started=result.get("sim_started"),
@@ -270,6 +276,7 @@ class SlateClient:
                 priority=result.get("priority", 0),
                 preemptions=result.get("preemptions", 0),
                 retries=retries,
+                total_latency=now - t_first,
             )
 
     def _backoff_delay(
@@ -292,3 +299,13 @@ class SlateClient:
     def stats(self) -> dict:
         """Server + session statistics snapshot."""
         return self._call("stats")
+
+    def metrics(self, recent: Optional[int] = None) -> dict:
+        """Aggregated fleet metrics (v2 ``metrics`` op).
+
+        ``recent`` > 0 additionally asks for the last N flight-recorder
+        events (capped server-side).  Against a sharded daemon this is the
+        already-merged fleet view.
+        """
+        params = {} if recent is None else {"recent": recent}
+        return self._call("metrics", **params)

@@ -40,6 +40,7 @@ from __future__ import annotations
 import json
 import multiprocessing
 import random
+import socket
 import time
 from collections import Counter
 from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
@@ -47,12 +48,15 @@ from dataclasses import asdict, dataclass, field
 from typing import Optional
 
 from repro.kernels.registry import by_name
+from repro.obs.registry import Histogram
 from repro.serve.client import SlateClient
+from repro.serve.protocol import MessageStream, request
 
 __all__ = [
     "DEFAULT_MIX",
     "LoadGenConfig",
     "LoadGenReport",
+    "fetch_server_metrics",
     "parse_mix",
     "percentile",
     "plan_client",
@@ -94,6 +98,56 @@ def percentile(values: list[float], q: float) -> float:
     hi = min(lo + 1, len(ordered) - 1)
     frac = rank - lo
     return ordered[lo] * (1.0 - frac) + ordered[hi] * frac
+
+
+def fetch_server_metrics(
+    socket_path: str,
+    timeout: float = 5.0,
+    recent: Optional[int] = None,
+    fresh: bool = False,
+) -> Optional[dict]:
+    """Scrape the daemon's aggregated ``metrics`` view (session-less).
+
+    Opens a bare connection and issues the v2 ``metrics`` op without a
+    ``hello`` — no session slot is consumed, so this works even against a
+    daemon at its session limit.  ``fresh`` asks a ``--shard-procs``
+    router to re-scrape its shard daemons inline instead of answering
+    from the (up to one poll interval stale) cache — the right call for
+    read-after-burst cross-checks.  Failure-tolerant by design: any error
+    (old server, daemon already gone, timeout) returns ``None`` rather
+    than failing the load-generation run that wants to attach the scrape.
+    """
+    sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+    try:
+        sock.settimeout(timeout)
+        sock.connect(socket_path)
+        stream = MessageStream(sock)
+        params: dict = {} if recent is None else {"recent": recent}
+        if fresh:
+            params["fresh"] = True
+        stream.send(request(1, "metrics", **params))
+        reply = stream.recv()
+        if reply.get("ok"):
+            return reply.get("result") or {}
+        return None
+    except Exception:
+        return None
+    finally:
+        try:
+            sock.close()
+        except OSError:
+            pass
+
+
+def _histogram_quantiles(metrics: Optional[dict], name: str) -> dict:
+    """p50/p99 (+count) of one server-side histogram from a metrics scrape."""
+    if not metrics:
+        return {}
+    state = (metrics.get("registry") or {}).get("histograms", {}).get(name)
+    if not state or not state.get("count"):
+        return {}
+    h = Histogram.from_state(name, state)
+    return {"count": h.count, "p50": h.quantile(0.50), "p99": h.quantile(0.99)}
 
 
 @dataclass(frozen=True)
@@ -290,6 +344,19 @@ class LoadGenReport:
     sim_latency_p99: float = 0.0
     #: Per-shard breakdown: completed counts, sim span, sim rate.
     shards: dict = field(default_factory=dict)
+    #: Server-side cross-check, derived from the daemon's own bucketed
+    #: latency histograms via a post-run ``metrics`` scrape.  Recorded
+    #: next to the client-side percentiles so e2e tests can assert the
+    #: two views agree within bucket resolution.  ``None`` when the
+    #: scrape failed (pre-v2 server, daemon already gone).
+    server_sim_latency_p50: Optional[float] = None
+    server_sim_latency_p99: Optional[float] = None
+    server_latency_p99: Optional[float] = None
+    #: Launches the server's sim-latency histogram counted (includes
+    #: warmup requests; equals ``completed`` when ``warmup == 0``).
+    server_launch_count: Optional[int] = None
+    #: The full metrics scrape (merged fleet registry + per-shard rows).
+    server_metrics: Optional[dict] = None
 
     def to_dict(self) -> dict:
         body = asdict(self)
@@ -298,6 +365,14 @@ class LoadGenReport:
         for client in body["per_client"]:
             client["latencies"] = len(client["latencies"])
             client["sim_latencies"] = len(client["sim_latencies"])
+        # The per-shard registries inside the scrape duplicate the merged
+        # fleet registry; elide them (asdict deep-copied, so the live
+        # report object keeps the full scrape).
+        scrape = body.get("server_metrics")
+        if scrape:
+            for shard in (scrape.get("shards") or {}).values():
+                if isinstance(shard, dict) and shard.get("registry"):
+                    shard["registry"] = "<elided>"
         return body
 
     def to_json(self, indent: int = 2) -> str:
@@ -318,6 +393,15 @@ class LoadGenReport:
             f"  simulated: {self.sim_requests_per_s:.1f} req/s aggregate "
             f"across {len(self.shards) or 1} shard(s), "
             f"sim latency p50 {self.sim_latency_p50 * 1e3:.3f} ms",
+        ]
+        if self.server_sim_latency_p99 is not None:
+            lines.append(
+                f"  server-side: sim latency p50 "
+                f"{(self.server_sim_latency_p50 or 0.0) * 1e3:.3f} ms, "
+                f"p99 {self.server_sim_latency_p99 * 1e3:.3f} ms over "
+                f"{self.server_launch_count} launch(es)"
+            )
+        lines += [
             "  kernels: "
             + ", ".join(f"{k}:{n}" for k, n in sorted(self.kernels.items())),
         ]
@@ -396,6 +480,11 @@ def run_loadgen(cfg: LoadGenConfig) -> LoadGenReport:
             "sim_span": span,
             "sim_requests_per_s": rate,
         }
+    # Post-run server-side cross-check (failure-tolerant: None on any
+    # error, never fails the run — see fetch_server_metrics).
+    server_metrics = fetch_server_metrics(cfg.socket_path, fresh=True)
+    sim_q = _histogram_quantiles(server_metrics, "serve.sim_latency.launch")
+    wall_q = _histogram_quantiles(server_metrics, "serve.latency.launch")
     return LoadGenReport(
         clients=cfg.clients,
         mode=cfg.mode,
@@ -423,4 +512,9 @@ def run_loadgen(cfg: LoadGenConfig) -> LoadGenReport:
         sim_latency_p50=percentile(sim_latencies, 50),
         sim_latency_p99=percentile(sim_latencies, 99),
         shards=shards_out,
+        server_sim_latency_p50=sim_q.get("p50"),
+        server_sim_latency_p99=sim_q.get("p99"),
+        server_latency_p99=wall_q.get("p99"),
+        server_launch_count=sim_q.get("count"),
+        server_metrics=server_metrics,
     )

@@ -42,6 +42,15 @@ reply keys):
   is ``null`` on a session-less stats call.
 * A new typed backpressure error, ``ShardDraining``, reports placement
   against a draining shard.
+* ``metrics`` — a session-less telemetry scrape on the same channel as
+  the session-less ``stats``.  The reply carries the answering process's
+  full ``MetricsRegistry.export_state()`` (mergeable log-bucket
+  histograms included), its wall and simulation clocks, and — from a
+  router — the aggregated fleet view with per-shard skew.  Optional
+  params: ``recent: N`` asks for the last N flight-recorder events
+  (trimmed server-side to fit :data:`MAX_FRAME`).  The op is additive:
+  v1 servers reject it as ``UnknownOperation`` and clients degrade
+  gracefully.
 
 Typed errors
 ------------
@@ -106,7 +115,9 @@ SUPPORTED_VERSIONS = frozenset({1, 2})
 MAX_FRAME = 1 << 20
 
 #: Operations the daemon understands (see ``docs/serving.md``).
-OPS = frozenset({"hello", "register", "launch", "sync", "stats", "ping", "bye"})
+OPS = frozenset(
+    {"hello", "register", "launch", "sync", "stats", "metrics", "ping", "bye"}
+)
 
 _LEN = struct.Struct("!I")
 

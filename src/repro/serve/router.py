@@ -349,12 +349,36 @@ class InLoopShard:
             "sim_pending": self.driver.pending,
             "sim_errors": self.driver.sim_errors,
             "scheduler": self.cluster.scheduler_stats(),
+            "occupancy": self.cluster.occupancy(),
         }
 
 
 def _shard_process_main(config, trace_path: Optional[str]) -> None:
-    """Entry point of a shard daemon process (``--shard-procs``)."""
+    """Entry point of a shard daemon process (``--shard-procs``).
+
+    Observability mirrors the top-level ``repro serve`` runner: an
+    always-on flight recorder (unless ``config.flight_recorder == 0``)
+    stacked over the optional full-capture sink, with the ring dumped to
+    ``<shard socket>.flight.json`` on crash or ``SIGUSR1``.
+    """
     server_module = __import__("repro.serve.server", fromlist=["SlateServer"])
+
+    from repro.obs import recorder as obs_recorder
+    from repro.obs import trace as obs_trace
+    from repro.obs.export import run_metadata, write_chrome_trace
+
+    meta = run_metadata(command="serve-shard", socket=config.socket_path)
+    sink = obs_trace.TraceSink(metadata=meta) if trace_path else None
+    capacity = getattr(config, "flight_recorder", 0)
+    recorder = None
+    dump_path = None
+    if capacity and capacity > 0:
+        recorder = obs_recorder.install(capacity, forward=sink, metadata=meta)
+        dump_path = getattr(config, "flight_dump", None) or (
+            f"{config.socket_path}.flight.json"
+        )
+    elif sink is not None:
+        obs_trace.set_sink(sink)
 
     async def body(server) -> None:
         loop = asyncio.get_running_loop()
@@ -363,19 +387,32 @@ def _shard_process_main(config, trace_path: Optional[str]) -> None:
                 loop.add_signal_handler(sig, server.request_stop)
             except NotImplementedError:  # pragma: no cover - non-POSIX
                 pass
+        if recorder is not None:
+            try:
+                loop.add_signal_handler(
+                    signal.SIGUSR1,
+                    lambda: recorder.dump(dump_path, reason="SIGUSR1"),
+                )
+            except NotImplementedError:  # pragma: no cover - non-POSIX
+                pass
         await server.serve_forever()
 
     server = server_module.SlateServer(config)
-    if trace_path:
-        from repro.obs import trace as obs_trace
-        from repro.obs.export import run_metadata, write_chrome_trace
-
-        meta = run_metadata(command="serve-shard", socket=config.socket_path)
-        with obs_trace.capture(metadata=meta) as sink:
-            asyncio.run(body(server))
-        write_chrome_trace(trace_path, sink)
-    else:
+    try:
         asyncio.run(body(server))
+    except BaseException:
+        if recorder is not None:
+            try:
+                recorder.dump(dump_path, reason="crash")
+            except Exception:  # pragma: no cover - dump must not mask the crash
+                pass
+        raise
+    finally:
+        if recorder is not None:
+            obs_recorder.uninstall()
+        obs_trace.set_sink(None)
+    if sink is not None:
+        write_chrome_trace(trace_path, sink)
 
 
 class ShardProcess:
@@ -438,8 +475,8 @@ class ShardProcess:
                 proc.join(5.0)
         self._process = None
 
-    async def fetch_stats(self, timeout: float = 5.0) -> Optional[dict]:
-        """Session-less ``stats`` round trip to the shard daemon."""
+    async def _roundtrip(self, op: str, timeout: float, **params) -> Optional[dict]:
+        """One session-less request to the shard daemon; ``result`` or None."""
         try:
             reader, writer = await asyncio.wait_for(
                 asyncio.open_unix_connection(self.socket_path), timeout
@@ -447,7 +484,7 @@ class ShardProcess:
         except (OSError, asyncio.TimeoutError):
             return None
         try:
-            writer.write(protocol.encode_frame(protocol.request(0, "stats")))
+            writer.write(protocol.encode_frame(protocol.request(0, op, **params)))
             await writer.drain()
             decoder = protocol.FrameDecoder()
             while True:
@@ -459,7 +496,7 @@ class ShardProcess:
                     reply = messages[0]
                     if not reply.get("ok"):
                         return None
-                    return (reply.get("result") or {}).get("server")
+                    return reply.get("result") or {}
         except (OSError, asyncio.TimeoutError, protocol.FrameError):
             return None
         finally:
@@ -468,3 +505,15 @@ class ShardProcess:
                 await writer.wait_closed()
             except Exception:
                 pass
+
+    async def fetch_stats(self, timeout: float = 5.0) -> Optional[dict]:
+        """Session-less ``stats`` round trip to the shard daemon."""
+        result = await self._roundtrip("stats", timeout)
+        if result is None:
+            return None
+        return result.get("server")
+
+    async def fetch_metrics(self, timeout: float = 5.0) -> Optional[dict]:
+        """Session-less ``metrics`` scrape: the shard's registry export
+        plus its wall/sim clocks (the router's fleet-merge input)."""
+        return await self._roundtrip("metrics", timeout)

@@ -67,7 +67,10 @@ from typing import Generator, Optional
 from repro.kernels.kernel import KernelSpec
 from repro.kernels.registry import SHORT_NAMES, by_name
 from repro.obs import trace as obs_trace
+from repro.obs.aggregate import ShardScrape, aggregate_fleet
+from repro.obs.recorder import get_recorder
 from repro.obs.registry import registry as obs_registry
+from repro.obs.slo import DEFAULT_TARGETS, SLOTracker, load_slo_config
 from repro.serve import protocol
 from repro.serve.protocol import (
     PROTOCOL_VERSION,
@@ -145,8 +148,23 @@ class ServeConfig:
     preload_profiles: bool = True
     #: Stop serving after this many wall seconds (None = until stopped).
     duration: Optional[float] = None
+    #: SLO targets: a JSON path/text for :func:`repro.obs.slo.load_slo_config`,
+    #: or ``None`` for :data:`repro.obs.slo.DEFAULT_TARGETS`.
+    slo: Optional[str] = None
+    #: Flight-recorder ring capacity (recent trace events kept even with
+    #: the full sink disabled); ``0`` disables the recorder.
+    flight_recorder: int = 4096
+    #: Where crash/``SIGUSR1`` ring dumps land; default
+    #: ``<socket_path>.flight.json`` (shard daemons derive their own).
+    flight_dump: Optional[str] = None
     #: Extra keyword arguments forwarded to every per-device runtime.
     runtime_kwargs: dict = field(default_factory=dict)
+
+    def flight_dump_path(self) -> Optional[str]:
+        """Resolved ring-dump path (None when the recorder is disabled)."""
+        if self.flight_recorder <= 0:
+            return None
+        return self.flight_dump or f"{self.socket_path}.flight.json"
 
     def cluster_placement(self) -> str:
         """The intra-shard (multi-device) cluster placement policy.
@@ -368,6 +386,14 @@ class SlateServer:
         }
         self._h_queue_depth = reg.histogram("serve.queue_depth")
         self._h_sim_latency = reg.histogram("serve.sim_latency.launch")
+        # SLO burn-rate tracking over the launch-latency streams.
+        targets = (
+            load_slo_config(config.slo) if config.slo else DEFAULT_TARGETS
+        )
+        self.slo = SLOTracker(targets, registry=reg)
+        # Freshest per-shard metrics scrapes (proc mode; fed by the poll
+        # task, served by the ``metrics`` op as the fleet view).
+        self._shard_metrics: dict[int, ShardScrape] = {}
 
     def _shard_config(self, index: int) -> ServeConfig:
         """The single-shard daemon config for shard process ``index``."""
@@ -382,6 +408,10 @@ class SlateServer:
             max_inflight=self._shard_limit,
             max_sessions=-(-self.config.max_sessions // shards),
             duration=None,
+            # Each shard daemon derives its own ring-dump path from its
+            # socket; SLO targets are tracked per shard and merged by the
+            # fleet scrape (burn gauges merge by max).
+            flight_dump=None,
         )
 
     def _shard_trace(self, index: int) -> Optional[str]:
@@ -491,20 +521,45 @@ class SlateServer:
         self.started_at = time.monotonic()
 
     async def _poll_shards(self, interval: float = 0.25) -> None:
-        """Refresh the router's load estimates from shard-daemon stats
-        (proc mode only; in-loop bookkeeping is exact)."""
+        """Refresh the router's load estimates from shard-daemon stats and
+        keep the fleet metrics cache warm (proc mode only; in-loop
+        bookkeeping is exact and shares this process's registry)."""
         while True:
-            for proc in self.procs:
-                block = await proc.fetch_stats()
-                if block is None:
-                    continue
-                self._shard_stats[proc.index] = block
-                sessions = int(block.get("sessions", 0))
-                inflight = int(block.get("inflight", 0))
-                self.router.refresh_load(proc.index, sessions, inflight)
-                self._g_shard_sessions[proc.index].set(sessions)
-                self._g_shard_inflight[proc.index].set(inflight)
+            await self._refresh_shard_scrapes()
             await asyncio.sleep(interval)
+
+    async def _refresh_shard_scrapes(self) -> None:
+        """Scrape stats + registry from every shard daemon right now.
+
+        The poll loop calls this on its interval; a ``fresh`` metrics
+        request calls it inline so a scrape taken right after a burst
+        (e.g. the load generator's final cross-check) sees every launch
+        instead of a cache up to one interval stale."""
+        for proc in self.procs:
+            block = await proc.fetch_stats()
+            if block is None:
+                continue
+            self._shard_stats[proc.index] = block
+            sessions = int(block.get("sessions", 0))
+            inflight = int(block.get("inflight", 0))
+            self.router.refresh_load(proc.index, sessions, inflight)
+            self._g_shard_sessions[proc.index].set(sessions)
+            self._g_shard_inflight[proc.index].set(inflight)
+            scrape = await proc.fetch_metrics()
+            if scrape is not None:
+                self._shard_metrics[proc.index] = ShardScrape(
+                    shard=proc.index,
+                    state=scrape.get("registry"),
+                    wall=float(scrape.get("wall", 0.0)),
+                    sim_time=float(scrape.get("sim_time", 0.0)),
+                    scraped_at=time.time(),
+                    extra={
+                        "sessions": sessions,
+                        "inflight": inflight,
+                        "slo": scrape.get("slo"),
+                        "stats": block,
+                    },
+                )
 
     def request_stop(self) -> None:
         """Ask :meth:`serve_forever` to shut down (signal-handler safe
@@ -709,6 +764,14 @@ class SlateServer:
                 # v2: session-less stats — the router (or any monitor)
                 # polls load without opening a session.
                 result = self._op_stats(sess)
+            elif op == "metrics":
+                # v2: session-less telemetry scrape — registry export,
+                # fleet merge (on a router), SLO view, recent ring events.
+                # ``fresh`` bypasses the proc-mode scrape cache for
+                # read-after-burst accuracy (loadgen's final cross-check).
+                if params.get("fresh") and self._proc_mode:
+                    await self._refresh_shard_scrapes()
+                result = self._op_metrics(params)
             elif sess is None:
                 raise SessionStateError(f"op {op!r} requires a hello first")
             elif op == "register":
@@ -735,7 +798,11 @@ class SlateServer:
             return sess, fatal
         histogram = self._h_latency.get(op)
         if histogram is not None:
-            histogram.observe(time.monotonic() - t0)
+            wall = time.monotonic() - t0
+            histogram.observe(wall)
+            # Score against any SLO targeting this op's wall latency
+            # (dict-lookup no-op for untracked metrics).
+            self.slo.record(f"serve.latency.{op}", wall)
         delivered = await self._send(writer, ok_reply(rid, result))
         return sess, (op == "bye" or not delivered)
 
@@ -972,6 +1039,7 @@ class SlateServer:
         sess.launches += 1
         self._m_launches.inc()
         self._h_sim_latency.observe(sim_end - sim_start)
+        self.slo.record("serve.sim_latency.launch", sim_end - sim_start)
         result = {
             "kernel": spec.name,
             "task_size": ticket.task_size,
@@ -1011,6 +1079,76 @@ class SlateServer:
                 "compile_time": sess.slate.compile_time,
             }
         return {"server": self.stats(), "session": session_block}
+
+    #: Ring events returned per ``metrics`` request at most — together
+    #: with the registry payload this stays well inside ``MAX_FRAME``.
+    RECENT_LIMIT = 1000
+
+    def _op_metrics(self, params: dict) -> dict:
+        """The session-less telemetry scrape (v2 ``metrics`` op).
+
+        A shard daemon (or unsharded server) answers with its own
+        registry export; a ``--shard-procs`` router answers with the
+        fleet: per-shard scrapes merged (counters summed, histograms
+        bucket-merged, SLO burn by worst shard) plus per-shard sim-skew
+        and scrape-staleness gauges.  In-loop shards share this process's
+        registry, so the local export already *is* the fleet view there.
+        """
+        recorder = get_recorder()
+        if recorder is not None:
+            recorder.evicted  # sync obs.recorder.evicted before the export
+        local_state = obs_registry().export_state()
+        now = time.time()
+        if self._proc_mode:
+            scrapes = [
+                self._shard_metrics[i] for i in sorted(self._shard_metrics)
+            ]
+        else:
+            scrapes = []
+            for shard in self.shards:
+                scrapes.append(
+                    ShardScrape(
+                        shard=shard.index,
+                        state=None,  # shared registry: merged once below
+                        wall=now,
+                        sim_time=shard.env.now,
+                        scraped_at=now,
+                        extra={
+                            "sessions": sum(
+                                1 for s in self._sessions.values()
+                                if s.shard == shard.index
+                            ),
+                            "inflight": self.shard_inflight(shard.index),
+                            "stats": shard.stats(),
+                            "shared_registry": True,
+                        },
+                    )
+                )
+        fleet = aggregate_fleet(scrapes, local_state=local_state, now=now)
+        result = {
+            "registry": fleet["registry"],
+            "shards": fleet["shards"],
+            "sim_time": fleet["sim_time"],
+            "wall": now,
+            "slo": self.slo.snapshot(),
+            "protocol": PROTOCOL_VERSION,
+            "proc_mode": self._proc_mode,
+            "shard_count": self.router.num_shards,
+        }
+        recent = params.get("recent")
+        if recent:
+            if recorder is not None:
+                limit = min(int(recent), self.RECENT_LIMIT)
+                result["recent"] = recorder.serialize(limit)
+                result["recorder"] = {
+                    "size": len(recorder),
+                    "capacity": recorder.capacity,
+                    "evicted": recorder.evicted,
+                }
+            else:
+                result["recent"] = []
+                result["recorder"] = None
+        return result
 
 
 class ServerThread:

@@ -45,6 +45,11 @@ class Tracer:
             cut = max(1, len(self.records) // 2)
             del self.records[0:cut]
             self.dropped += cut
+            # Mirror into the metrics registry (``obs.trace.dropped``) so a
+            # fleet scrape sees trace-loss, not just ``env.stats``.
+            from repro.obs.registry import registry as _registry
+
+            _registry().counter("obs.trace.dropped").inc(cut)
         value = event._value if event.triggered else None
         self.records.append(TraceRecord(time, type(event).__name__, value))
 

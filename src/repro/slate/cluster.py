@@ -150,6 +150,21 @@ class SlateCluster:
         totals["policy"] = self._devices[0].runtime.scheduler.policy.name
         return totals
 
+    def occupancy(self) -> dict:
+        """SM coverage right now: how many SMs the running tenants hold.
+
+        O(num_devices × running tenants); the serving layer samples this
+        per stats poll for the ``repro top`` per-shard occupancy column.
+        """
+        covered = 0
+        for state in self._devices:
+            for entry in state.runtime.scheduler.running_entries():
+                covered += len(entry.sms)
+        return {
+            "covered_sms": covered,
+            "num_sms": self.num_devices * self.device.num_sms,
+        }
+
     # -- placement -----------------------------------------------------------
 
     def preload_profiles(self, specs: list[KernelSpec]) -> None:

@@ -78,6 +78,11 @@ class SystemMonitor:
         reg = obs_registry()
         self._m_samples = reg.counter("monitor.samples")
         self._m_reclaims = reg.counter("monitor.reclaims")
+        # Last-sample gauges: the fleet scrape reads these instead of
+        # shipping the sample history over the wire.
+        self._g_running = reg.gauge("monitor.running")
+        self._g_waiting = reg.gauge("monitor.waiting")
+        self._g_covered = reg.gauge("monitor.covered_sms")
         self._proc = env.process(self._loop())
         self._stopped = False
 
@@ -113,6 +118,9 @@ class SystemMonitor:
             self.samples.append(sample)
             self.samples_total += 1
             self._m_samples.inc()
+            self._g_running.set(sample.running)
+            self._g_waiting.set(sample.waiting)
+            self._g_covered.set(sample.covered_sms)
             if obs_trace.ENABLED:
                 obs_trace.counter(
                     "monitor.state",

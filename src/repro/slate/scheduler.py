@@ -253,6 +253,9 @@ class SlateScheduler:
         self._m_resizes = reg.counter("scheduler.resizes")
         self._m_preemptions = reg.counter("scheduler.preemptions")
         self._m_rejections = reg.counter("scheduler.rejections")
+        #: SMs currently covered by running tenants (fleet dashboards read
+        #: this instead of walking the running set over the wire).
+        self._g_covered = reg.gauge("scheduler.covered_sms")
         # Stamp the active policy into the metrics registry so process-wide
         # dumps show which brains produced the numbers.
         reg.counter(f"scheduler.policy.{self.policy.name}").inc()
@@ -267,12 +270,12 @@ class SlateScheduler:
         self._m_decisions.inc()
         if obs_trace.ENABLED:
             obs_trace.instant(
-                f"decide.{kind}",
+                "decide." + kind,
                 self.env.now,
                 "scheduler",
                 "decisions",
                 kernel=ticket.spec.name,
-                classes=list(classes),
+                classes=classes,
                 sms=sms,
                 reason=reason,
                 policy=self.policy.name,
@@ -295,7 +298,10 @@ class SlateScheduler:
         return "\n".join(d.describe() for d in list(self.decision_log)[-last:])
 
     def _log_allocation(self) -> None:
-        tracing = obs_trace.ENABLED
+        self._g_covered.set(sum(len(r.sms) for r in self._running))
+        # Allocation snapshots fire on every decision — micro-event rate,
+        # so only a full-detail capture pays for them.
+        tracing = obs_trace.DETAILED
         if self.log_limit == 0 and not tracing:
             return
         # SM sets are contiguous ascending ranges everywhere in this stack
@@ -312,7 +318,9 @@ class SlateScheduler:
         """Count a resize on every surface (instance, registry, trace)."""
         self.resizes += 1
         self._m_resizes.inc()
-        if obs_trace.ENABLED:
+        # Resize churn fires once per corun decision — micro-event rate,
+        # so the always-on light path keeps only the counters above.
+        if obs_trace.DETAILED:
             obs_trace.instant(
                 "resize",
                 self.env.now,
@@ -334,7 +342,9 @@ class SlateScheduler:
         # first, FIFO within a priority level).
         self._queue.push(ticket)
         self._m_submits.inc()
-        if obs_trace.ENABLED:
+        # Queue-depth detail: the decide.* instant that follows carries
+        # the admission outcome, so the light path skips this one.
+        if obs_trace.DETAILED:
             obs_trace.instant(
                 "submit",
                 self.env.now,
@@ -464,14 +474,16 @@ class SlateScheduler:
         entry = _Running(ticket=ticket, handle=handle, sms=sms)
         self._running.append(entry)
         if obs_trace.ENABLED:
+            # SM sets are contiguous ascending ranges everywhere in this
+            # stack, so the span is the end pair — no min/max scan.
             obs_trace.instant(
                 "launch",
                 self.env.now,
                 "tenants",
                 ticket.spec.name,
                 sms=len(sms),
-                sm_low=min(sms),
-                sm_high=max(sms),
+                sm_low=sms[0],
+                sm_high=sms[-1],
             )
         self._log_allocation()
         # Completion is handled by a plain event callback, not a spawned

@@ -1,0 +1,178 @@
+"""Fleet-aggregation tests: registry-state merging, skew bookkeeping,
+and the Prometheus exposition (rendered and then re-validated by the
+repo's own format checker)."""
+
+import pytest
+
+from repro.obs.aggregate import (
+    ShardScrape,
+    aggregate_fleet,
+    merge_histogram_states,
+    merge_registry_states,
+    prom_name,
+    to_prometheus,
+)
+from repro.obs.registry import Histogram, MetricsRegistry
+from repro.obs.validate import validate_prometheus
+
+
+def state_of(values, name="h"):
+    h = Histogram(name)
+    for v in values:
+        h.observe(v)
+    return h.state()
+
+
+class TestMergeRegistryStates:
+    def test_counters_sum(self):
+        merged = merge_registry_states([
+            {"counters": {"a": 2, "b": 1}},
+            {"counters": {"a": 3}},
+        ])
+        assert merged["counters"] == {"a": 5, "b": 1}
+
+    def test_gauges_sum_except_slo(self):
+        merged = merge_registry_states([
+            {"gauges": {"inflight": 2.0, "slo.x.burn.30s": 1.0,
+                        "slo.x.good_ratio": 0.99}},
+            {"gauges": {"inflight": 3.0, "slo.x.burn.30s": 4.0,
+                        "slo.x.good_ratio": 0.90}},
+        ])
+        assert merged["gauges"]["inflight"] == 5.0
+        # Worst shard wins: max burn, min good ratio.
+        assert merged["gauges"]["slo.x.burn.30s"] == 4.0
+        assert merged["gauges"]["slo.x.good_ratio"] == 0.90
+
+    def test_histograms_bucket_merge(self):
+        merged = merge_registry_states([
+            {"histograms": {"lat": state_of([1.0, 2.0])}},
+            {"histograms": {"lat": state_of([3.0])}},
+        ])
+        assert merged["histograms"]["lat"] == state_of([1.0, 2.0, 3.0])
+
+    def test_merge_histogram_states_helper(self):
+        merged = merge_histogram_states([state_of([1.0]), state_of([2.0])])
+        assert merged == state_of([1.0, 2.0])
+
+    def test_sources_numeric_sum_non_numeric_first(self):
+        merged = merge_registry_states([
+            {"sources": {"engine": {"events": 10, "policy": "table1"}}},
+            {"sources": {"engine": {"events": 5, "policy": "other"}}},
+        ])
+        assert merged["sources"]["engine"]["events"] == 15
+        assert merged["sources"]["engine"]["policy"] == "table1"
+
+    def test_empty_and_none_states_skipped(self):
+        merged = merge_registry_states([None, {}, {"counters": {"a": 1}}])
+        assert merged["counters"] == {"a": 1}
+
+
+class TestAggregateFleet:
+    def make_scrapes(self):
+        return [
+            ShardScrape(shard=0, state={"counters": {"launches": 10}},
+                        wall=100.0, sim_time=5.0, scraped_at=99.5),
+            ShardScrape(shard=1, state={"counters": {"launches": 4}},
+                        wall=100.0, sim_time=2.0, scraped_at=100.0),
+        ]
+
+    def test_fleet_merge_and_skew(self):
+        fleet = aggregate_fleet(self.make_scrapes(), now=100.0)
+        assert fleet["sim_time"] == 5.0
+        assert fleet["registry"]["counters"]["launches"] == 14
+        gauges = fleet["registry"]["gauges"]
+        assert gauges["fleet.shard.0.sim_skew"] == 0.0
+        assert gauges["fleet.shard.1.sim_skew"] == 3.0
+        assert gauges["fleet.shard.0.scrape_age"] == pytest.approx(0.5)
+        assert fleet["shards"]["1"]["sim_skew"] == 3.0
+
+    def test_local_state_merged_in(self):
+        fleet = aggregate_fleet(
+            self.make_scrapes(),
+            local_state={"counters": {"launches": 1, "serve.requests": 7}},
+            now=100.0,
+        )
+        assert fleet["registry"]["counters"]["launches"] == 15
+        assert fleet["registry"]["counters"]["serve.requests"] == 7
+
+    def test_nested_fleet_gauges_stripped_from_scrapes(self):
+        """A single-shard daemon self-reports fleet.shard.0.*; the router
+        merging N of those must not sum them into garbage."""
+        scrapes = [
+            ShardScrape(
+                shard=i,
+                state={"gauges": {"fleet.shard.0.sim_time": 42.0, "x": 1.0}},
+                sim_time=1.0, scraped_at=100.0,
+            )
+            for i in range(2)
+        ]
+        fleet = aggregate_fleet(scrapes, now=100.0)
+        gauges = fleet["registry"]["gauges"]
+        assert gauges["x"] == 2.0
+        # This level's bookkeeping is the only fleet.shard.* authority.
+        assert gauges["fleet.shard.0.sim_time"] == 1.0
+        assert gauges["fleet.shard.1.sim_time"] == 1.0
+
+    def test_failed_scrape_contributes_bookkeeping_only(self):
+        scrapes = self.make_scrapes()
+        scrapes.append(ShardScrape(shard=2, state=None, sim_time=0.0))
+        fleet = aggregate_fleet(scrapes, now=100.0)
+        assert fleet["registry"]["counters"]["launches"] == 14
+        assert fleet["shards"]["2"]["registry"] is None
+        assert fleet["registry"]["gauges"]["fleet.shard.2.sim_skew"] == 5.0
+
+
+class TestPrometheus:
+    def test_name_sanitization(self):
+        assert prom_name("serve.latency.launch") == "repro_serve_latency_launch"
+        assert prom_name("9weird-name!", namespace="") == "_9weird_name_"
+
+    def test_histogram_series_cumulative_with_inf(self):
+        reg = MetricsRegistry()
+        h = reg.histogram("lat")
+        for v in (0.0, 0.001, 0.002, 0.004):
+            h.observe(v)
+        text = to_prometheus(reg.export_state())
+        lines = [l for l in text.splitlines() if l.startswith("repro_lat_bucket")]
+        # Zero bucket first, +Inf last and equal to the count.
+        assert lines[0] == 'repro_lat_bucket{le="0"} 1'
+        assert lines[-1] == 'repro_lat_bucket{le="+Inf"} 4'
+        counts = [int(l.rsplit(" ", 1)[1]) for l in lines]
+        assert counts == sorted(counts)
+        assert "repro_lat_count 4" in text
+        assert "# TYPE repro_lat histogram" in text
+
+    def test_exposition_validates(self):
+        reg = MetricsRegistry()
+        reg.counter("scheduler.decisions").inc(5)
+        reg.gauge("serve.inflight").set(2.0)
+        h = reg.histogram("serve.latency.launch")
+        for v in (0.001, 0.01, 0.1, 1.0):
+            h.observe(v)
+        reg.register_source("engine", lambda: {"events": 42, "name": "x"})
+        text = to_prometheus(reg.export_state())
+        assert validate_prometheus(text) == []
+        assert "repro_engine_events 42" in text
+        assert "name" not in text.split("repro_engine_events")[1].splitlines()[0]
+
+    def test_snapshot_shape_falls_back_to_quantile_gauges(self):
+        reg = MetricsRegistry()
+        h = reg.histogram("lat")
+        h.observe(0.5)
+        text = to_prometheus(reg.snapshot())  # summaries, not bucket states
+        assert "repro_lat_p99" in text
+        assert "repro_lat_bucket" not in text
+        assert validate_prometheus(text) == []
+
+    def test_merged_fleet_state_validates(self):
+        reg = MetricsRegistry()
+        reg.counter("launches").inc(3)
+        reg.histogram("lat").observe(0.25)
+        state = reg.export_state()
+        fleet = aggregate_fleet(
+            [ShardScrape(shard=0, state=state, sim_time=1.0, scraped_at=1.0)],
+            now=2.0,
+        )
+        text = to_prometheus(fleet["registry"])
+        assert validate_prometheus(text) == []
+        assert "repro_fleet_shard_0_sim_skew" in text

@@ -34,9 +34,16 @@ class TestInstruments:
         h = MetricsRegistry().histogram("h")
         for v in (1.0, 3.0, 2.0):
             h.observe(v)
-        assert h.summary() == {"count": 3, "sum": 6.0, "min": 1.0, "max": 3.0, "mean": 2.0}
+        summary = h.summary()
+        # The original summary keys stay backward-compatible...
+        compat = {k: summary[k] for k in ("count", "sum", "min", "max", "mean")}
+        assert compat == {"count": 3, "sum": 6.0, "min": 1.0, "max": 3.0, "mean": 2.0}
+        # ...and the log-bucket upgrade adds quantile estimates.
+        assert {"p50", "p90", "p99", "p999"} <= set(summary)
+        assert 1.0 <= summary["p50"] <= 3.0
+        assert summary["p999"] == 3.0
         h.reset()
-        assert h.count == 0 and h.mean == 0.0
+        assert h.count == 0 and h.mean == 0.0 and h.buckets == {}
 
     def test_snapshot_shape_and_json(self):
         reg = MetricsRegistry()

@@ -1,0 +1,166 @@
+"""SLO tracker tests with a deterministic clock: burn-rate arithmetic,
+multi-window AND alerting, gauge surfacing, and config parsing."""
+
+import json
+
+import pytest
+
+from repro.obs.registry import MetricsRegistry
+from repro.obs.slo import DEFAULT_TARGETS, SLOTarget, SLOTracker, load_slo_config
+
+
+def make_tracker(eval_interval=0.0, **target_kwargs):
+    defaults = dict(
+        name="t", metric="m", threshold=0.1, objective=0.9,
+        windows=(10.0, 40.0), alert_burn=2.0,
+    )
+    defaults.update(target_kwargs)
+    reg = MetricsRegistry()
+    target = SLOTarget(**defaults)
+    clock = {"now": 0.0}
+    tracker = SLOTracker(
+        (target,), registry=reg, clock=lambda: clock["now"],
+        eval_interval=eval_interval,
+    )
+    return tracker, reg, clock
+
+
+class TestTarget:
+    def test_objective_bounds_validated(self):
+        with pytest.raises(ValueError):
+            SLOTarget(name="x", metric="m", threshold=1.0, objective=1.0)
+        with pytest.raises(ValueError):
+            SLOTarget(name="x", metric="m", threshold=1.0, objective=0.0)
+
+    def test_windows_sorted_and_required(self):
+        t = SLOTarget(name="x", metric="m", threshold=1.0, windows=(60, 5))
+        assert t.windows == (5.0, 60.0)
+        with pytest.raises(ValueError):
+            SLOTarget(name="x", metric="m", threshold=1.0, windows=())
+
+    def test_error_budget(self):
+        t = SLOTarget(name="x", metric="m", threshold=1.0, objective=0.99)
+        assert t.error_budget == pytest.approx(0.01)
+
+
+class TestBurnRates:
+    def test_all_good_burns_zero(self):
+        tracker, reg, clock = make_tracker()
+        for i in range(20):
+            clock["now"] = float(i) * 0.1
+            tracker.record("m", 0.05)
+        rows = tracker.evaluate()
+        assert rows[0]["burning"] is False
+        assert rows[0]["good_ratio"] == 1.0
+        assert all(b == 0.0 for b in rows[0]["burn"].values())
+
+    def test_burn_is_bad_fraction_over_budget(self):
+        # objective 0.9 -> budget 0.1; half the observations bad -> burn 5x.
+        tracker, reg, clock = make_tracker()
+        for i in range(10):
+            clock["now"] = float(i) * 0.1
+            tracker.record("m", 0.05 if i % 2 == 0 else 0.5)
+        rows = tracker.evaluate()
+        for burn in rows[0]["burn"].values():
+            assert burn == pytest.approx(5.0)
+        assert rows[0]["good_ratio"] == pytest.approx(0.5)
+        assert rows[0]["burning"] is True
+        assert reg.gauge("slo.t.burning").value == 1.0
+        assert reg.gauge("slo.t.burn.10s").value == pytest.approx(5.0)
+        assert reg.gauge("slo.t.good_ratio").value == pytest.approx(0.5)
+
+    def test_untracked_metric_is_ignored(self):
+        tracker, reg, clock = make_tracker()
+        tracker.record("other.metric", 99.0)
+        assert tracker.evaluate()[0]["burn"]["10s"] == 0.0
+
+    def test_empty_window_burns_zero(self):
+        tracker, reg, clock = make_tracker()
+        assert all(b == 0.0 for b in tracker.evaluate()[0]["burn"].values())
+
+
+class TestMultiWindowAlerting:
+    def test_short_window_alone_does_not_alert(self):
+        """Old badness outside the short window: the long window still
+        burns but the short one is clean -> no alert (multi-window AND).
+        Evaluation is deferred to the end — during the burst itself both
+        windows burn, which legitimately alerts."""
+        tracker, reg, clock = make_tracker(eval_interval=float("inf"))
+        tracker.evaluate()  # prime _last_eval so record() never evaluates
+        # Badness at t=0..2 (inside the 40s window only once we move on).
+        for i in range(10):
+            clock["now"] = float(i) * 0.2
+            tracker.record("m", 9.9)
+        # Clean traffic in the recent short window.
+        for i in range(30):
+            clock["now"] = 25.0 + float(i) * 0.2
+            tracker.record("m", 0.01)
+        rows = tracker.evaluate()
+        burns = rows[0]["burn"]
+        assert burns["40s"] > 2.0  # long window still remembers
+        assert burns["10s"] < 2.0  # short window is clean
+        assert rows[0]["burning"] is False
+        assert reg.counter("slo.alerts.fired").value == 0
+
+    def test_alert_fires_once_per_transition(self):
+        tracker, reg, clock = make_tracker()
+        for i in range(10):
+            clock["now"] = float(i) * 0.1
+            tracker.record("m", 9.9)
+        tracker.evaluate()
+        tracker.evaluate()  # still burning: no second increment
+        assert reg.counter("slo.alerts.fired").value == 1
+        # Recovery: windows age out, burning clears, then a new breach
+        # fires a second alert.
+        clock["now"] = 100.0
+        for i in range(20):
+            clock["now"] = 100.0 + float(i) * 0.1
+            tracker.record("m", 0.01)
+        assert tracker.evaluate()[0]["burning"] is False
+        for i in range(20):
+            clock["now"] = 110.0 + float(i) * 0.1
+            tracker.record("m", 9.9)
+        assert tracker.evaluate()[0]["burning"] is True
+        assert reg.counter("slo.alerts.fired").value == 2
+
+    def test_snapshot_shape(self):
+        tracker, reg, clock = make_tracker()
+        snap = tracker.snapshot()
+        assert set(snap) == {"targets", "alerts_fired"}
+        assert snap["targets"][0]["name"] == "t"
+        assert set(snap["targets"][0]["burn"]) == {"10s", "40s"}
+
+
+class TestConfig:
+    def test_load_from_json_text(self):
+        targets = load_slo_config(
+            '[{"name": "a", "metric": "m", "threshold_ms": 250,'
+            ' "objective": 0.95, "windows_s": [5, 60], "alert_burn": 3.0}]'
+        )
+        assert len(targets) == 1
+        t = targets[0]
+        assert t.threshold == pytest.approx(0.250)
+        assert t.windows == (5.0, 60.0)
+        assert t.alert_burn == 3.0
+
+    def test_load_from_file(self, tmp_path):
+        path = tmp_path / "slo.json"
+        path.write_text(json.dumps(
+            [{"name": "a", "metric": "m", "threshold": 0.5}]
+        ))
+        targets = load_slo_config(str(path))
+        assert targets[0].threshold == 0.5
+        assert targets[0].objective == 0.99  # default
+
+    def test_threshold_required(self):
+        with pytest.raises(ValueError):
+            load_slo_config('[{"name": "a", "metric": "m"}]')
+
+    def test_must_be_a_list(self):
+        with pytest.raises(ValueError):
+            load_slo_config('{"name": "a"}')
+
+    def test_default_targets_cover_launch_latency(self):
+        metrics = {t.metric for t in DEFAULT_TARGETS}
+        assert "serve.latency.launch" in metrics
+        assert "serve.sim_latency.launch" in metrics
