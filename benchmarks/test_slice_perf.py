@@ -1,0 +1,199 @@
+"""Benchmark: kernelet-style slicing — dispatch cost and resize latency.
+
+Not a paper experiment — engineering guardrails for the sliced dispatch
+path (``repro.gpu.device.launch_sliced`` + ``repro.slate.slicing``).
+Three questions, answered in ``benchmarks/BENCH_slice.json``:
+
+* what does one slice dispatch cost in *host* wall-clock (the slice loop
+  sits on the device hot path, so a slow wrapper would tax every sliced
+  trace);
+* what does slicing cost in *simulated* time versus a whole-grid launch
+  (dispatch gaps + ragged slice tails);
+* what does a mid-flight resize cost under retreat vs slice-edge
+  adoption (the stall numbers the ``retreat`` experiment reports).
+
+The same run regenerates the pinned ``retreat_vs_slice`` golden table so
+CI's ``git diff --exit-code`` step catches drift.  CI gates the wall
+metric (``us_per_slice``) against the committed baseline via
+``benchmarks/check_regression.py``.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.config import CostModel, TITAN_XP
+from repro.experiments import retreat_vs_slice
+from repro.gpu.device import ExecutionMode, KernelWork, SimulatedGPU
+from repro.gpu.occupancy import BlockResources
+from repro.sim import Environment
+
+BENCH_JSON = Path(__file__).parent / "BENCH_slice.json"
+
+#: One test grid: ten device waves on Titan Xp (30 SMs x 16 workers x
+#: 10-block tasks), so slices of 9600 blocks are two whole waves.
+NUM_BLOCKS = 48_000
+SLICE_BLOCKS = 9_600
+TASK_SIZE = 10
+
+
+def _work(name: str = "bench") -> KernelWork:
+    return KernelWork(
+        name=name,
+        num_blocks=NUM_BLOCKS,
+        block=BlockResources(threads_per_block=128, registers_per_thread=32),
+        flops_per_block=2e6,
+        bytes_per_block=1e5,
+    )
+
+
+def _run_launches(n_launches: int, slice_blocks: int | None):
+    """Run ``n_launches`` back-to-back launches; returns (env, wall s)."""
+    env = Environment()
+    gpu = SimulatedGPU(env, TITAN_XP, CostModel())
+
+    def driver(env):
+        for i in range(n_launches):
+            if slice_blocks is None:
+                handle = gpu.launch(
+                    _work(f"k{i}"),
+                    mode=ExecutionMode.SLATE,
+                    task_size=TASK_SIZE,
+                    inject_frac=0.03,
+                )
+            else:
+                handle = gpu.launch_sliced(
+                    _work(f"k{i}"),
+                    mode=ExecutionMode.SLATE,
+                    task_size=TASK_SIZE,
+                    inject_frac=0.03,
+                    slice_blocks=slice_blocks,
+                )
+            yield handle.done
+
+    env.process(driver(env))
+    start = time.perf_counter()
+    env.run()
+    return env, time.perf_counter() - start
+
+
+@pytest.fixture(scope="session")
+def slice_bench_json():
+    """Collect records; write ``BENCH_slice.json`` at session exit."""
+    records: dict[str, dict] = {}
+    yield records
+    if records:
+        BENCH_JSON.write_text(json.dumps(records, indent=2, sort_keys=True) + "\n")
+        print(f"\nslicing benchmarks written to {BENCH_JSON}")
+
+
+@pytest.mark.parametrize("n_launches", [50, 200])
+def test_slice_dispatch_throughput(n_launches, slice_bench_json):
+    """Host-side cost of the slice loop, against the whole-grid baseline."""
+    env_w, wall_whole = _run_launches(n_launches, slice_blocks=None)
+    env_s, wall_sliced = _run_launches(n_launches, slice_blocks=SLICE_BLOCKS)
+    slices = env_s.stats.slice_dispatches
+    assert slices == n_launches * (NUM_BLOCKS // SLICE_BLOCKS)
+    assert env_w.stats.slice_dispatches == 0
+    slice_bench_json[f"slice_dispatch_{n_launches}"] = {
+        "launches": n_launches,
+        "slices": slices,
+        "seconds": round(wall_sliced, 4),
+        "whole_grid_seconds": round(wall_whole, 4),
+        "slices_per_sec": round(slices / wall_sliced),
+        "us_per_slice": round(wall_sliced / slices * 1e6, 2),
+        "sim_makespan_ms": round(env_s.now * 1e3, 3),
+        "whole_grid_sim_makespan_ms": round(env_w.now * 1e3, 3),
+    }
+    # The sim-domain cost of slicing this grid 5-fold stays bounded:
+    # dispatch gaps + ragged tails may not exceed 10% of the whole-grid
+    # makespan (two-wave slices keep tails short; see docs/slicing.md).
+    assert env_s.now <= env_w.now * 1.10
+    # And slicing must never be *free* in simulated time — if it is, the
+    # dispatch-gap cost model silently fell out of the path.
+    assert env_s.now > env_w.now
+
+
+def test_resize_latency_retreat_vs_edge(slice_bench_json):
+    """A mid-flight shrink: the retreat drains, the slice edge doesn't."""
+    costs = CostModel()
+    expected_stall = costs.retreat_latency + costs.kernel_launch_overhead
+
+    # Whole-grid launch: the resize retreats (drain + relaunch stall).
+    env, gpu = Environment(), None
+    gpu = SimulatedGPU(env, TITAN_XP, costs)
+    handle = gpu.launch(
+        _work(), mode=ExecutionMode.SLATE, task_size=TASK_SIZE, inject_frac=0.03
+    )
+    env.timeout(1e-3).callbacks.append(
+        lambda _e: gpu.resize(handle, gpu.sm_range(0, 14), notify=False)
+    )
+    counters = env.run(until=handle.done)
+    assert counters.resizes == 1
+    assert counters.resize_stall == pytest.approx(expected_stall)
+
+    # Sliced launch: the same shrink lands at the next slice edge.
+    env2 = Environment()
+    gpu2 = SimulatedGPU(env2, TITAN_XP, costs)
+    handle2 = gpu2.launch_sliced(
+        _work(),
+        mode=ExecutionMode.SLATE,
+        task_size=TASK_SIZE,
+        inject_frac=0.03,
+        slice_blocks=SLICE_BLOCKS,
+    )
+    env2.timeout(1e-3).callbacks.append(
+        lambda _e: gpu2.resize(handle2, gpu2.sm_range(0, 14), notify=False)
+    )
+    counters2 = env2.run(until=handle2.done)
+    assert counters2.resizes == 1
+    assert counters2.resize_stall == 0.0
+
+    slice_bench_json["resize_latency"] = {
+        "retreat_stall_us": round(counters.resize_stall * 1e6, 2),
+        "slice_edge_stall_us": round(counters2.resize_stall * 1e6, 2),
+        "retreat_sim_makespan_ms": round(env.now * 1e3, 3),
+        "sliced_sim_makespan_ms": round(env2.now * 1e3, 3),
+    }
+
+
+def test_retreat_vs_slice_experiment(benchmark, save_result, slice_bench_json):
+    """Run the full experiment; regenerate its golden; pin the claims."""
+    result = benchmark.pedantic(retreat_vs_slice.run, rounds=1, iterations=1)
+    save_result("retreat_vs_slice", retreat_vs_slice.format_result(result))
+
+    # Part A acceptance: slice-edge resizes cut total repartition stall.
+    retreat_stall = result.total_pair_stall("retreat")
+    sliced_stall = result.total_pair_stall("slice-edge")
+    assert retreat_stall > 0
+    assert sliced_stall < retreat_stall / 2
+    # Slicing's makespan tax on every pair stays small (two-wave slices).
+    for a, b in retreat_vs_slice.RESIZE_PAIRS:
+        pair = f"{a}-{b}"
+        classic = result.pair_row(pair, "retreat")
+        sliced = result.pair_row(pair, "slice-edge")
+        assert sliced.makespan <= classic.makespan * 1.06, pair
+        assert sliced.resizes == classic.resizes, pair
+
+    # Part B acceptance: preemption at slice edges beats drain-wait p99.
+    drain = result.burst_row("drain-wait")
+    sliced_burst = result.burst_row("slice-preempt")
+    assert sliced_burst.vip_p99 < drain.vip_p99
+    assert sliced_burst.vip_mean < drain.vip_mean
+    assert sliced_burst.preemptions > 0
+    assert sliced_burst.slice_preempts > 0
+    assert drain.preemptions == 0
+
+    for row in result.burst:
+        slice_bench_json[f"burst_{row.mode}"] = {
+            "vip_mean_ms": round(row.vip_mean * 1e3, 3),
+            "vip_p99_ms": round(row.vip_p99 * 1e3, 3),
+            "sim_makespan_ms": round(row.makespan * 1e3, 3),
+            "preemptions": row.preemptions,
+            "slice_preempts": row.slice_preempts,
+            "resize_stall_us": round(row.resize_stall * 1e6, 1),
+        }

@@ -130,6 +130,30 @@ def _cmd_occupancy(args: argparse.Namespace) -> int:
 _EXPORT_FORMATS = ("perfetto", "chrome", "jsonl")
 
 
+def _add_slicing_args(p) -> None:
+    """The Kernelet-style slicing flags shared by trace/pair/serve."""
+    p.add_argument(
+        "--slicing", action="store_true",
+        help="dispatch Slate launches as sub-grid slices (resize and "
+             "preemption land at slice edges instead of retreat drains)",
+    )
+    p.add_argument(
+        "--slice-blocks", type=int, default=None, metavar="N",
+        help="blocks per slice (default: policy-chosen, falling back to "
+             "grid/8); implies nothing without --slicing",
+    )
+
+
+def _slicing_kwargs(args: argparse.Namespace) -> dict:
+    """Runtime kwargs for the slicing flags (empty when off)."""
+    if not args.slicing:
+        return {}
+    kwargs = {"slicing": True}
+    if args.slice_blocks is not None:
+        kwargs["slice_blocks"] = args.slice_blocks
+    return kwargs
+
+
 def _trace_export(fmt: str, path: str, sink) -> None:
     """Write ``sink`` to ``path`` in the requested ``--export`` format."""
     from repro.obs.export import write_chrome_trace, write_jsonl
@@ -190,9 +214,16 @@ def _cmd_trace(args: argparse.Namespace) -> int:
     replay_kwargs = {}
     if args.runtime == "Slate":
         replay_kwargs["policy"] = args.policy
+        replay_kwargs.update(_slicing_kwargs(args))
     elif args.policy != "table1":
         print(
             f"error: --policy applies to the Slate runtime, not {args.runtime}",
+            file=sys.stderr,
+        )
+        return 2
+    elif args.slicing:
+        print(
+            f"error: --slicing applies to the Slate runtime, not {args.runtime}",
             file=sys.stderr,
         )
         return 2
@@ -384,7 +415,11 @@ def _cmd_pair(args: argparse.Namespace) -> int:
         nb: run_solo("CUDA", app_for(b, name=nb))[0].app_time,
     }
     for runtime in ("CUDA", "MPS", "Slate"):
-        kwargs = {"policy": args.policy} if runtime == "Slate" else {}
+        kwargs = (
+            {"policy": args.policy, **_slicing_kwargs(args)}
+            if runtime == "Slate"
+            else {}
+        )
         results, rt = run_pair(
             runtime, app_for(a, name=na), app_for(b, name=nb), **kwargs
         )
@@ -433,6 +468,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         slo=args.slo,
         flight_recorder=args.flight_recorder,
         flight_dump=args.flight_dump,
+        runtime_kwargs=_slicing_kwargs(args),
     )
 
     meta = run_metadata(
@@ -631,6 +667,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--seed", type=int, default=0)
     p.add_argument("--policy", choices=policy_names(), default="table1",
                    help="scheduling policy for the Slate runtime")
+    _add_slicing_args(p)
     p.add_argument(
         "--chrome",
         help="write a chrome://tracing JSON of the allocation log here (legacy)",
@@ -662,6 +699,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("bench_b")
     p.add_argument("--policy", choices=policy_names(), default="table1",
                    help="scheduling policy for the Slate row")
+    _add_slicing_args(p)
     p.set_defaults(func=_cmd_pair)
 
     p = sub.add_parser("serve", help="run the Slate serving daemon (Unix socket)")
@@ -676,6 +714,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p.add_argument("--policy", choices=policy_names(), default="table1",
                    help="scheduling policy every per-device daemon runs")
+    _add_slicing_args(p)
     p.add_argument("--shards", type=int, default=1,
                    help="device shards, each with its own cluster + scheduler "
                         "+ sim engine behind the placement router")

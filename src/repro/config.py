@@ -235,6 +235,12 @@ class CostModel:
     #: Latency for a retreat signal to reach running workers and for them to
     #: drain their current task (one task's worth of work bounded below).
     retreat_latency: float = 15e-6
+    #: Gap between consecutive slices of a sliced launch (Kernelet-style
+    #: dispatch, see ``repro/slate/slicing.py``).  Back-to-back sub-grid
+    #: launches on one stream skip most of the per-kernel front-end work
+    #: (no new context, parameters already staged), so this is well below
+    #: ``kernel_launch_overhead``.
+    slice_dispatch_overhead: float = 2e-6
 
 
 #: The paper's evaluation device.

@@ -32,6 +32,7 @@ from repro.experiments import (
     fig7_pairings,
     generalization,
     policy_shootout,
+    retreat_vs_slice,
     tab1_policy,
     tab2_profiles,
     tab3_gaussian,
@@ -140,6 +141,12 @@ EXPERIMENTS: tuple[Experiment, ...] = (
         "Shoot-out — scheduling policies on one trace",
         policy_shootout.run,
         policy_shootout.format_result,
+    ),
+    Experiment(
+        "retreat",
+        "Retreat vs slice — resize stall & VIP latency",
+        retreat_vs_slice.run,
+        retreat_vs_slice.format_result,
     ),
 )
 
@@ -324,12 +331,16 @@ def format_profile_table(runs: Sequence[ExperimentRun]) -> str:
     flush.  ``vec``/``scal`` split full rate derivations between the
     vectorized numpy evaluator and the scalar reference path, and ``vw``
     is the mean vectorized batch width (inputs per vector pass).
+    ``slices``/``slcpre`` count sub-grid slice dispatches and
+    slice-boundary preemptions (zero unless the experiment runs the
+    scheduler with slicing enabled).
     """
     header = (
         f"{'experiment':<14}{'events':>12}{'heap pk':>9}{'t/o reused':>12}"
         f"{'recomp':>8}{'skip':>7}{'wfill':>7}{'hits':>7}"
         f"{'rmemo':>8}{'rm%':>6}{'occ%':>6}"
         f"{'epochs':>9}{'mut/ep':>8}{'vec':>7}{'scal':>7}{'vw':>6}"
+        f"{'slices':>8}{'slcpre':>8}"
         f"{'wall s':>9}"
     )
     lines = [header, "-" * len(header)]
@@ -337,6 +348,7 @@ def format_profile_table(runs: Sequence[ExperimentRun]) -> str:
         "events": 0, "reused": 0, "recomp": 0, "skip": 0, "wfill": 0,
         "hits": 0, "rhits": 0, "rmiss": 0, "ohits": 0, "omiss": 0,
         "marks": 0, "flushes": 0, "vec": 0, "scal": 0, "vbatch": 0,
+        "slices": 0, "slcpre": 0,
     }
     wall = 0.0
     for run in runs:
@@ -350,6 +362,8 @@ def format_profile_table(runs: Sequence[ExperimentRun]) -> str:
         vec = s.get("rate_vector_evals", 0)
         scal = s.get("rate_scalar_evals", 0)
         vbatch = s.get("rate_vector_batch", 0)
+        slices = s.get("slice_dispatches", 0)
+        slcpre = s.get("slice_preempts", 0)
         lines.append(
             f"{run.key:<14}{s.get('events_processed', 0):>12,}"
             f"{s.get('heap_peak', 0):>9,}"
@@ -366,6 +380,8 @@ def format_profile_table(runs: Sequence[ExperimentRun]) -> str:
             f"{vec:>7,}"
             f"{scal:>7,}"
             f"{_per(vbatch, vec):>6}"
+            f"{slices:>8,}"
+            f"{slcpre:>8,}"
             f"{run.elapsed:>9.2f}"
         )
         totals["events"] += s.get("events_processed", 0)
@@ -383,6 +399,8 @@ def format_profile_table(runs: Sequence[ExperimentRun]) -> str:
         totals["vec"] += vec
         totals["scal"] += scal
         totals["vbatch"] += vbatch
+        totals["slices"] += slices
+        totals["slcpre"] += slcpre
         wall += run.elapsed
     lines.append("-" * len(header))
     lines.append(
@@ -395,6 +413,7 @@ def format_profile_table(runs: Sequence[ExperimentRun]) -> str:
         f"{_per(totals['marks'], totals['flushes']):>8}"
         f"{totals['vec']:>7,}{totals['scal']:>7,}"
         f"{_per(totals['vbatch'], totals['vec']):>6}"
+        f"{totals['slices']:>8,}{totals['slcpre']:>8,}"
         f"{wall:>9.2f}"
     )
     return "\n".join(lines)

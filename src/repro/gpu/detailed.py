@@ -33,7 +33,12 @@ from repro.gpu.cache import ORDER_FACTORS, dram_fraction
 from repro.gpu.device import ExecutionMode, KernelWork
 from repro.gpu.occupancy import occupancy
 
-__all__ = ["DetailedResult", "run_detailed", "run_detailed_corun"]
+__all__ = [
+    "DetailedResult",
+    "run_detailed",
+    "run_detailed_corun",
+    "run_detailed_sliced",
+]
 
 
 @dataclass
@@ -170,6 +175,56 @@ def run_detailed(
         heappush(ready, (t, seq))
         seq += 1
     return DetailedResult(elapsed=elapsed, blocks_executed=n, queue_pulls=pulls)
+
+
+def run_detailed_sliced(
+    work: KernelWork,
+    slice_blocks: int,
+    device: DeviceConfig = TITAN_XP,
+    costs: CostModel = CostModel(),
+    task_size: int = 10,
+    sm_count: int | None = None,
+    seed: int = 0,
+) -> DetailedResult:
+    """Execute ``work`` slice by slice in the per-block model.
+
+    Validation reference for sliced dispatch (``SimulatedGPU.launch_sliced``):
+    the grid is tiled by a :class:`repro.slate.slicing.KernelSlicer`, each
+    slice runs as an independent Slate-mode worker launch, and consecutive
+    slices are separated by ``costs.slice_dispatch_overhead``.  The elapsed
+    delta against one unsliced :func:`run_detailed` call is the per-block
+    model's estimate of the slicing overhead (dispatch gaps plus the extra
+    ragged tail each slice pays) that the fluid executor reproduces.
+    """
+    from dataclasses import replace
+
+    from repro.slate.slicing import KernelSlicer
+
+    slicer = KernelSlicer(work.num_blocks, slice_blocks)
+    elapsed = 0.0
+    blocks = 0
+    pulls = 0
+    for piece in slicer.plan():
+        if piece.index:
+            elapsed += costs.slice_dispatch_overhead
+        sub = (
+            work
+            if piece.count == work.num_blocks
+            else replace(work, num_blocks=piece.count)
+        )
+        result = run_detailed(
+            sub,
+            device=device,
+            costs=costs,
+            mode=ExecutionMode.SLATE,
+            task_size=task_size,
+            sm_count=sm_count,
+            seed=seed + piece.index,
+        )
+        elapsed += result.elapsed
+        blocks += result.blocks_executed
+        pulls += result.queue_pulls
+    return DetailedResult(elapsed=elapsed, blocks_executed=blocks, queue_pulls=pulls)
 
 
 def run_detailed_corun(

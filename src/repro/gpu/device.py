@@ -38,7 +38,7 @@ import math
 import os
 from collections import OrderedDict
 from collections import deque as _deque
-from dataclasses import dataclass
+from dataclasses import dataclass, replace as _dc_replace
 from typing import Optional, Sequence
 
 from repro.config import CostModel, DeviceConfig, TITAN_XP
@@ -53,6 +53,7 @@ from repro.gpu.rates import (
     rate_input_signature,
 )
 from repro.obs import trace as obs_trace
+from repro.obs.registry import registry as obs_registry
 from repro.sim import Environment, Event
 
 __all__ = [
@@ -61,10 +62,31 @@ __all__ = [
     "KernelWork",
     "KernelCounters",
     "KernelExecution",
+    "SlicedExecution",
     "SimulatedGPU",
 ]
 
 _EPS = 1e-12
+
+
+def _trigger_inline(event: Event, value=None) -> None:
+    """Succeed ``event`` and run its callbacks synchronously.
+
+    Mirrors the engine's own processing (mark triggered, detach the callback
+    list, invoke in order) without a trip through the event queue.  Used to
+    complete a :class:`SlicedExecution`'s facade events *inside* the final
+    slice's callback pass, so a single-slice launch delivers its completion
+    at exactly the point in the callback sequence an unsliced launch would —
+    the byte-identity tests pin this.
+    """
+    if event.triggered:
+        return
+    event._ok = True
+    event._value = value
+    callbacks = event.callbacks
+    event.callbacks = None
+    for callback in callbacks:
+        callback(event)
 
 #: Bound on the per-device epoch result cache (signature -> shared rates).
 _EPOCH_CACHE_MAX = 512
@@ -148,6 +170,11 @@ class KernelCounters:
     busy_time: float = 0.0
     #: Number of resize (retreat + relaunch) operations applied.
     resizes: int = 0
+    #: Total time (s) this execution made no progress because its workers
+    #: were draining for a retreat-style resize.  Slice-boundary resizes
+    #: (:class:`SlicedExecution`) contribute nothing here — that delta is
+    #: what the ``retreat_vs_slice`` experiment measures.
+    resize_stall: float = 0.0
 
     @property
     def elapsed(self) -> float:
@@ -252,6 +279,108 @@ class KernelExecution:
         )
 
 
+class SlicedExecution:
+    """Handle for a Kernelet-style sliced launch (``launch_sliced``).
+
+    The grid is partitioned by a :class:`repro.slate.slicing.KernelSlicer`
+    and dispatched slice by slice; each slice runs as an ordinary
+    :class:`KernelExecution` and consecutive slices are separated by one
+    ``costs.slice_dispatch_overhead`` gap.  Between slices the handle is at
+    a *slice edge*: a resize or preemption requested mid-slice is recorded
+    and takes effect at the next edge with no retreat drain — the whole
+    point of slicing.  On the final slice no edge remains, so resize/pause
+    fall back to the classic retreat mechanics, which also makes a
+    single-slice launch (slice size >= grid) behave exactly like an
+    unsliced one.
+
+    Duck-types the parts of :class:`KernelExecution` the scheduler uses:
+    ``work``/``sm_ids``/``state``/``done``/``tail_started``/``counters``/
+    ``mode``/``task_size``.  ``counters`` aggregates over all slices;
+    ``done`` fires once the last slice drains, *inline* with that slice's
+    completion callbacks (see :func:`_trigger_inline`).
+    """
+
+    _ids = itertools.count(1)
+
+    def __init__(
+        self,
+        gpu: "SimulatedGPU",
+        work: KernelWork,
+        sm_ids: tuple[int, ...],
+        mode: ExecutionMode,
+        order_factor: float,
+        task_size: int,
+        inject_frac: float,
+        slicer,
+    ) -> None:
+        self.id = next(self._ids)
+        self.gpu = gpu
+        self.work = work
+        self.mode = mode
+        self.order_factor = order_factor
+        self.task_size = task_size
+        self.inject_frac = inject_frac
+        self.slicer = slicer
+        self.done: Event = gpu.env.event()
+        self.tail_started: Event = gpu.env.event()
+        self.counters = KernelCounters(name=work.name, start_time=gpu.env.now)
+        self.n_tasks = math.ceil(work.num_blocks / task_size)
+        #: The slice currently in flight (None at an edge / when paused).
+        self.current: Optional[KernelExecution] = None
+        self.slices_dispatched = 0
+        self.completed_blocks = 0
+        #: Where the *next* slice launches.
+        self._sm_ids = sm_ids
+        #: Allocation to adopt at the next slice edge (None: keep).
+        self._pending_sms: Optional[tuple[int, ...]] = None
+        self._pending_pause = False
+        self._paused = False
+        self._finished = False
+        #: Generation guard for the inter-slice dispatch-gap timer.
+        self._gap_gen = 0
+
+    # -- convenience -----------------------------------------------------
+
+    @property
+    def sm_ids(self) -> tuple[int, ...]:
+        cur = self.current
+        return cur.sm_ids if cur is not None else self._sm_ids
+
+    @property
+    def num_sms(self) -> int:
+        return len(self.sm_ids)
+
+    @property
+    def state(self) -> ExecState:
+        if self._finished:
+            return ExecState.DONE
+        if self._paused:
+            return ExecState.PAUSED
+        cur = self.current
+        if cur is not None and self.slicer.exhausted:
+            # Final slice: no edge remains, so the underlying retreat-model
+            # state (RESIZING/TAIL/...) is the truth — exactly the unsliced
+            # semantics the single-slice identity tests pin.
+            return cur.state
+        return ExecState.RUNNING
+
+    @property
+    def blocks_done(self) -> float:
+        cur = self.current
+        return self.completed_blocks + (cur.blocks_done if cur is not None else 0.0)
+
+    @property
+    def blocks_remaining(self) -> float:
+        return max(0.0, self.work.num_blocks - self.blocks_done)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"<SlicedExecution #{self.id} {self.work.name} "
+            f"slice {self.slicer.slices_emitted}/{self.slicer.num_slices} "
+            f"sms={self.num_sms} state={self.state.value}>"
+        )
+
+
 class SimulatedGPU:
     """The device: owns the SM pool, bandwidth arbitration, and executions.
 
@@ -307,6 +436,16 @@ class SimulatedGPU:
         #: Timestamp of the last full progress settle; a second settle at
         #: the same instant is a no-op (dt == 0 for every kernel) and skips.
         self._settled_at = -1.0
+        #: Sub-grid works for sliced dispatch, keyed ``(id(base), count)``
+        #: and pinned (``_slice_pins``) so base ids cannot recycle — slices
+        #: of repeated launches reuse one KernelWork per distinct count,
+        #: keeping the ``_sig_cache`` warm under trace-scale slicing.
+        self._slice_works: dict[tuple[int, int], KernelWork] = {}
+        self._slice_pins: dict[int, KernelWork] = {}
+        reg = obs_registry()
+        self._m_slice_dispatch = reg.counter("slice.dispatches")
+        self._m_slice_preempt = reg.counter("slice.preempts")
+        self._m_slice_resize = reg.counter("slice.resizes")
 
     # -- public API -------------------------------------------------------
 
@@ -352,6 +491,200 @@ class SimulatedGPU:
         self._epoch_recompute()
         return execution
 
+    # -- sliced dispatch (Kernelet-style, repro/slate/slicing.py) ----------
+
+    def launch_sliced(
+        self,
+        work: KernelWork,
+        sm_ids: Optional[Sequence[int]] = None,
+        mode: ExecutionMode = ExecutionMode.SLATE,
+        order_factor: Optional[float] = None,
+        task_size: int = 1,
+        inject_frac: float = 0.0,
+        slice_blocks: Optional[int] = None,
+        slicer=None,
+    ) -> SlicedExecution:
+        """Begin executing ``work`` slice by slice (Kernelet-style).
+
+        The grid is partitioned into sub-grid slices (``slice_blocks``
+        consecutive blocks each, default
+        :func:`repro.slate.slicing.default_slice_blocks`) dispatched back to
+        back with a ``costs.slice_dispatch_overhead`` gap between them.
+        Returns a :class:`SlicedExecution` whose ``done`` event fires with
+        the aggregated :class:`KernelCounters` when the last slice drains.
+        Slicing rides on the persistent-worker task queue, so only Slate
+        scheduling can be sliced.
+        """
+        from repro.slate.slicing import KernelSlicer, default_slice_blocks
+
+        if mode is not ExecutionMode.SLATE:
+            raise ValueError("sliced dispatch requires Slate scheduling mode")
+        if task_size < 1:
+            raise ValueError(f"task_size must be >= 1, got {task_size}")
+        sms = tuple(sm_ids) if sm_ids is not None else self.all_sms()
+        if not sms:
+            raise ValueError("kernel must be given at least one SM")
+        if any(not 0 <= s < self.device.num_sms for s in sms):
+            raise ValueError(f"SM ids out of range: {sms}")
+        if order_factor is None:
+            order_factor = ORDER_FACTORS["slate"]
+        if slicer is None:
+            if slice_blocks is None:
+                slice_blocks = default_slice_blocks(work.num_blocks, task_size)
+            slicer = KernelSlicer(
+                work.num_blocks, slice_blocks, clock=lambda: self.env.now
+            )
+        wrapper = SlicedExecution(
+            self, work, sms, mode, order_factor, task_size, inject_frac, slicer
+        )
+        self._dispatch_slice(wrapper)
+        return wrapper
+
+    def _slice_work(self, base: KernelWork, count: int) -> KernelWork:
+        key = (id(base), count)
+        sub = self._slice_works.get(key)
+        if sub is None:
+            if len(self._slice_works) >= 512:
+                self._slice_works.clear()
+                self._slice_pins.clear()
+            self._slice_pins[id(base)] = base
+            sub = _dc_replace(base, num_blocks=count)
+            self._slice_works[key] = sub
+        return sub
+
+    def _dispatch_slice(self, wrapper: SlicedExecution) -> None:
+        """Launch the next slice of ``wrapper`` (caller checked one remains)."""
+        if wrapper._pending_sms is not None:
+            # A mid-slice resize lands here, at the edge: no drain, no stall.
+            wrapper._sm_ids = wrapper._pending_sms
+            wrapper._pending_sms = None
+            wrapper.counters.resizes += 1
+            self._m_slice_resize.inc()
+            if obs_trace.DETAILED:
+                obs_trace.instant(
+                    "slice.resize",
+                    self.env.now,
+                    "device",
+                    wrapper.work.name,
+                    to_sms=len(wrapper._sm_ids),
+                )
+        piece = wrapper.slicer.next_slice()
+        work = (
+            wrapper.work
+            if piece.count == wrapper.work.num_blocks
+            else self._slice_work(wrapper.work, piece.count)
+        )
+        execution = KernelExecution(
+            self,
+            work,
+            wrapper._sm_ids,
+            wrapper.mode,
+            wrapper.order_factor,
+            wrapper.task_size,
+            wrapper.inject_frac,
+        )
+        wrapper.current = execution
+        wrapper.slices_dispatched += 1
+        self._running[execution.id] = execution
+        self._alloc_epoch += 1
+        self.env.stats.slice_dispatches += 1
+        self._m_slice_dispatch.inc()
+        if obs_trace.DETAILED:
+            obs_trace.instant(
+                "slice.dispatch",
+                self.env.now,
+                "device",
+                wrapper.work.name,
+                index=piece.index,
+                start=piece.start,
+                count=piece.count,
+                sms=len(wrapper._sm_ids),
+            )
+        execution.done.callbacks.append(
+            lambda ev, w=wrapper, p=piece: self._on_slice_done(w, p, ev._value)
+        )
+        if wrapper.slicer.exhausted:
+            # Final slice: its tail is the launch's tail.
+            execution.tail_started.callbacks.append(
+                lambda _ev, w=wrapper: _trigger_inline(w.tail_started)
+            )
+        self._epoch_recompute()
+
+    def _on_slice_done(
+        self, wrapper: SlicedExecution, piece, counters: KernelCounters
+    ) -> None:
+        wrapper.current = None
+        wrapper.completed_blocks += piece.count
+        agg = wrapper.counters
+        agg.blocks_executed += counters.blocks_executed
+        agg.flops += counters.flops
+        agg.bytes_l2 += counters.bytes_l2
+        agg.bytes_dram += counters.bytes_dram
+        agg.instructions += counters.instructions
+        agg.ldst += counters.ldst
+        agg.mem_throttle_time += counters.mem_throttle_time
+        agg.busy_time += counters.busy_time
+        agg.resizes += counters.resizes
+        agg.resize_stall += counters.resize_stall
+        agg.end_time = counters.end_time
+        if wrapper.slicer.exhausted:
+            wrapper._finished = True
+            _trigger_inline(wrapper.done, agg)
+            return
+        if wrapper._pending_pause:
+            self._pause_at_edge(wrapper)
+            return
+        # Inter-slice dispatch gap, then the next slice.
+        wrapper._gap_gen += 1
+        gen = wrapper._gap_gen
+        self.env.timeout(self.costs.slice_dispatch_overhead).callbacks.append(
+            lambda _e: self._after_slice_gap(wrapper, gen)
+        )
+
+    def _after_slice_gap(self, wrapper: SlicedExecution, gen: int) -> None:
+        if gen != wrapper._gap_gen or wrapper._paused or wrapper._finished:
+            return
+        if wrapper._pending_pause:
+            self._pause_at_edge(wrapper)
+            return
+        self._dispatch_slice(wrapper)
+
+    def _pause_at_edge(self, wrapper: SlicedExecution) -> None:
+        wrapper._pending_pause = False
+        wrapper._paused = True
+        wrapper._gap_gen += 1  # kill any in-flight dispatch-gap timer
+        self.env.stats.slice_preempts += 1
+        self._m_slice_preempt.inc()
+        if obs_trace.DETAILED:
+            obs_trace.instant(
+                "slice.preempt",
+                self.env.now,
+                "device",
+                wrapper.work.name,
+                completed_blocks=wrapper.completed_blocks,
+            )
+
+    def _resize_sliced(
+        self, wrapper: SlicedExecution, sms: tuple[int, ...], notify: bool
+    ) -> Optional[Event]:
+        if not sms:
+            raise ValueError("resize must leave at least one SM")
+        if wrapper._finished:
+            resumed = self.env.event() if notify else None
+            if resumed is not None:
+                resumed.succeed()
+            return resumed
+        if wrapper.current is not None and wrapper.slicer.exhausted:
+            # Final slice in flight: no edge remains — classic retreat.
+            return self.resize(wrapper.current, sms, notify)
+        # An edge remains (mid-slice, mid-gap, or paused): record the target;
+        # the next dispatched slice adopts it with no drain stall.
+        wrapper._pending_sms = sms
+        resumed = self.env.event() if notify else None
+        if resumed is not None:
+            resumed.succeed()
+        return resumed
+
     def resize(
         self,
         execution: KernelExecution,
@@ -369,7 +702,13 @@ class SimulatedGPU:
         ``notify=False`` skips creating that event and returns ``None`` —
         fire-and-forget callers (the scheduler resizes on every corun
         admission) would otherwise queue a dead notification per resize.
+
+        A :class:`SlicedExecution` resizes at its next slice edge instead
+        (no drain stall) unless it is already on its final slice, in which
+        case the classic retreat mechanics below apply to that slice.
         """
+        if isinstance(execution, SlicedExecution):
+            return self._resize_sliced(execution, tuple(new_sm_ids), notify)
         if execution.mode is not ExecutionMode.SLATE:
             raise ValueError("only Slate-scheduled kernels can be resized")
         sms = tuple(new_sm_ids)
@@ -406,6 +745,7 @@ class SimulatedGPU:
         self._epoch_recompute()
 
         delay = self.costs.retreat_latency + self.costs.kernel_launch_overhead
+        execution.counters.resize_stall += delay
         wake = self.env.timeout(delay)
 
         def _finish(_event: Event) -> None:
@@ -422,8 +762,35 @@ class SimulatedGPU:
         wake.callbacks.append(_finish)
         return resumed
 
-    def pause(self, execution: KernelExecution) -> None:
-        """Suspend a kernel (context switch); progress is frozen."""
+    def pause(self, execution: KernelExecution, at_edge: bool = True) -> None:
+        """Suspend a kernel (context switch); progress is frozen.
+
+        A :class:`SlicedExecution` with a slice edge ahead is preempted *at
+        that edge*: the slice in flight runs to its boundary, then no
+        further slice is dispatched.  ``at_edge=False`` forces the classic
+        instant freeze of the slice in flight instead (the policy's
+        ``preempt_at_slice`` veto).  On the final slice (or an unsliced
+        kernel) the freeze is immediate either way.
+        """
+        if isinstance(execution, SlicedExecution):
+            w = execution
+            if w._finished or w._paused:
+                return
+            if w.current is not None and w.slicer.exhausted:
+                self.pause(w.current)  # final slice: no edge remains
+                return
+            if w.current is None:
+                self._pause_at_edge(w)  # mid-gap: already at an edge
+            elif at_edge:
+                w._pending_pause = True
+            else:
+                # Forced mid-slice freeze: classic pause of the in-flight
+                # slice; the next slice waits for resume.
+                w._pending_pause = False
+                w._paused = True
+                w._gap_gen += 1
+                self.pause(w.current)
+            return
         if execution.state is not ExecState.RUNNING:
             return
         self._settle_all()
@@ -432,7 +799,33 @@ class SimulatedGPU:
         self._epoch_recompute()
 
     def resume(self, execution: KernelExecution) -> None:
-        """Resume a paused kernel."""
+        """Resume a paused kernel.
+
+        Resuming an edge-paused :class:`SlicedExecution` dispatches its next
+        slice after one ``slice_dispatch_overhead`` gap (any resize recorded
+        while paused is adopted by that slice).
+        """
+        if isinstance(execution, SlicedExecution):
+            w = execution
+            # A resume always cancels a not-yet-reached edge pause — without
+            # this, resuming a victim whose slice is still in flight leaves
+            # the stale request to freeze at the upcoming edge, and nothing
+            # ever resumes it again.
+            w._pending_pause = False
+            if w.current is not None:
+                # Final slice, or a forced mid-slice freeze: thaw in place.
+                w._paused = False
+                self.resume(w.current)
+                return
+            if not w._paused:
+                return
+            w._paused = False
+            w._gap_gen += 1
+            gen = w._gap_gen
+            self.env.timeout(self.costs.slice_dispatch_overhead).callbacks.append(
+                lambda _e: self._after_slice_gap(w, gen)
+            )
+            return
         if execution.state is not ExecState.PAUSED:
             return
         execution.state = ExecState.RUNNING

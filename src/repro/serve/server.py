@@ -301,11 +301,16 @@ class _Session:
 
     __slots__ = (
         "sid", "name", "slate", "shard", "inflight", "connected",
-        "launches", "errors",
+        "launches", "errors", "hint_class", "stale",
     )
 
     def __init__(
-        self, sid: int, name: str, slate: SlateSession, shard: int = 0
+        self,
+        sid: int,
+        name: str,
+        slate: SlateSession,
+        shard: int = 0,
+        hint_class=None,
     ) -> None:
         self.sid = sid
         self.name = name
@@ -315,6 +320,12 @@ class _Session:
         self.connected = True
         self.launches = 0
         self.errors = 0
+        #: Intensity class of the ``kernel_hint`` this session was placed
+        #: with (None: no hint given at hello).
+        self.hint_class = hint_class
+        #: Whether the session's *observed* kernel class currently diverges
+        #: from ``hint_class`` (mirrored into ``serve.shard.*.placement_stale``).
+        self.stale = False
 
 
 class SlateServer:
@@ -380,6 +391,13 @@ class SlateServer:
         ]
         self._g_shard_inflight = [
             reg.gauge(f"serve.shard.{i}.inflight") for i in range(config.shards)
+        ]
+        #: Sessions whose observed kernel class has diverged from the
+        #: ``kernel_hint`` the router placed them with — each one is a
+        #: placement decision the workload has drifted out from under.
+        self._g_shard_stale = [
+            reg.gauge(f"serve.shard.{i}.placement_stale")
+            for i in range(config.shards)
         ]
         self._h_latency = {
             op: reg.histogram(f"serve.latency.{op}") for op in protocol.OPS
@@ -656,6 +674,10 @@ class SlateServer:
             del self._sessions[sess.sid]
             sess.slate.close()
             self.router.note_close(sess.shard, sess.name)
+            if sess.stale:
+                # A reaped session stops counting against its shard.
+                sess.stale = False
+                self._g_shard_stale[sess.shard].dec()
             self._m_reaped.inc()
             self._g_sessions.set(len(self._sessions))
             self._g_shard_sessions[sess.shard].set(
@@ -861,7 +883,9 @@ class SlateServer:
         shard = self.shards[shard_index]
         spec_hint = by_name(str(hint)) if hint is not None else None
         slate = shard.cluster.create_session(session_name, spec_hint=spec_hint)
-        sess = _Session(sid, session_name, slate, shard=shard_index)
+        sess = _Session(
+            sid, session_name, slate, shard=shard_index, hint_class=candidate
+        )
         self._sessions[sid] = sess
         self.router.note_open(shard_index, session_name, candidate)
         self._m_opened.inc()
@@ -986,8 +1010,39 @@ class SlateServer:
                 retry_after=0.02,
             )
 
+    def _note_observed_class(self, sess: _Session, spec) -> None:
+        """Placement-staleness tracking for hinted sessions.
+
+        The router placed ``sess`` using its ``kernel_hint``'s intensity
+        class; every launch compares the class of what the session
+        *actually* runs against that hint and flips the shard's
+        ``serve.shard.<i>.placement_stale`` gauge on divergence (and back
+        on re-convergence).  A non-zero gauge marks placement decisions the
+        workload has drifted out from under — the operator signal to
+        reconnect those clients or drain the shard.
+        """
+        if sess.hint_class is None:
+            return
+        observed = self.router.classify(spec.name)
+        stale = observed is not None and observed != sess.hint_class
+        if stale != sess.stale:
+            sess.stale = stale
+            self._g_shard_stale[sess.shard].inc(1 if stale else -1)
+            if obs_trace.ENABLED:
+                obs_trace.instant(
+                    "session.placement_stale" if stale
+                    else "session.placement_fresh",
+                    self._shard_env(sess).now,
+                    "serve",
+                    sess.name,
+                    shard=sess.shard,
+                    hint=str(sess.hint_class),
+                    observed=str(observed),
+                )
+
     async def _op_launch(self, sess: _Session, rid, params: dict) -> dict:
         spec = self._resolve_spec(params)
+        self._note_observed_class(sess, spec)
         task_size = params.get("task_size")
         if task_size is not None:
             task_size = int(task_size)

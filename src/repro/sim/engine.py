@@ -116,6 +116,11 @@ class EnvironmentStats:
     rate_vector_batch:
         Total inputs across all vectorized derivations;
         ``rate_vector_batch / rate_vector_evals`` is the mean vector width.
+    slice_dispatches / slice_preempts:
+        Sub-grid slices dispatched by :meth:`~repro.gpu.device.SimulatedGPU.
+        launch_sliced` and preemptions that took effect at a slice edge
+        (Kernelet-style slicing; both stay 0 with slicing off — the
+        default-path guard the differential lane checks).
     """
 
     __slots__ = (
@@ -135,6 +140,8 @@ class EnvironmentStats:
         "rate_vector_evals",
         "rate_scalar_evals",
         "rate_vector_batch",
+        "slice_dispatches",
+        "slice_preempts",
     )
 
     _FIELDS = (
@@ -154,6 +161,8 @@ class EnvironmentStats:
         "rate_vector_evals",
         "rate_scalar_evals",
         "rate_vector_batch",
+        "slice_dispatches",
+        "slice_preempts",
     )
 
     def __init__(self) -> None:

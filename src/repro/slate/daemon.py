@@ -248,6 +248,8 @@ class SlateRuntime:
         monitor_interval: float | None = None,
         log_limit: int | None = None,
         rate_trace_limit: int | None = None,
+        slicing: bool = False,
+        slice_blocks: int | None = None,
     ) -> None:
         self.env = env
         self.device = device
@@ -271,6 +273,8 @@ class SlateRuntime:
             max_corun=max_corun,
             profile_refresh=profile_refresh,
             log_limit=log_limit,
+            slicing=slicing,
+            slice_blocks=slice_blocks,
         )
         #: Scanned + injected sources by kernel name (the code cache).
         self.injected_sources: dict[str, str] = {}

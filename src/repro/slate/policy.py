@@ -355,6 +355,30 @@ class SchedulingPolicy:
             return None
         return victim
 
+    # -- slicing (Kernelet-style dispatch, repro/slate/slicing.py) ---------
+
+    def slice_quota(self, ticket: "SlateTicket", work) -> Optional[int]:
+        """Slice size (blocks) for ``ticket``'s launch, or None to take the
+        scheduler's default sizing.
+
+        Consulted only when the scheduler was built with ``slicing``
+        enabled — with slicing off this hook is never called, which is what
+        keeps ``table1`` decision traces byte-identical to the unsliced
+        scheduler.  The base policy defers to the scheduler-wide
+        ``slice_blocks`` setting (None: let the scheduler derive one).
+        """
+        return self.scheduler.slice_blocks
+
+    def preempt_at_slice(self, head: "SlateTicket", victim) -> bool:
+        """Whether preempting ``victim`` (sliced) may wait for a slice edge.
+
+        Returning True (default) pauses the victim at its next slice
+        boundary — no retreat drain, at most one slice of residual
+        occupancy.  Returning False forces the classic retreat-style pause
+        of the in-flight slice (instant freeze).
+        """
+        return True
+
     # -- learning hooks ----------------------------------------------------
 
     def on_complete(self, ticket: "SlateTicket", counters) -> None:
@@ -517,6 +541,24 @@ class EdfPolicy(SchedulingPolicy):
             )
         return None
 
+    def slice_quota(self, ticket: "SlateTicket", work) -> Optional[int]:
+        """Deadline launches run whole; best-effort launches slice finer.
+
+        A latency-critical (deadline) kernel should never be carved up for
+        someone else's benefit — it gets the whole grid as one slice.  A
+        best-effort kernel is sliced at *half* the default size so a
+        deadline arrival finds a preemption edge twice as often (floored at
+        one worker task per slice).
+        """
+        from repro.slate.slicing import default_slice_blocks
+
+        if ticket.deadline is not None:
+            return work.num_blocks
+        base = self.scheduler.slice_blocks
+        if base is None:
+            base = default_slice_blocks(work.num_blocks, ticket.task_size)
+        return max(max(1, ticket.task_size), base // 2)
+
 
 class OnlinePredictivePolicy(SchedulingPolicy):
     """Online-predictive scheduling: learn runtimes, re-decide pairings.
@@ -570,6 +612,25 @@ class OnlinePredictivePolicy(SchedulingPolicy):
 
     def observations(self, ticket: "SlateTicket") -> int:
         return self.observed.get(ticket.profile_key, (0.0, 0))[1]
+
+    #: Target wall-clock duration of one slice when sizing from evidence.
+    slice_target = 250e-6
+
+    def slice_quota(self, ticket: "SlateTicket", work) -> Optional[int]:
+        """Size slices from the observed runtime EMA: aim for slices of
+        ``slice_target`` seconds each (clamped to [1, 64] slices per grid),
+        so fast kernels are not over-sliced and slow ones still expose
+        frequent edges.  With no observations, or an explicit scheduler-wide
+        ``slice_blocks``, fall back to the base behaviour."""
+        base = self.scheduler.slice_blocks
+        if base is not None:
+            return base
+        ema, count = self.observed.get(ticket.profile_key, (0.0, 0))
+        if count == 0 or ema <= 0.0:
+            return None
+        slices = max(1, min(64, round(ema / self.slice_target)))
+        quota = -(-work.num_blocks // slices)
+        return max(max(1, ticket.task_size), quota)
 
     def _predicted_split(self, running_ticket, head_ticket):
         from repro.slate.predict import choose_partition_predictive

@@ -30,6 +30,7 @@ from repro.gpu.device import (
     KernelCounters,
     KernelExecution,
     SimulatedGPU,
+    SlicedExecution,
 )
 from repro.kernels.kernel import KernelSpec
 from repro.obs import trace as obs_trace
@@ -185,6 +186,8 @@ class SlateScheduler:
         max_corun: int = 2,
         profile_refresh: float = 0.0,
         log_limit: Optional[int] = None,
+        slicing: bool = False,
+        slice_blocks: Optional[int] = None,
     ) -> None:
         if partition_strategy not in ("heuristic", "predictive", "even"):
             raise ValueError(f"unknown partition strategy {partition_strategy!r}")
@@ -192,6 +195,12 @@ class SlateScheduler:
             raise ValueError("max_corun must be >= 1")
         if not 0.0 <= profile_refresh <= 1.0:
             raise ValueError("profile_refresh must be in [0, 1]")
+        if slice_blocks is not None and slice_blocks < 1:
+            from repro.slate.slicing import SliceConfigError
+
+            raise SliceConfigError(
+                f"slice_blocks must be >= 1, got {slice_blocks}"
+            )
         self.env = env
         self.gpu = gpu
         self.device = device
@@ -216,6 +225,13 @@ class SlateScheduler:
         #: kernels whose behaviour drifts with their input data.
         self.profile_refresh = profile_refresh
         self.profile_refreshes = 0
+        #: Kernelet-style slice-granularity dispatch (repro/slate/slicing.py).
+        #: Off by default — the unsliced path is byte-identical to the seed
+        #: scheduler, which the differential harness pins.
+        self.slicing = slicing
+        #: Scheduler-wide slice size (blocks); None lets the policy's
+        #: ``slice_quota`` (or the grid-derived default) size each launch.
+        self.slice_blocks = slice_blocks
         self._preempted: list[_Running] = []
         self.preemptions = 0
         self.profiles = profiles if profiles is not None else ProfileTable(device)
@@ -397,7 +413,16 @@ class SlateScheduler:
             return
         if self._can_schedule_more():
             return  # compatible corun serves the VIP without a preemption
-        self.gpu.pause(victim.handle)
+        if isinstance(victim.handle, SlicedExecution):
+            # Sliced victim: the policy chooses edge-granularity preemption
+            # (no retreat drain, at most one slice of residual occupancy)
+            # or the classic instant freeze of the slice in flight.
+            self.gpu.pause(
+                victim.handle,
+                at_edge=self.policy.preempt_at_slice(head, victim),
+            )
+        else:
+            self.gpu.pause(victim.handle)
         self._running.remove(victim)
         self._preempted.append(victim)
         victim.ticket.preemptions += 1
@@ -464,13 +489,29 @@ class SlateScheduler:
 
     def _launch(self, ticket: SlateTicket, sms: tuple[int, ...]) -> None:
         ticket.started_at = self.env.now
-        handle = self.gpu.launch(
-            ticket.spec.work(),
-            sm_ids=sms,
-            mode=ExecutionMode.SLATE,
-            task_size=ticket.task_size,
-            inject_frac=SLATE_INJECT_FRAC,
-        )
+        work = ticket.spec.work()
+        if self.slicing:
+            from repro.slate.slicing import default_slice_blocks
+
+            quota = self.policy.slice_quota(ticket, work)
+            if quota is None:
+                quota = default_slice_blocks(work.num_blocks, ticket.task_size)
+            handle = self.gpu.launch_sliced(
+                work,
+                sm_ids=sms,
+                mode=ExecutionMode.SLATE,
+                task_size=ticket.task_size,
+                inject_frac=SLATE_INJECT_FRAC,
+                slice_blocks=quota,
+            )
+        else:
+            handle = self.gpu.launch(
+                work,
+                sm_ids=sms,
+                mode=ExecutionMode.SLATE,
+                task_size=ticket.task_size,
+                inject_frac=SLATE_INJECT_FRAC,
+            )
         entry = _Running(ticket=ticket, handle=handle, sms=sms)
         self._running.append(entry)
         if obs_trace.ENABLED:

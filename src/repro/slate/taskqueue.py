@@ -15,7 +15,13 @@ from typing import Callable, Optional
 from repro.obs import trace as obs_trace
 from repro.obs.registry import registry as obs_registry
 
-__all__ = ["SlateQueue", "Task"]
+__all__ = ["SlateQueue", "Task", "TaskQueueConfigError"]
+
+
+class TaskQueueConfigError(ValueError):
+    """A degenerate task-queue configuration (zero-block grid, non-positive
+    task size).  Subclasses :class:`ValueError` so existing callers that
+    guard with ``except ValueError`` keep working."""
 
 
 @dataclass(frozen=True)
@@ -40,11 +46,19 @@ class SlateQueue:
         clock: Optional[Callable[[], float]] = None,
     ) -> None:
         if num_blocks < 1:
-            raise ValueError(f"num_blocks must be >= 1, got {num_blocks}")
+            raise TaskQueueConfigError(
+                f"num_blocks must be >= 1, got {num_blocks} (a zero-block "
+                "kernel has no work to queue)"
+            )
         if task_size < 1:
-            raise ValueError(f"task_size must be >= 1, got {task_size}")
+            raise TaskQueueConfigError(
+                f"task_size must be >= 1, got {task_size}"
+            )
         #: slateMax: one past the last user block index.
         self.slate_max = num_blocks
+        #: A task size larger than the grid is defined behaviour: the single
+        #: pull is clamped to the grid (Listing 2's ``min`` against
+        #: ``slateMax``), exactly as one oversized final task would be.
         self.task_size = task_size
         #: slateIdx: next unclaimed user block index.
         self.slate_idx = 0
@@ -53,7 +67,10 @@ class SlateQueue:
         #: Optional time source (e.g. ``lambda: env.now``) stamping pull
         #: trace events; without one, pulls trace at t=0.
         self._clock = clock
-        self._m_pulls = obs_registry().counter("taskqueue.pulls")
+        reg = obs_registry()
+        self._m_pulls = reg.counter("taskqueue.pulls")
+        self._m_retreats = reg.counter("taskqueue.retreats")
+        self._m_clears = reg.counter("taskqueue.clears")
 
     @property
     def exhausted(self) -> bool:
@@ -72,8 +89,14 @@ class SlateQueue:
 
         Mirrors Listing 2: ``globIdx = atomicAdd(&slateIdx, SLATE_ITERS)``
         with the iteration count clamped at ``slateMax`` for the last task.
+
+        While the retreat flag is raised no task is claimed (``None``, the
+        same signal as a drained queue): a worker that checks the flag after
+        finishing its task must exit, not race the relaunch for one more
+        pull.  Callers relaunching workers lower the flag first
+        (:meth:`clear_retreat`, Listing 3's loop).
         """
-        if self.exhausted:
+        if self.retreat or self.exhausted:
             return None
         start = self.slate_idx
         count = min(self.task_size, self.slate_max - start)
@@ -94,7 +117,9 @@ class SlateQueue:
     def signal_retreat(self) -> None:
         """Raise the retreat flag; workers exit after their current task."""
         self.retreat = True
+        self._m_retreats.inc()
 
     def clear_retreat(self) -> None:
         """Lower the flag before relaunching workers (Listing 3's loop)."""
         self.retreat = False
+        self._m_clears.inc()

@@ -39,6 +39,7 @@ GOLDEN_FILES = {
     "cluster": "cluster_study",
     "gen": "generalization",
     "shootout": "policy_shootout",
+    "retreat": "retreat_vs_slice",
 }
 
 _EXPERIMENTS = {e.key: e for e in runner.EXPERIMENTS}

@@ -284,6 +284,50 @@ class TestConcurrentSessions:
             assert devices == {0, 1}
 
 
+class TestPlacementStaleness:
+    """`serve.shard.*.placement_stale` tracks hint/observed class divergence."""
+
+    @staticmethod
+    def _stale_gauge(client, shard=0):
+        gauges = client.metrics()["registry"]["gauges"]
+        return gauges.get(f"serve.shard.{shard}.placement_stale", 0)
+
+    def test_divergent_launches_flip_gauge_and_back(self, sock_path):
+        # MM is class M_M, RG is L_C (offline profiles), so a session hinted
+        # MM that launches RG has gone stale — until it launches MM again.
+        with ServerThread(ServeConfig(socket_path=sock_path)):
+            with SlateClient(sock_path, name="drift", kernel_hint="MM") as client:
+                client.launch("MM")
+                assert self._stale_gauge(client) == 0
+                client.launch("RG")
+                assert self._stale_gauge(client) == 1
+                # Repeat launches of the divergent class don't double-count.
+                client.launch("RG")
+                assert self._stale_gauge(client) == 1
+                client.launch("MM")
+                assert self._stale_gauge(client) == 0
+
+    def test_hintless_sessions_never_go_stale(self, sock_path):
+        with ServerThread(ServeConfig(socket_path=sock_path)):
+            with SlateClient(sock_path, name="nohint") as client:
+                client.launch("RG")
+                client.launch("MM")
+                assert self._stale_gauge(client) == 0
+
+    def test_reaping_a_stale_session_decrements(self, sock_path):
+        with ServerThread(ServeConfig(socket_path=sock_path)) as server:
+            with SlateClient(sock_path, name="watcher") as watcher:
+                leaver = SlateClient(sock_path, name="leaver", kernel_hint="MM")
+                leaver.connect()
+                leaver.launch("RG")
+                assert self._stale_gauge(watcher) == 1
+                # Drop the connection without a bye: the reaper must clear
+                # the stale flag, not just the session row.
+                leaver._stream.sock.close()
+                assert _wait_until(lambda: server.session_count == 1)
+                assert self._stale_gauge(watcher) == 0
+
+
 class TestServerShutdown:
     def test_shutdown_with_connected_client(self, sock_path):
         thread = ServerThread(ServeConfig(socket_path=sock_path))

@@ -11,7 +11,7 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.kernels.kernel import GridDim
-from repro.slate.taskqueue import SlateQueue
+from repro.slate.taskqueue import SlateQueue, TaskQueueConfigError
 from repro.slate.transform import GridTransform, simulate_workers
 
 
@@ -43,6 +43,46 @@ class TestSlateQueue:
             SlateQueue(0, 1)
         with pytest.raises(ValueError):
             SlateQueue(10, 0)
+
+    def test_degenerate_configs_typed(self):
+        # The typed error subclasses ValueError (backwards compatible).
+        with pytest.raises(TaskQueueConfigError):
+            SlateQueue(0, 1)
+        with pytest.raises(TaskQueueConfigError):
+            SlateQueue(-3, 10)
+        with pytest.raises(TaskQueueConfigError):
+            SlateQueue(10, -1)
+
+    def test_task_size_larger_than_grid_is_one_clamped_task(self):
+        # Defined behaviour, not an error: a single pull clamped to the grid.
+        q = SlateQueue(num_blocks=7, task_size=100)
+        task = q.pull()
+        assert task.start == 0 and task.count == 7
+        assert q.pull() is None
+        assert q.pulls == 1
+
+    def test_pull_after_retreat_returns_none(self):
+        q = SlateQueue(num_blocks=10, task_size=2)
+        assert q.pull() is not None
+        q.signal_retreat()
+        # Retreating workers must exit, not claim one more task.
+        assert q.pull() is None
+        assert q.remaining_blocks == 8  # nothing was silently consumed
+        q.clear_retreat()
+        assert q.pull().block_range == range(2, 4)
+
+    def test_retreat_counts_mirrored_to_registry(self):
+        from repro.obs.registry import registry
+
+        reg = registry()
+        retreats = reg.counter("taskqueue.retreats").value
+        clears = reg.counter("taskqueue.clears").value
+        q = SlateQueue(10, 2)
+        q.signal_retreat()
+        q.clear_retreat()
+        q.signal_retreat()
+        assert reg.counter("taskqueue.retreats").value == retreats + 2
+        assert reg.counter("taskqueue.clears").value == clears + 1
 
 
 class TestGridTransform:
